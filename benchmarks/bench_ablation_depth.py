@@ -1,0 +1,70 @@
+"""Ablation: tree depth / leaf capacity (the Section 5.4 trade-off).
+
+Shallow trees pay large leaf brute-forces (membership-heavy); deep trees
+pay more per-node intersections.  The planner's depth should sit near the
+sampling-time minimum — this sweep checks it.
+"""
+
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.core.sampling import BSTSampler
+from repro.core.tree import BloomSampleTree
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+COLUMNS = ["depth", "leaf", "time_ms", "intersections", "memberships",
+           "planned"]
+
+
+def test_ablation_depth_report(benchmark, cache, scale, save_report):
+    """Sampling cost across depths, with the planner's pick marked."""
+    namespace = scale.namespace_sizes[0]
+    n = scale.set_sizes_for(namespace)[min(1, len(scale.set_sizes_for(namespace)) - 1)]
+    params = plan_tree(namespace, n, 0.9)
+    family = cache.family("murmur3", params.k, params.m, namespace)
+    secret = make_query_set(namespace, n, "uniform", rng=2)
+    query = BloomFilter.from_items(secret, family)
+    depths = sorted({max(1, params.depth + delta)
+                     for delta in (-4, -2, 0, 2, 4)
+                     if (1 << max(1, params.depth + delta)) <= namespace})
+    rounds = max(20, scale.timing_rounds // 2)
+
+    def build():
+        import time
+        rows = []
+        for depth in depths:
+            tree = BloomSampleTree.build(namespace, depth, family)
+            sampler = BSTSampler(tree, rng=2)
+            intersections = memberships = 0
+            start = time.perf_counter()
+            for __ in range(rounds):
+                result = sampler.sample(query)
+                intersections += result.ops.intersections
+                memberships += result.ops.memberships
+            elapsed = time.perf_counter() - start
+            rows.append({
+                "depth": depth,
+                "leaf": -(-namespace // (1 << depth)),
+                "time_ms": round(elapsed / rounds * 1e3, 3),
+                "intersections": round(intersections / rounds, 1),
+                "memberships": round(memberships / rounds, 1),
+                "planned": "<-- planner" if depth == params.depth else "",
+            })
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report("ablation_depth",
+                format_rows(rows, COLUMNS,
+                            title=f"Ablation: tree depth "
+                                  f"(M={namespace}, n={n}, m={params.m}, "
+                                  f"scale={scale.name})"))
+    # Monotone mechanics: deeper -> more intersections, fewer memberships.
+    inter = [r["intersections"] for r in rows]
+    memb = [r["memberships"] for r in rows]
+    assert inter == sorted(inter)
+    assert memb == sorted(memb, reverse=True)
+    # The planner's depth should be within 3x of the best measured time.
+    times = {r["depth"]: r["time_ms"] for r in rows}
+    assert times[params.depth] <= 3.0 * min(times.values())

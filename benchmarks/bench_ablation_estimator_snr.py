@@ -1,0 +1,75 @@
+"""Ablation: the intersection estimator's noise floor vs filter size.
+
+DESIGN.md finding (a): per-node signal is ``n*N/M`` elements while the
+estimator noise is ``~sqrt(n*N/m)``, so growing ``m`` (and nothing else)
+lifts uniform sparse sets over the floor.  This sweep measures, at fixed
+namespace and set size, how starvation (elements never sampled) and
+thresholded-reconstruction recall respond to ``m``.
+"""
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.core.reconstruct import BSTReconstructor
+from repro.core.sampling import BSTSampler
+from repro.core.tree import BloomSampleTree
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+COLUMNS = ["m_multiplier", "m", "leaf_snr", "starved", "recall",
+           "memberships"]
+
+
+def test_ablation_estimator_snr_report(benchmark, cache, scale, save_report):
+    """Starvation and recall vs filter size for a uniform sparse set."""
+    namespace = scale.namespace_sizes[0]
+    n = min(200, scale.set_sizes_for(namespace)[-1])
+    base = plan_tree(namespace, n, 0.9)
+    depth = base.depth
+    leaf = -(-namespace // (1 << depth))
+    multipliers = (1, 4, 16, 64)
+    rounds = 40 * n if scale.name != "small" else 10 * n
+
+    def build():
+        rows = []
+        secret = make_query_set(namespace, n, "uniform", rng=3)
+        truth = set(secret.tolist())
+        for mult in multipliers:
+            m = base.m * mult
+            family = cache.family("murmur3", base.k, m, namespace)
+            tree = BloomSampleTree.build(namespace, depth, family)
+            query = BloomFilter.from_items(secret, family)
+            sampler = BSTSampler(tree, rng=3)
+            seen = set()
+            for __ in range(rounds):
+                value = sampler.sample(query).value
+                if value in truth:
+                    seen.add(value)
+            result = BSTReconstructor(tree).reconstruct(query)
+            found = np.isin(secret, result.elements).sum()
+            snr = (n * leaf / namespace) / np.sqrt(n * leaf / m)
+            rows.append({
+                "m_multiplier": mult,
+                "m": m,
+                "leaf_snr": round(float(snr), 2),
+                "starved": n - len(seen),
+                "recall": round(float(found) / n, 3),
+                "memberships": result.ops.memberships,
+            })
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report("ablation_estimator_snr",
+                format_rows(rows, COLUMNS,
+                            title=f"Ablation: estimator noise floor vs m "
+                                  f"(M={namespace}, n={n}, depth={depth}, "
+                                  f"{rounds} rounds, scale={scale.name})"))
+    recalls = [r["recall"] for r in rows]
+    starved = [r["starved"] for r in rows]
+    # Growing m lifts the signal over the noise floor.
+    assert recalls[-1] >= recalls[0]
+    assert starved[-1] <= starved[0]
+    assert recalls[-1] >= 0.95

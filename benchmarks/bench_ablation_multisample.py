@@ -1,0 +1,87 @@
+"""Ablation: one-pass multi-sampling vs repeated single samples.
+
+Section 5.3 claims sending r paths down the tree together "will, in
+general, perform better than r times the running time" of single
+sampling, because shared path prefixes are paid once.  This sweep
+quantifies the saving in intersections and wall-clock across r.
+"""
+
+import time
+
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.core.sampling import BSTSampler
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+COLUMNS = ["r", "single_intersections", "multi_intersections",
+           "intersection_saving", "single_ms", "multi_ms", "speedup"]
+
+R_VALUES = (2, 8, 32, 128)
+
+
+def test_multi_sample_once(benchmark, cache, scale):
+    """Micro-benchmark: one 32-path multi-sample pass."""
+    namespace = scale.namespace_sizes[0]
+    n = scale.set_sizes_for(namespace)[-1]
+    params = plan_tree(namespace, n, 0.9)
+    tree = cache.tree(namespace, params.m, params.depth)
+    secret = make_query_set(namespace, n, "uniform", rng=4)
+    query = BloomFilter.from_items(secret, tree.family)
+    sampler = BSTSampler(tree, rng=4)
+    result = benchmark(lambda: sampler.sample_many(query, 32))
+    assert len(result.values) > 0
+
+
+def test_ablation_multisample_report(benchmark, cache, scale, save_report):
+    """Shared-prefix savings of one-pass multi-sampling across r."""
+    namespace = scale.namespace_sizes[0]
+    n = scale.set_sizes_for(namespace)[-1]
+    params = plan_tree(namespace, n, 0.9)
+    tree = cache.tree(namespace, params.m, params.depth)
+    secret = make_query_set(namespace, n, "uniform", rng=4)
+    query = BloomFilter.from_items(secret, tree.family)
+    repeats = 5
+
+    def build():
+        rows = []
+        sampler = BSTSampler(tree, rng=4)
+        for r in R_VALUES:
+            single_inter = 0
+            start = time.perf_counter()
+            for __ in range(repeats):
+                for __ in range(r):
+                    single_inter += sampler.sample(query).ops.intersections
+            single_ms = (time.perf_counter() - start) / repeats * 1e3
+
+            multi_inter = 0
+            start = time.perf_counter()
+            for __ in range(repeats):
+                multi_inter += sampler.sample_many(query, r).ops.intersections
+            multi_ms = (time.perf_counter() - start) / repeats * 1e3
+
+            rows.append({
+                "r": r,
+                "single_intersections": round(single_inter / repeats, 1),
+                "multi_intersections": round(multi_inter / repeats, 1),
+                "intersection_saving": round(
+                    1 - multi_inter / single_inter, 3),
+                "single_ms": round(single_ms, 3),
+                "multi_ms": round(multi_ms, 3),
+                "speedup": round(single_ms / multi_ms, 2),
+            })
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report("ablation_multisample",
+                format_rows(rows, COLUMNS,
+                            title=f"Ablation: one-pass multi-sample vs "
+                                  f"repeated singles (M={namespace}, n={n}, "
+                                  f"scale={scale.name})"))
+    # Section 5.3's claim: fewer intersections per batch, growing with r.
+    savings = [r["intersection_saving"] for r in rows]
+    assert all(s > 0 for s in savings)
+    assert savings[-1] >= savings[0]
+    assert rows[-1]["speedup"] > 1.0

@@ -1,0 +1,75 @@
+"""Ablation: the empty-intersection threshold (Section 5.6).
+
+The paper says the threshold must be "chosen correctly"; this sweep
+quantifies the recall / membership-cost trade-off it controls, for both
+query-set kinds, including the exhaustive (recall-exact) reference.
+"""
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.core.reconstruct import BSTReconstructor
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+THRESHOLDS = (0.1, 0.5, 1.0, 2.0, 5.0)
+COLUMNS = ["kind", "threshold", "recall", "precision", "memberships",
+           "nodes"]
+
+
+def test_ablation_threshold_report(benchmark, cache, scale, save_report):
+    """Recall vs cost across thresholds (plus exhaustive reference)."""
+    namespace = scale.namespace_sizes[-1]
+    n = 1_000 if 1_000 in scale.set_sizes_for(namespace) else \
+        scale.set_sizes_for(namespace)[0]
+    params = plan_tree(namespace, n, 0.9)
+    tree = cache.tree(namespace, params.m, params.depth)
+
+    def build():
+        rows = []
+        for kind in ("uniform", "clustered"):
+            secret = make_query_set(namespace, n, kind, rng=1)
+            query = BloomFilter.from_items(secret, tree.family)
+            variants = [("exhaustive", BSTReconstructor(tree,
+                                                        exhaustive=True))]
+            variants += [(t, BSTReconstructor(tree, empty_threshold=t))
+                         for t in THRESHOLDS]
+            for threshold, reconstructor in variants:
+                result = reconstructor.reconstruct(query)
+                found = np.isin(secret, result.elements).sum()
+                rows.append({
+                    "kind": kind,
+                    "threshold": threshold,
+                    "recall": round(float(found) / n, 3),
+                    "precision": round(float(found) / result.size, 3)
+                    if result.size else 0.0,
+                    "memberships": result.ops.memberships,
+                    "nodes": result.ops.nodes_visited,
+                })
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report("ablation_threshold",
+                format_rows(rows, COLUMNS,
+                            title=f"Ablation: empty-intersection threshold "
+                                  f"(M={namespace}, n={n}, "
+                                  f"scale={scale.name})"))
+    for kind in ("uniform", "clustered"):
+        series = [r for r in rows if r["kind"] == kind and
+                  r["threshold"] != "exhaustive"]
+        recalls = [r["recall"] for r in series]
+        costs = [r["memberships"] for r in series]
+        # Raising the threshold can only prune more.
+        assert recalls == sorted(recalls, reverse=True)
+        assert costs == sorted(costs, reverse=True)
+    clustered = [r for r in rows if r["kind"] == "clustered"
+                 and r["threshold"] == 0.5][0]
+    exhaustive = [r for r in rows if r["kind"] == "clustered"
+                  and r["threshold"] == "exhaustive"][0]
+    # Clustered sets: default threshold keeps ~all recall at a fraction
+    # of the exhaustive cost.
+    assert clustered["recall"] >= 0.9
+    assert clustered["memberships"] < exhaustive["memberships"] / 2

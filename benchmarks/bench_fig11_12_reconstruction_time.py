@@ -1,0 +1,59 @@
+"""Figures 11 and 12: reconstruction wall-clock time (BST / HI / DA).
+
+Paper shape: HashInvert is the slowest overall despite issuing fewer
+membership queries than DA — it pays per-set-bit inversion work; the BST
+and DA are comparable at small namespaces with the BST pulling ahead on
+clustered sets.
+"""
+
+import pytest
+
+from repro.experiments.figures import reconstruction_time_rows
+from repro.experiments.formatting import format_rows
+
+from .conftest import run_once
+
+COLUMNS = ["M", "n", "kind", "target_accuracy", "method", "time_ms",
+           "memberships", "recall"]
+
+
+def _set_size_slice(scale, namespace):
+    """The paper's Figs. 11/12 plot n = 100 and n = 10K only."""
+    sizes = scale.set_sizes_for(namespace)
+    picks = [n for n in (100, 10_000) if n in sizes]
+    return tuple(picks) or sizes[:1]
+
+
+@pytest.mark.parametrize("kind", ["uniform", "clustered"])
+def test_fig11_12_report(benchmark, cache, scale, save_report, kind):
+    """Reconstruction timing table (Figs. 11 and 12)."""
+    accuracies = (scale.accuracies[0], scale.accuracies[len(scale.accuracies) // 2],
+                  scale.accuracies[-1])
+
+    def build():
+        rows = []
+        for namespace in scale.namespace_sizes:
+            rows.extend(reconstruction_time_rows(
+                cache, namespace, _set_size_slice(scale, namespace),
+                accuracies, kind, scale.reconstruction_rounds,
+            ))
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report(f"fig11_12_reconstruction_time_{kind}",
+                format_rows(rows, COLUMNS,
+                            title=f"Figures 11/12: reconstruction time "
+                                  f"({kind} query sets, scale={scale.name})"))
+    # Paper shape (Section 7.3): HashInvert issues more membership
+    # queries than the BST but fewer than the DictionaryAttack.  (The
+    # paper additionally finds HI *slowest* in wall-clock; that constant
+    # factor reflects its per-bit C++ loop and does not survive our
+    # vectorised inversion, so time rows are reported but not asserted.)
+    by_cell = {}
+    for row in rows:
+        key = (row["M"], row["n"], row["target_accuracy"])
+        by_cell.setdefault(key, {})[row["method"]] = row["memberships"]
+    for cell in by_cell.values():
+        if {"HI", "DA", "BST"} <= cell.keys():
+            assert cell["HI"] < cell["DA"]
+            assert cell["BST"] <= cell["DA"]

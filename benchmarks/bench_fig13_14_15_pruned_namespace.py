@@ -1,0 +1,89 @@
+"""Figures 13, 14, 15: pruned-tree behaviour vs namespace fraction.
+
+The Section 8 Twitter experiments, run on the synthetic stand-in dataset
+(see DESIGN.md substitutions).  Paper shapes:
+
+* Fig. 13 — sampling time grows with the namespace fraction and is lower
+  for clustered occupancy (shared ancestors, fewer paths).
+* Fig. 14 — pruned-tree memory grows with the fraction, clustered well
+  below uniform, both below the full-tree reference.
+* Fig. 15 — measured accuracy always exceeds the planned 0.8 and rises as
+  the fraction (effective namespace) shrinks.
+"""
+
+from repro.experiments.figures import (
+    full_tree_memory_mb,
+    pruned_namespace_rows,
+)
+from repro.experiments.formatting import format_rows
+
+from .conftest import run_once
+
+COLUMNS = ["mode", "fraction", "occupied", "nodes", "memory_mb", "build_s",
+           "time_ms", "accuracy", "nulls"]
+
+#: Scaled-down Section 8 population (paper: 2.2B namespace, 7.2M users).
+NAMESPACE = 2_200_000
+USERS = 72_000
+DEPTH = 7
+ACCURACY = 0.8
+
+
+def test_pruned_build(benchmark, scale):
+    """Micro-benchmark: pruned-tree construction at a 0.2 fraction."""
+    from repro.core.design import plan_tree
+    from repro.core.hashing import create_family
+    from repro.core.pruned import PrunedBloomSampleTree
+    from repro.workloads.twitter import SyntheticTwitterDataset
+
+    dataset = SyntheticTwitterDataset.generate(
+        namespace_size=NAMESPACE, num_users=USERS, num_hashtags=10, rng=0)
+    occupied = dataset.namespace_at_fraction(0.2, "uniform", rng=0)
+    params = plan_tree(NAMESPACE, 1_000, ACCURACY)
+    family = create_family("murmur3", 3, params.m, namespace_size=NAMESPACE)
+    tree = benchmark.pedantic(
+        lambda: PrunedBloomSampleTree.build(occupied, NAMESPACE, DEPTH,
+                                            family),
+        iterations=1, rounds=3)
+    assert tree.num_nodes > 0
+
+
+def test_fig13_14_15_report(benchmark, scale, save_report):
+    """Time / memory / accuracy vs namespace fraction (Figs. 13-15)."""
+
+    def build():
+        return pruned_namespace_rows(
+            fractions=scale.pruned_fractions,
+            rounds=scale.pruned_rounds,
+            namespace_size=NAMESPACE,
+            num_users=USERS,
+            depth=DEPTH,
+            accuracy=ACCURACY,
+        )
+
+    rows = run_once(benchmark, build)
+    m = rows[0]["m"]
+    reference = full_tree_memory_mb(NAMESPACE, DEPTH, m)
+    title = (f"Figures 13/14/15: pruned tree vs namespace fraction "
+             f"(scale={scale.name}; full-tree memory reference "
+             f"{reference:.2f} MB)")
+    save_report("fig13_14_15_pruned_namespace",
+                format_rows(rows, COLUMNS, title=title))
+
+    for mode in ("uniform", "clustered"):
+        series = [r for r in rows if r["mode"] == mode]
+        fractions = [r["fraction"] for r in series]
+        memories = [r["memory_mb"] for r in series]
+        # Fig. 14 shape: memory grows with fraction, below the full tree.
+        assert memories == sorted(memories)
+        assert all(mem <= reference + 1e-9 for mem in memories)
+        # Fig. 15 shape: accuracy meets or beats the planned 0.8.
+        assert all(r["accuracy"] >= ACCURACY - 0.1 for r in series)
+        assert fractions == sorted(fractions)
+    # Clustered occupancy occupies fewer nodes than uniform (Fig. 14).
+    by_fraction = {}
+    for row in rows:
+        by_fraction.setdefault(row["fraction"], {})[row["mode"]] = row
+    for cell in by_fraction.values():
+        if "uniform" in cell and "clustered" in cell:
+            assert cell["clustered"]["nodes"] <= cell["uniform"]["nodes"]

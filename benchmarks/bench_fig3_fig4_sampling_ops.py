@@ -1,0 +1,79 @@
+"""Figures 3 and 4: intersections & membership queries per sample.
+
+Paper: BST needs a handful of intersections plus ~M_perp memberships per
+sample; DA always needs M memberships.  Fig. 3 uses uniformly random
+query sets, Fig. 4 clustered ones.
+"""
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.core.sampling import BSTSampler
+from repro.experiments.figures import sampling_ops_rows
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+COLUMNS = ["M", "n", "kind", "target_accuracy", "method", "intersections",
+           "memberships", "nodes", "time_ms", "accuracy"]
+
+
+@pytest.fixture(scope="module")
+def default_setup(cache, scale):
+    """A representative BST sampler for the micro-benchmarks."""
+    namespace = scale.namespace_sizes[-1]
+    n = 1_000 if 1_000 in scale.set_sizes_for(namespace) else \
+        scale.set_sizes_for(namespace)[-1]
+    params = plan_tree(namespace, n, 0.9)
+    tree = cache.tree(namespace, params.m, params.depth)
+    secret = make_query_set(namespace, n, "uniform", rng=0)
+    query = BloomFilter.from_items(secret, tree.family)
+    return tree, query
+
+
+def test_bst_single_sample(benchmark, default_setup):
+    """Micro-benchmark: one BSTSample descent (Algorithm 1)."""
+    tree, query = default_setup
+    sampler = BSTSampler(tree, rng=0)
+    result = benchmark(lambda: sampler.sample(query))
+    assert result.value is not None
+
+
+def test_bst_intersection_estimate(benchmark, default_setup):
+    """Micro-benchmark: one per-node intersection estimate."""
+    tree, query = default_setup
+    child = tree.root.left
+    value = benchmark(lambda: query.estimate_intersection(child.bloom))
+    assert value >= 0
+
+
+@pytest.mark.parametrize("kind", ["uniform", "clustered"])
+def test_fig3_fig4_report(benchmark, cache, scale, save_report, kind):
+    """Full op-count table (Fig. 3: uniform, Fig. 4: clustered)."""
+
+    def build():
+        rows = []
+        for namespace in scale.namespace_sizes:
+            rows.extend(sampling_ops_rows(
+                cache, namespace, scale.set_sizes_for(namespace),
+                scale.accuracies, kind, scale.sampling_rounds,
+                scale.da_rounds,
+            ))
+        return rows
+
+    rows = run_once(benchmark, build)
+    figure = "fig3" if kind == "uniform" else "fig4"
+    save_report(figure + "_sampling_ops",
+                format_rows(rows, COLUMNS,
+                            title=f"Figure {'3' if kind == 'uniform' else '4'}"
+                                  f": sampling op counts ({kind} query sets, "
+                                  f"scale={scale.name})"))
+    bst = [r for r in rows if r["method"] == "BST"]
+    da = [r for r in rows if r["method"] == "DA"]
+    # Paper shape: BST memberships far below DA's M for every cell.
+    assert all(r["memberships"] < r["M"] / 5 for r in bst)
+    assert all(r["memberships"] == r["M"] for r in da)
+    # BST intersections stay within a few multiples of the tree height.
+    assert all(r["intersections"] <= 20 * (r["depth"] + 1) for r in bst)

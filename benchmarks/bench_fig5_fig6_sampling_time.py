@@ -1,0 +1,61 @@
+"""Figures 5 and 6: average sampling time, BST vs DictionaryAttack.
+
+Paper shape: BST is one to two orders of magnitude faster than DA per
+sample, across accuracies, set sizes and both query-set kinds; DA time is
+flat in accuracy (it never looks at the tree).
+"""
+
+import pytest
+
+from repro.baselines.dictionary_attack import DictionaryAttack
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.experiments.figures import sampling_time_rows
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+COLUMNS = ["M", "n", "kind", "target_accuracy", "method", "time_ms",
+           "memberships", "intersections", "accuracy"]
+
+
+def test_da_single_sample(benchmark, cache, scale):
+    """Micro-benchmark: one DictionaryAttack reservoir pass."""
+    namespace = scale.namespace_sizes[0]
+    params = plan_tree(namespace, 100, 0.9)
+    family = cache.family("murmur3", 3, params.m, namespace)
+    secret = make_query_set(namespace, 100, "uniform", rng=0)
+    query = BloomFilter.from_items(secret, family)
+    attack = DictionaryAttack(namespace, rng=0)
+    result = benchmark(lambda: attack.sample(query))
+    assert result.value is not None
+
+
+@pytest.mark.parametrize("kind", ["uniform", "clustered"])
+def test_fig5_fig6_report(benchmark, cache, scale, save_report, kind):
+    """Average sampling time per accuracy/set size (Figs. 5 and 6)."""
+
+    def build():
+        rows = []
+        for namespace in scale.namespace_sizes:
+            rows.extend(sampling_time_rows(
+                cache, namespace, scale.set_sizes_for(namespace),
+                scale.accuracies, kind, scale.timing_rounds,
+                scale.da_rounds,
+            ))
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report(f"fig5_fig6_sampling_time_{kind}",
+                format_rows(rows, COLUMNS,
+                            title=f"Figures 5/6: avg sampling time "
+                                  f"({kind} query sets, scale={scale.name})"))
+    # Paper shape: BST beats DA on every matched cell.
+    by_cell = {}
+    for row in rows:
+        key = (row["M"], row["n"], row["target_accuracy"])
+        by_cell.setdefault(key, {})[row["method"]] = row["time_ms"]
+    speedups = [cell["DA"] / cell["BST"]
+                for cell in by_cell.values() if "DA" in cell and "BST" in cell]
+    assert speedups and min(speedups) > 1.0

@@ -1,0 +1,56 @@
+"""Figure 7: effect of the hash-function family on sampling time.
+
+Paper shape: DictionaryAttack degrades by about an order of magnitude
+when moving from cheap families (Simple, Murmur3) to MD5, because it pays
+hashing for the entire namespace; the BST defers membership queries until
+most of the tree is pruned, so its time moves far less.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import hash_family_rows
+from repro.experiments.formatting import format_rows
+
+from .conftest import run_once
+
+COLUMNS = ["family", "method", "target_accuracy", "time_ms", "memberships",
+           "intersections"]
+
+
+@pytest.mark.parametrize("family", ["simple", "murmur3", "md5"])
+def test_hashing_throughput(benchmark, family, cache, scale):
+    """Micro-benchmark: hashing 1 000 keys with each family."""
+    namespace = scale.namespace_sizes[0]
+    fam = cache.family(family, 3, 60_000, namespace)
+    xs = np.arange(1_000, dtype=np.uint64)
+    positions = benchmark(lambda: fam.positions_many(xs))
+    assert positions.shape == (1_000, 3)
+
+
+def test_fig7_report(benchmark, cache, scale, save_report):
+    """Sampling time per family, BST vs DA (Fig. 7)."""
+    namespace = scale.namespace_sizes[0]
+    # MD5 hashes one key at a time in Python: the dictionary attack over
+    # the namespace is exactly the quadratic pain the paper plots.  Keep
+    # the DA rounds minimal; the effect is an order of magnitude anyway.
+    accuracies = (scale.accuracies[0], scale.accuracies[-1])
+
+    def build():
+        return hash_family_rows(
+            cache, namespace, scale.set_sizes_for(namespace)[0],
+            accuracies, rounds=max(5, scale.timing_rounds // 10),
+            da_rounds=1,
+        )
+
+    rows = run_once(benchmark, build)
+    save_report("fig7_hash_families",
+                format_rows(rows, COLUMNS,
+                            title=f"Figure 7: hash family effect "
+                                  f"(M={namespace}, scale={scale.name})"))
+    times = {(r["family"], r["method"]): r["time_ms"] for r in rows}
+    # MD5 hurts DA far more than it hurts the BST.
+    da_penalty = times[("md5", "DA")] / times[("murmur3", "DA")]
+    bst_penalty = times[("md5", "BST")] / times[("murmur3", "BST")]
+    assert da_penalty > 2.0
+    assert bst_penalty < da_penalty

@@ -1,0 +1,67 @@
+"""Figures 8, 9, 10: reconstruction op counts (BST vs HashInvert vs DA).
+
+Paper shape: DA always costs M memberships; HashInvert's membership count
+tracks the number of set bits (worst around 50% fill, i.e. its mid-size
+sets); the BST saves memberships by pruning — dramatically so for
+clustered query sets.
+"""
+
+import pytest
+
+from repro.experiments.figures import reconstruction_ops_rows
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import reconstruction_rows
+
+from .conftest import run_once
+
+COLUMNS = ["M", "n", "kind", "target_accuracy", "method", "intersections",
+           "memberships", "time_ms", "recall", "precision"]
+
+
+def _accuracy_slice(scale):
+    """Reconstruction is the priciest bench; thin the accuracy sweep."""
+    if scale.name == "full":
+        return scale.accuracies
+    return tuple(scale.accuracies[::2]) + (scale.accuracies[-1],)
+
+
+def test_bst_reconstruction_once(benchmark, cache, scale):
+    """Micro-benchmark: one thresholded BST reconstruction."""
+    namespace = scale.namespace_sizes[0]
+    rows = benchmark.pedantic(
+        lambda: reconstruction_rows(cache, namespace, 1_000 if 1_000 in
+                                    scale.set_sizes_for(namespace) else 100,
+                                    0.9, "clustered", rounds=1,
+                                    methods=("BST",)),
+        iterations=1, rounds=3)
+    assert rows[0]["recall"] >= 0
+
+
+@pytest.mark.parametrize("kind", ["uniform", "clustered"])
+def test_fig8_9_10_report(benchmark, cache, scale, save_report, kind):
+    """Reconstruction op-count table across namespaces (Figs. 8-10)."""
+    accuracies = _accuracy_slice(scale)
+
+    def build():
+        rows = []
+        for namespace in scale.namespace_sizes:
+            rows.extend(reconstruction_ops_rows(
+                cache, namespace, scale.set_sizes_for(namespace),
+                accuracies, kind, scale.reconstruction_rounds,
+            ))
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report(f"fig8_9_10_reconstruction_ops_{kind}",
+                format_rows(rows, COLUMNS,
+                            title=f"Figures 8/9/10: reconstruction ops "
+                                  f"({kind} query sets, scale={scale.name})"))
+    da = [r for r in rows if r["method"] == "DA"]
+    assert all(r["memberships"] == r["M"] for r in da)
+    assert all(r["recall"] == 1.0 for r in da)
+    hi = [r for r in rows if r["method"] == "HI"]
+    assert all(r["recall"] == 1.0 for r in hi)  # HI is exact
+    if kind == "clustered":
+        # Paper shape: the BST prunes most of a clustered namespace.
+        bst = [r for r in rows if r["method"] == "BST"]
+        assert any(r["memberships"] < r["M"] / 3 for r in bst)

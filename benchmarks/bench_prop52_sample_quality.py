@@ -1,0 +1,86 @@
+"""Proposition 5.2: leaf-arrival proportionality of BSTSample.
+
+The proposition bounds P[sampler reaches leaf L] within
+``(1 +- eps(m)) * l/n``.  This bench measures the empirical per-leaf
+ratio spread for the descent sampler at increasing filter sizes and for
+the exact sampler, reporting the measured deviation next to the
+theoretical ``eps(m)`` (which only vanishes as m -> inf).
+"""
+
+import numpy as np
+
+from repro.analysis.simulation import leaf_arrival_report
+from repro.analysis.theory import epsilon_m
+from repro.core.bloom import BloomFilter
+from repro.core.design import plan_tree
+from repro.core.sampling import BSTSampler, ExactUniformSampler
+from repro.core.tree import BloomSampleTree
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import make_query_set
+
+from .conftest import run_once
+
+COLUMNS = ["sampler", "m_multiplier", "m", "eps_theory", "max_deviation",
+           "median_deviation", "starved_leaves"]
+
+
+def test_prop52_report(benchmark, cache, scale, save_report):
+    """Measured leaf-arrival deviation vs the Prop. 5.2 epsilon."""
+    namespace = scale.namespace_sizes[0]
+    n = min(500, scale.set_sizes_for(namespace)[-1])
+    base = plan_tree(namespace, n, 0.9)
+    rounds = 30 * n if scale.name != "small" else 8 * n
+    secret = make_query_set(namespace, n, "uniform", rng=9)
+    multipliers = (1, 8, 32)
+
+    def build():
+        rows = []
+        for mult in multipliers:
+            m = base.m * mult
+            family = cache.family("murmur3", base.k, m, namespace)
+            tree = BloomSampleTree.build(namespace, base.depth, family)
+            query = BloomFilter.from_items(secret, family)
+            report = leaf_arrival_report(
+                tree, BSTSampler(tree, rng=9), query, secret, rounds)
+            rows.append({
+                "sampler": "descent",
+                "m_multiplier": mult,
+                "m": m,
+                "eps_theory": round(epsilon_m(m, n, base.k), 2),
+                "max_deviation": round(report.max_deviation, 3),
+                "median_deviation": round(
+                    float(np.median(np.abs(report.ratios - 1.0))), 3),
+                "starved_leaves": report.starved_leaves,
+            })
+        family = cache.family("murmur3", base.k, base.m, namespace)
+        tree = BloomSampleTree.build(namespace, base.depth, family)
+        query = BloomFilter.from_items(secret, family)
+        report = leaf_arrival_report(
+            tree, ExactUniformSampler(tree, rng=9, exhaustive=True),
+            query, secret, rounds)
+        rows.append({
+            "sampler": "exact",
+            "m_multiplier": 1,
+            "m": base.m,
+            "eps_theory": 0.0,
+            "max_deviation": round(report.max_deviation, 3),
+            "median_deviation": round(
+                float(np.median(np.abs(report.ratios - 1.0))), 3),
+            "starved_leaves": report.starved_leaves,
+        })
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report("prop52_sample_quality",
+                format_rows(rows, COLUMNS,
+                            title=f"Proposition 5.2: leaf-arrival "
+                                  f"proportionality (M={namespace}, n={n}, "
+                                  f"{rounds} rounds, scale={scale.name})"))
+    descent = [r for r in rows if r["sampler"] == "descent"]
+    # Growing m contracts the deviation, as the proposition predicts.
+    medians = [r["median_deviation"] for r in descent]
+    assert medians[-1] <= medians[0]
+    starved = [r["starved_leaves"] for r in descent]
+    assert starved[-1] <= starved[0]
+    exact = [r for r in rows if r["sampler"] == "exact"][0]
+    assert exact["starved_leaves"] == 0

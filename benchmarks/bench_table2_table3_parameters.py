@@ -1,0 +1,46 @@
+"""Tables 2 and 3: planner outputs (m, depth, M_perp, memory).
+
+These are analytic, so the full paper grid runs at any scale.  The
+``m_ratio`` column compares our solved filter sizes with the paper's —
+they match to well under 1%.
+"""
+
+from repro.core.design import plan_tree
+from repro.experiments.formatting import format_rows
+from repro.experiments.tables import parameter_rows
+
+from .conftest import run_once
+
+COLUMNS = ["accuracy", "m", "depth", "M_perp", "memory_mb", "paper_m",
+           "m_ratio"]
+
+
+def test_plan_tree_speed(benchmark):
+    """Micro-benchmark: solving the accuracy model and leaf rule."""
+    params = benchmark(lambda: plan_tree(10_000_000, 1_000, 0.9))
+    assert params.m > 0
+
+
+def test_table2_table3_report(benchmark, save_report):
+    """Both parameter tables at the paper's exact namespaces."""
+
+    def build():
+        return {
+            "table2": parameter_rows(1_000_000),
+            "table3": parameter_rows(10_000_000),
+        }
+
+    tables = run_once(benchmark, build)
+    text = "\n\n".join([
+        format_rows(tables["table2"], COLUMNS,
+                    title="Table 2: BloomSampleTree parameters "
+                          "(n=1e3, M=1e6)"),
+        format_rows(tables["table3"], COLUMNS,
+                    title="Table 3: BloomSampleTree parameters "
+                          "(n=1e3, M=1e7)"),
+    ])
+    save_report("table2_table3_parameters", text)
+    for rows in tables.values():
+        for row in rows:
+            if "m_ratio" in row:
+                assert abs(row["m_ratio"] - 1.0) < 0.005

@@ -1,0 +1,48 @@
+"""Table 4: time to create the BloomSampleTree.
+
+Paper shape: creation grows roughly linearly in M (the leaves insert the
+whole namespace) and is a one-time cost; higher accuracy can *reduce*
+creation time when the planner responds with a shallower tree.
+"""
+
+from repro.core.design import plan_tree
+from repro.core.hashing import create_family
+from repro.core.tree import BloomSampleTree
+from repro.experiments.formatting import format_rows
+from repro.experiments.tables import creation_time_rows
+
+from .conftest import run_once
+
+COLUMNS = ["M", "accuracy", "m", "levels", "nodes", "create_s"]
+
+
+def test_tree_build(benchmark, scale):
+    """Micro-benchmark: building the tree at the smallest namespace."""
+    namespace = scale.namespace_sizes[0]
+    params = plan_tree(namespace, 1_000 if namespace >= 10_000 else 100, 0.9)
+    family = create_family("murmur3", 3, params.m, namespace_size=namespace)
+    tree = benchmark.pedantic(
+        lambda: BloomSampleTree.build(namespace, params.depth, family),
+        iterations=1, rounds=3)
+    assert tree.num_nodes == (1 << (params.depth + 1)) - 1
+
+
+def test_table4_report(benchmark, scale, save_report):
+    """Creation time across namespaces and accuracies (Table 4)."""
+
+    def build():
+        return creation_time_rows(scale.namespace_sizes,
+                                  accuracies=scale.accuracies[:-1])
+
+    rows = run_once(benchmark, build)
+    save_report("table4_creation_time",
+                format_rows(rows, COLUMNS,
+                            title=f"Table 4: BloomSampleTree creation time "
+                                  f"(scale={scale.name})"))
+    # Shape: creation at the largest namespace dominates the smallest.
+    smallest = min(scale.namespace_sizes)
+    largest = max(scale.namespace_sizes)
+    if largest > smallest:
+        t_small = min(r["create_s"] for r in rows if r["M"] == smallest)
+        t_large = max(r["create_s"] for r in rows if r["M"] == largest)
+        assert t_large >= t_small

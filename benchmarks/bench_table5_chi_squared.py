@@ -1,0 +1,59 @@
+"""Table 5: chi-squared p-values for sampling uniformity.
+
+The paper reports p-values above the 0.08 significance level for every
+(accuracy, n) cell, i.e. uniformity is never rejected.  Our reproduction
+reports two samplers:
+
+* ``p_descent`` — the paper's Algorithm 1.  For *uniformly spread* sparse
+  sets at the paper's filter sizes, the intersection estimator's noise
+  floor exceeds the per-leaf signal, descent probabilities freeze to
+  noise, and the test rejects (a documented reproduction discrepancy —
+  see DESIGN.md and EXPERIMENTS.md; clustered sets and within-leaf
+  uniformity behave as claimed).
+* ``p_exact`` — the reconstruct-then-choose extension, uniform by
+  construction: this column passes the paper's criterion.
+"""
+
+from repro.experiments.formatting import format_rows
+from repro.experiments.tables import chi_squared_rows
+
+from .conftest import run_once
+
+COLUMNS = ["n", "accuracy", "kind", "rounds", "p_descent",
+           "starved_descent", "p_exact", "starved_exact"]
+
+SIGNIFICANCE = 0.08  # the paper's level
+
+
+def test_table5_report(benchmark, cache, scale, save_report):
+    """p-values for both samplers on uniform and clustered sets."""
+    namespace = scale.namespace_sizes[-1]
+    # The full chi-squared protocol costs 130*n descent samples per cell;
+    # keep the descent column to the affordable set sizes.
+    descent_sizes = tuple(n for n in scale.set_sizes_for(namespace)
+                          if n <= 1_000)
+    accuracies = (scale.accuracies[0], scale.accuracies[-1])
+
+    def build():
+        rows = []
+        for kind in ("uniform", "clustered"):
+            rows.extend(chi_squared_rows(
+                cache, namespace, descent_sizes, accuracies, kind,
+                rounds_per_element=scale.chi_rounds_per_element,
+                samplers=("descent", "exact"),
+            ))
+        return rows
+
+    rows = run_once(benchmark, build)
+    save_report("table5_chi_squared",
+                format_rows(rows, COLUMNS,
+                            title=f"Table 5: chi-squared uniformity "
+                                  f"p-values (M={namespace}, "
+                                  f"scale={scale.name}, "
+                                  f"significance={SIGNIFICANCE})"))
+    # The exact sampler never starves an element and passes the paper's
+    # criterion in the bulk of cells (p-values are themselves random).
+    exact_ps = [r["p_exact"] for r in rows]
+    assert all(r["starved_exact"] == 0 for r in rows)
+    passing = sum(p > SIGNIFICANCE for p in exact_ps)
+    assert passing >= len(exact_ps) * 0.7

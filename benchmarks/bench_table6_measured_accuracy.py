@@ -1,0 +1,42 @@
+"""Table 6: measured sampling accuracy vs the desired accuracy.
+
+Paper shape: the measured fraction of true-set samples lands close to the
+planner's target at every (M, accuracy) cell — the accuracy model
+``acc = n / (n + (M - n) FP)`` is well calibrated.
+"""
+
+from repro.experiments.formatting import format_rows
+from repro.experiments.tables import measured_accuracy_rows
+
+from .conftest import run_once
+
+COLUMNS = ["M", "desired", "model", "measured", "rounds"]
+
+
+def test_table6_report(benchmark, cache, scale, save_report):
+    """Measured accuracies for uniform query sets of n=1e3 (Table 6)."""
+    namespaces = tuple(m for m in scale.namespace_sizes if m >= 100_000)
+    n = 1_000 if all(1_000 in scale.set_sizes_for(m) for m in namespaces) \
+        else 100
+
+    def build():
+        return measured_accuracy_rows(
+            cache, namespaces, scale.accuracies, n=n,
+            rounds=max(500, scale.timing_rounds * 5),
+        )
+
+    rows = run_once(benchmark, build)
+    save_report("table6_measured_accuracy",
+                format_rows(rows, COLUMNS,
+                            title=f"Table 6: measured accuracy "
+                                  f"(n={n}, uniform sets, "
+                                  f"scale={scale.name})"))
+    # Paper shape: measured tracks desired within a small margin (the
+    # per-filter descent noise is averaged over several query sets, but
+    # a residual spread remains at low accuracies/small m).
+    for row in rows:
+        assert row["measured"] >= min(row["desired"], row["model"]) - 0.15
+    # And the high-accuracy end must be tight.
+    for row in rows:
+        if row["desired"] >= 0.9:
+            assert abs(row["measured"] - row["model"]) < 0.08

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index).  Each module contains
+
+* micro-benchmarks of the operation the artefact times (via
+  pytest-benchmark), and
+* a ``test_*_report`` that produces the full row table, prints it and
+  saves it under ``benchmarks/results/``.
+
+Scale is selected with the ``REPRO_SCALE`` environment variable
+(``small`` / ``default`` / ``full``); see
+:mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import current_scale
+from repro.experiments.runner import TreeCache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active experiment scale."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """Session-wide BloomSampleTree cache (trees are built once)."""
+    return TreeCache()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write a report to benchmarks/results/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavyweight report exactly once (no warmup repeats)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Dynamic membership: communities that gain *and* lose members.
+
+The paper motivates Bloom-filter sampling with "dynamic, online
+communities" — yet its structures only grow.  This example uses the
+library's extensions to run the full lifecycle:
+
+* a ``DynamicBloomSampleTree`` (counting filters at the nodes) tracks the
+  population of active account ids; deactivated accounts are *removed*
+  and empty subtrees detached,
+* a ``FilterStore`` holds one Bloom filter per community and answers
+  sampling / reconstruction / cross-community queries through the tree,
+* union and intersection sampling pick members of merged or overlapping
+  communities.
+
+Run:  python examples/dynamic_membership.py [--namespace 300000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DynamicBloomSampleTree,
+    FilterStore,
+    create_family,
+    plan_tree,
+    uniform_query_set,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--namespace", type=int, default=300_000)
+    parser.add_argument("--population", type=int, default=12_000)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    params = plan_tree(args.namespace, 1_000, 0.9)
+    family = create_family("murmur3", params.k, params.m,
+                           namespace_size=args.namespace, seed=args.seed)
+
+    # Active account ids occupy a sliver of the namespace.
+    population = uniform_query_set(args.namespace, args.population, rng=rng)
+    tree = DynamicBloomSampleTree.build(population, args.namespace,
+                                        params.depth, family)
+    print(f"population: {len(tree.occupied)} active ids "
+          f"({tree.occupancy_fraction:.2%} of the namespace), "
+          f"{tree.num_nodes} tree nodes, "
+          f"{tree.memory_bytes / 1e6:.2f} MB")
+
+    # Communities are subsets of the population, stored as filters.
+    store = FilterStore(family, tree=tree, rng=args.seed)
+    for name, size in (("gamers", 3_000), ("chefs", 2_000),
+                       ("cyclists", 1_500)):
+        members = rng.choice(population, size=size, replace=False)
+        store.create(name, members)
+    # Overlap: some gamers also cook.
+    both = rng.choice(store.reconstruct("gamers",
+                                        exhaustive=True).elements, 400)
+    store.add("chefs", both)
+    print(f"store: {store.names()}, {store.nbytes / 1e3:.0f} kB of filters")
+
+    # Sample members; advertise to the union; find the overlap.
+    print(f"\na random gamer:            {store.sample('gamers').value}")
+    print(f"a random gamer-or-chef:    {store.sample_union(['gamers', 'chefs']).value}")
+    overlap = store.sample_intersection(["gamers", "chefs"])
+    print(f"a random gamer-and-chef:   {overlap.value} "
+          f"(intersection sketch; Eq. (1) false overlaps possible)")
+
+    # Churn: 20% of accounts deactivate, new ones register.
+    leavers = rng.choice(population, size=args.population // 5,
+                         replace=False)
+    tree.remove_many(leavers)
+    taken = set(tree.occupied.tolist()) | set(leavers.tolist())
+    newcomers = []
+    while len(newcomers) < 500:
+        candidate = int(rng.integers(0, args.namespace))
+        if candidate not in taken:
+            taken.add(candidate)
+            newcomers.append(candidate)
+            tree.insert(candidate)
+    print(f"\nafter churn (-{len(leavers)}, +{len(newcomers)}): "
+          f"{len(tree.occupied)} active ids, {tree.num_nodes} nodes, "
+          f"{tree.memory_bytes / 1e6:.2f} MB")
+
+    # Sampling still works and leavers can no longer be produced: the
+    # tree's candidate space is the *live* population.
+    gamers = set(store.reconstruct("gamers", exhaustive=True)
+                 .elements.tolist())
+    gone = set(leavers.tolist())
+    assert not (gamers & gone), "reconstruction returned a deactivated id"
+    print(f"gamers still reachable:    {len(gamers)} "
+          f"(deactivated members excluded by construction)")
+    sample = store.sample("gamers")
+    print(f"a random remaining gamer:  {sample.value}")
+
+
+if __name__ == "__main__":
+    main()

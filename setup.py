@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that offline environments without the ``wheel`` package (which
+PEP 660 editable installs require) can still do
+``python setup.py develop`` — metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,128 @@
+"""repro — Sampling and Reconstruction Using Bloom Filters.
+
+A complete reproduction of Sengupta, Bagchi, Bedathur & Ramanath,
+"Sampling and Reconstruction Using Bloom Filters" (ICDE 2017 /
+arXiv:1701.03308): the BloomSampleTree data structure, Algorithm 1
+(``BSTSample``) with one-pass multi-sampling, set reconstruction, the
+Pruned-BloomSampleTree for sparse namespaces, and the DictionaryAttack and
+HashInvert baselines — plus the workload generators, quality metrics and
+experiment harness that regenerate every table and figure of the paper.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import (plan_tree, family_for_parameters, BloomSampleTree,
+...                    BloomFilter, BSTSampler)
+>>> params = plan_tree(namespace_size=100_000, query_set_size=500,
+...                    accuracy=0.9)
+>>> family = family_for_parameters(params, "simple", seed=7)
+>>> tree = BloomSampleTree.build(params.namespace_size, params.depth, family)
+>>> secret = np.random.default_rng(7).choice(100_000, 500, replace=False)
+>>> query = BloomFilter.from_items(secret, family)
+>>> sampler = BSTSampler(tree, rng=7)
+>>> sampler.sample(query).value in set(secret.tolist())
+True
+"""
+
+from repro.analysis import (
+    OpCounter,
+    Timer,
+    chi_squared_uniformity,
+    measured_accuracy,
+    recommended_rounds,
+)
+from repro.baselines import DictionaryAttack, HashInvert, reservoir_sample
+from repro.core import (
+    BSTReconstructor,
+    BSTSampler,
+    BitVector,
+    BloomFilter,
+    BloomSampleTree,
+    CountingBloomFilter,
+    CountingOverflowError,
+    DynamicBloomSampleTree,
+    FilterStore,
+    HashFamily,
+    NotStoredError,
+    MD5HashFamily,
+    Murmur3HashFamily,
+    PrunedBloomSampleTree,
+    ReconstructionResult,
+    SampleResult,
+    SimpleHashFamily,
+    TreeNode,
+    TreeParameters,
+    bloom_size_for_accuracy,
+    create_family,
+    estimate_cardinality,
+    estimate_intersection_size,
+    false_positive_rate,
+    false_set_overlap_probability,
+    load_tree,
+    plan_tree,
+    save_tree,
+)
+from repro.core.design import (
+    expected_accuracy,
+    family_for_parameters,
+    measure_cost_ratio,
+    modelled_cost_ratio,
+)
+from repro.core.sampling import ExactUniformSampler, MultiSampleResult
+from repro.workloads import (
+    SyntheticTwitterDataset,
+    clustered_query_set,
+    uniform_query_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSTReconstructor",
+    "BSTSampler",
+    "BitVector",
+    "BloomFilter",
+    "BloomSampleTree",
+    "CountingBloomFilter",
+    "CountingOverflowError",
+    "DictionaryAttack",
+    "DynamicBloomSampleTree",
+    "ExactUniformSampler",
+    "FilterStore",
+    "HashFamily",
+    "NotStoredError",
+    "HashInvert",
+    "MD5HashFamily",
+    "MultiSampleResult",
+    "Murmur3HashFamily",
+    "OpCounter",
+    "PrunedBloomSampleTree",
+    "ReconstructionResult",
+    "SampleResult",
+    "SimpleHashFamily",
+    "SyntheticTwitterDataset",
+    "Timer",
+    "TreeNode",
+    "TreeParameters",
+    "__version__",
+    "bloom_size_for_accuracy",
+    "chi_squared_uniformity",
+    "clustered_query_set",
+    "create_family",
+    "estimate_cardinality",
+    "estimate_intersection_size",
+    "expected_accuracy",
+    "false_positive_rate",
+    "false_set_overlap_probability",
+    "family_for_parameters",
+    "load_tree",
+    "measure_cost_ratio",
+    "measured_accuracy",
+    "modelled_cost_ratio",
+    "plan_tree",
+    "save_tree",
+    "recommended_rounds",
+    "reservoir_sample",
+    "uniform_query_set",
+]

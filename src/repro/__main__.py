@@ -1,0 +1,126 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``plan``
+    Resolve BloomSampleTree parameters (m, depth, M_perp, memory) from a
+    namespace, set size and desired accuracy — the Section 5.4 planner.
+
+``paper-tables``
+    Print the reproduction of the paper's Tables 2 and 3 (parameter
+    choices), with the paper's own m values for comparison.
+
+``demo``
+    A miniature end-to-end run: build a tree, store a random set in a
+    filter, sample from it and reconstruct it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.design import plan_tree
+
+    params = plan_tree(args.namespace, args.set_size, args.accuracy,
+                       k=args.k, cost_ratio=args.cost_ratio)
+    print(f"namespace M        : {params.namespace_size}")
+    print(f"query set size n   : {params.query_set_size}")
+    print(f"target accuracy    : {params.target_accuracy}")
+    print(f"filter bits m      : {params.m}")
+    print(f"hash functions k   : {params.k}")
+    print(f"tree depth         : {params.depth}")
+    print(f"leaf capacity M_perp: {params.leaf_capacity}")
+    print(f"tree nodes         : {params.num_nodes}")
+    print(f"tree memory        : {params.memory_mb:.3f} MB")
+    return 0
+
+
+def _cmd_paper_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.formatting import format_rows
+    from repro.experiments.tables import parameter_rows
+
+    columns = ["accuracy", "m", "depth", "M_perp", "memory_mb", "paper_m",
+               "m_ratio"]
+    print(format_rows(parameter_rows(1_000_000), columns,
+                      title="Table 2 (n=1e3, M=1e6)"))
+    print()
+    print(format_rows(parameter_rows(10_000_000), columns,
+                      title="Table 3 (n=1e3, M=1e7)"))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        BloomFilter,
+        BloomSampleTree,
+        BSTReconstructor,
+        BSTSampler,
+        family_for_parameters,
+        plan_tree,
+        uniform_query_set,
+    )
+
+    params = plan_tree(args.namespace, args.set_size, 0.95)
+    family = family_for_parameters(params, "murmur3", seed=args.seed)
+    tree = BloomSampleTree.build(args.namespace, params.depth, family)
+    secret = uniform_query_set(args.namespace, args.set_size, rng=args.seed)
+    query = BloomFilter.from_items(secret, family)
+    sampler = BSTSampler(tree, rng=args.seed)
+    truth = set(secret.tolist())
+
+    draws = [sampler.sample(query) for __ in range(10)]
+    values = [d.value for d in draws]
+    hits = sum(v in truth for v in values)
+    print(f"10 samples from the hidden set: {values}")
+    print(f"{hits}/10 are true elements")
+    result = BSTReconstructor(tree).reconstruct(query)
+    recovered = len(truth & set(result.elements.tolist()))
+    print(f"reconstruction: {result.size} elements recovered "
+          f"({recovered}/{len(truth)} of the true set), "
+          f"{result.ops.memberships} membership queries "
+          f"(namespace {args.namespace})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Sampling and reconstruction using Bloom filters "
+                    "(ICDE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="resolve tree parameters")
+    plan.add_argument("--namespace", "-M", type=int, required=True)
+    plan.add_argument("--set-size", "-n", type=int, required=True)
+    plan.add_argument("--accuracy", "-a", type=float, default=0.9)
+    plan.add_argument("--k", type=int, default=3)
+    plan.add_argument("--cost-ratio", type=float, default=None)
+    plan.set_defaults(func=_cmd_plan)
+
+    tables = sub.add_parser("paper-tables",
+                            help="print the Tables 2/3 reproduction")
+    tables.set_defaults(func=_cmd_paper_tables)
+
+    demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
+    demo.add_argument("--namespace", type=int, default=50_000)
+    demo.add_argument("--set-size", type=int, default=300)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

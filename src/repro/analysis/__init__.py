@@ -1,0 +1,55 @@
+"""Analysis helpers: sample-quality statistics and the paper's theory.
+
+``uniformity`` implements the Pearson chi-squared protocol of Section 7.2;
+``metrics`` provides measured-accuracy and timing helpers (plus re-exports
+the :class:`~repro.core.ops.OpCounter` the algorithms fill in);
+``theory`` evaluates the closed forms of Propositions 5.2 and 5.3 so
+experiments can be checked against the paper's bounds.
+"""
+
+from repro.analysis.metrics import (
+    OpCounter,
+    Timer,
+    measured_accuracy,
+    sample_distribution,
+)
+from repro.analysis.plots import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    series_from_rows,
+)
+from repro.analysis.simulation import LeafArrivalReport, leaf_arrival_report
+from repro.analysis.theory import (
+    critical_depth,
+    epsilon_m,
+    expected_branching_nodes,
+    expected_nodes_reconstruction,
+    expected_nodes_sampling,
+    sample_probability_bounds,
+)
+from repro.analysis.uniformity import (
+    chi_squared_uniformity,
+    recommended_rounds,
+    total_variation_distance,
+)
+
+__all__ = [
+    "LeafArrivalReport",
+    "OpCounter",
+    "Timer",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "chi_squared_uniformity",
+    "leaf_arrival_report",
+    "series_from_rows",
+    "critical_depth",
+    "epsilon_m",
+    "expected_branching_nodes",
+    "expected_nodes_reconstruction",
+    "expected_nodes_sampling",
+    "measured_accuracy",
+    "recommended_rounds",
+    "sample_distribution",
+    "sample_probability_bounds",
+    "total_variation_distance",
+]

@@ -1,0 +1,77 @@
+"""Measurement helpers for the experimental sections.
+
+* :func:`measured_accuracy` — the fraction of produced samples that are
+  *true* elements of the original set; the quantity of Table 6 / Fig. 15.
+* :func:`sample_distribution` — empirical pmf over the true set.
+* :class:`Timer` — a tiny perf_counter context manager used by the
+  harness when reporting paper-style average times.
+
+``OpCounter`` lives in :mod:`repro.core.ops` (the algorithms fill it in);
+it is re-exported here because analysis code is its main consumer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.ops import OpCounter
+
+__all__ = ["OpCounter", "Timer", "measured_accuracy", "sample_distribution"]
+
+
+def measured_accuracy(samples: Iterable[int], true_set: np.ndarray) -> float:
+    """Fraction of samples that belong to the original (pre-filter) set.
+
+    ``None`` entries (failed sampling rounds) are excluded from both
+    numerator and denominator, matching how the paper reports accuracy of
+    *produced* samples.
+    """
+    membership = set(int(x) for x in np.asarray(true_set).tolist())
+    produced = [s for s in samples if s is not None]
+    if not produced:
+        raise ValueError("no successful samples to measure")
+    hits = sum(1 for s in produced if int(s) in membership)
+    return hits / len(produced)
+
+
+def sample_distribution(
+    samples: Iterable[int],
+    true_set: np.ndarray,
+) -> np.ndarray:
+    """Empirical probability of each true-set element among the samples.
+
+    Aligned with the (sorted) order of ``true_set``; samples outside the
+    set are ignored.
+    """
+    values = np.sort(np.asarray(true_set).astype(np.int64))
+    draws = np.array([int(s) for s in samples if s is not None],
+                     dtype=np.int64)
+    inside = draws[np.isin(draws, values)]
+    if inside.size == 0:
+        return np.zeros(values.size, dtype=np.float64)
+    index = np.searchsorted(values, inside)
+    counts = np.bincount(index, minlength=values.size)
+    return counts / inside.size
+
+
+class Timer:
+    """``with Timer() as t: ...; t.elapsed`` — seconds via perf_counter."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed milliseconds."""
+        return self.elapsed * 1e3

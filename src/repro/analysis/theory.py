@@ -1,0 +1,117 @@
+"""Closed forms from the paper's analysis (Propositions 5.2 and 5.3).
+
+These let experiments sanity-check measured behaviour against the proven
+bounds:
+
+* Proposition 5.2 (sample quality): the probability that ``BSTSample``
+  lands in a leaf holding ``l`` of the set's ``n`` elements lies within
+  ``(1 +- eps(m)) * l/n`` for
+  ``eps(m) = sqrt(2 n k (log m + log log m + log n) / m)``.
+* Proposition 5.3 (running time): expected nodes visited is
+  ``O(log(M / M_perp) + M k^2 n / m)``; below the critical depth
+  ``d* = log2(M k^2 n / (m ln 2))`` false-set-overlap branches behave as a
+  subcritical branching process with mean offspring ``2 * alpha_S(d)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cardinality import false_set_overlap_probability
+
+
+def epsilon_m(m: int, n: int, k: int) -> float:
+    """Proposition 5.2's ``eps(m)``; small iff sampling is near uniform."""
+    if m <= 2 or n <= 0 or k <= 0:
+        raise ValueError("need m > 2, n > 0, k > 0")
+    return math.sqrt(2 * n * k * (math.log(m) + math.log(math.log(m))
+                                  + math.log(max(n, 2))) / m)
+
+
+def divergence_f(m: int, n: int, k: int, namespace_size: int,
+                 leaf_capacity: int) -> float:
+    """``f(m) = 2 eps(m) log2(M / M_perp)`` — must vanish as m grows."""
+    if leaf_capacity <= 0 or namespace_size < leaf_capacity:
+        raise ValueError("need 0 < leaf_capacity <= namespace_size")
+    return 2.0 * epsilon_m(m, n, k) * math.log2(namespace_size / leaf_capacity)
+
+
+def sample_probability_bounds(
+    leaf_share: float,
+    m: int,
+    n: int,
+    k: int,
+) -> tuple[float, float]:
+    """Prop. 5.2 interval for P[sampler reaches a leaf holding ``l/n``].
+
+    ``leaf_share`` is ``l/n``.  Returns ``((1-eps) * share, (1+eps) * share)``.
+    """
+    if not 0 <= leaf_share <= 1:
+        raise ValueError("leaf_share must be a probability")
+    eps = epsilon_m(m, n, k)
+    return max(0.0, (1 - eps) * leaf_share), (1 + eps) * leaf_share
+
+
+def alpha_s(depth: int, n: int, m: int, k: int, namespace_size: int) -> float:
+    """``alpha_S(d)``: FSO probability of a disjoint node at depth ``d``.
+
+    The node's subtree covers ``M / 2^d`` names (Claim 5.4).
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    subtree_names = max(1, namespace_size >> depth)
+    return false_set_overlap_probability(n, subtree_names, m, k)
+
+
+def expected_branching_nodes(alpha: float) -> float:
+    """Claim 5.4: ``E[L(d)] = alpha / (1 - 2 alpha)`` for ``alpha < 1/2``.
+
+    Mean total size of the subcritical branching process of false paths
+    below a disjoint node.  ``inf`` at or above criticality.
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError("alpha must be a probability")
+    if alpha >= 0.5:
+        return math.inf
+    return alpha / (1.0 - 2.0 * alpha)
+
+
+def critical_depth(namespace_size: int, n: int, m: int, k: int) -> float:
+    """``d* = log2(M k^2 n / (m ln 2))`` — above it FSO branches die fast."""
+    if namespace_size <= 0 or n <= 0 or m <= 0 or k <= 0:
+        raise ValueError("all parameters must be positive")
+    value = namespace_size * k * k * n / (m * math.log(2))
+    return math.log2(value) if value > 1 else 0.0
+
+
+def expected_nodes_sampling(
+    namespace_size: int,
+    leaf_capacity: int,
+    m: int,
+    k: int,
+    n: int,
+) -> float:
+    """Proposition 5.3 bound: ``log2(M/M_perp) + M k^2 n / m`` (big-O body).
+
+    Returned without the hidden constant; experiments compare *scaling*
+    against this, not absolute values.
+    """
+    if leaf_capacity <= 0 or namespace_size < leaf_capacity:
+        raise ValueError("need 0 < leaf_capacity <= namespace_size")
+    height = math.log2(namespace_size / leaf_capacity)
+    overlap_term = namespace_size * k * k * n / m
+    return height + overlap_term
+
+
+def expected_nodes_reconstruction(
+    namespace_size: int,
+    leaf_capacity: int,
+    m: int,
+    k: int,
+    n: int,
+) -> float:
+    """Section 6 bound: ``n * (log2(M/M_perp) + M_perp k^2 / m)``."""
+    if leaf_capacity <= 0 or namespace_size < leaf_capacity:
+        raise ValueError("need 0 < leaf_capacity <= namespace_size")
+    height = math.log2(namespace_size / leaf_capacity)
+    return n * (height + leaf_capacity * k * k / m)

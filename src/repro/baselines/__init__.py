@@ -1,0 +1,12 @@
+"""The two baseline algorithms of Section 4.
+
+``DictionaryAttack`` fires a membership query for every element of the
+namespace (``O(M)``), using reservoir sampling for a provably uniform
+sample; ``HashInvert`` exploits weakly invertible hash functions to jump
+straight from a set bit to its candidate preimages.
+"""
+
+from repro.baselines.dictionary_attack import DictionaryAttack, reservoir_sample
+from repro.baselines.hashinvert import HashInvert
+
+__all__ = ["DictionaryAttack", "HashInvert", "reservoir_sample"]

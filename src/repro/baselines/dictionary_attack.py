@@ -1,0 +1,100 @@
+"""DictionaryAttack: sampling with membership queries (Section 4).
+
+Fire a membership query for every element of the namespace; keep the
+``t``-th positive with probability ``1/t`` (Vitter's reservoir [19]), which
+yields an exactly uniform sample of ``S u S(B)``.  Complexity ``O(M)`` —
+this is the brute-force baseline the BloomSampleTree is measured against.
+
+The implementation streams the namespace in vectorised chunks.  Within a
+chunk we pick a uniform candidate and accept it over the running reservoir
+with probability ``c / t`` (``c`` positives in the chunk, ``t`` positives
+so far) — a standard distributed-reservoir step that is distributionally
+identical to the element-at-a-time rule while keeping numpy in charge of
+the inner loop.  Every element still costs one membership query in the op
+accounting, exactly as the paper counts it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.ops import OpCounter
+from repro.core.sampling import SampleResult
+from repro.utils.rng import ensure_rng
+
+
+def reservoir_sample(
+    stream: Iterable[int],
+    rng: "int | np.random.Generator | None" = None,
+) -> int | None:
+    """Classic size-1 reservoir sampling over an arbitrary stream.
+
+    Returns a uniformly chosen element of the stream (``None`` if empty).
+    This is the element-at-a-time rule the paper describes; the
+    :class:`DictionaryAttack` fast path is its chunked equivalent.
+    """
+    rng = ensure_rng(rng)
+    chosen = None
+    for count, item in enumerate(stream, start=1):
+        if rng.random() < 1.0 / count:
+            chosen = item
+    return chosen
+
+
+class DictionaryAttack:
+    """Brute-force sampler / reconstructor over the whole namespace."""
+
+    def __init__(
+        self,
+        namespace_size: int,
+        chunk_size: int = 1 << 16,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        if namespace_size <= 0:
+            raise ValueError("namespace_size must be positive")
+        self.namespace_size = int(namespace_size)
+        self.chunk_size = int(chunk_size)
+        self.rng = ensure_rng(rng)
+
+    def _chunks(self) -> Iterator[np.ndarray]:
+        for start in range(0, self.namespace_size, self.chunk_size):
+            stop = min(start + self.chunk_size, self.namespace_size)
+            yield np.arange(start, stop, dtype=np.uint64)
+
+    def sample(self, query: BloomFilter) -> SampleResult:
+        """Uniform sample of ``S u S(B)`` via chunked reservoir sampling."""
+        ops = OpCounter()
+        rng = self.rng
+        reservoir: int | None = None
+        positives_so_far = 0
+        for chunk in self._chunks():
+            ops.memberships += int(chunk.size)
+            hits = chunk[query.contains_many(chunk)]
+            if hits.size == 0:
+                continue
+            candidate = int(hits[rng.integers(0, hits.size)])
+            positives_so_far += int(hits.size)
+            # Accept the chunk's candidate with prob (chunk hits / total):
+            # exactly the probability that the sequential reservoir would
+            # end the chunk holding one of *these* hits.
+            if rng.random() < hits.size / positives_so_far:
+                reservoir = candidate
+        return SampleResult(reservoir, ops)
+
+    def reconstruct(self, query: BloomFilter) -> tuple[np.ndarray, OpCounter]:
+        """Return all positives of the query filter (``S u S(B)``)."""
+        ops = OpCounter()
+        parts = []
+        for chunk in self._chunks():
+            ops.memberships += int(chunk.size)
+            hits = chunk[query.contains_many(chunk)]
+            if hits.size:
+                parts.append(hits)
+        if parts:
+            elements = np.concatenate(parts)
+        else:
+            elements = np.empty(0, dtype=np.uint64)
+        return elements, ops

@@ -1,0 +1,93 @@
+"""Core of the reproduction: Bloom filters and the BloomSampleTree.
+
+Submodules
+----------
+
+``bitvector``
+    numpy-backed fixed-size bit vector (the physical substrate of every
+    Bloom filter in the library).
+``hashing``
+    The three hash families of the paper's Table 1 (Simple, Murmur3, MD5),
+    including the *weak inversion* of the Simple family used by HashInvert.
+``bloom``
+    The Bloom filter itself: insertion, membership, union, intersection.
+``cardinality``
+    Cardinality and intersection-size estimators plus the false-set-overlap
+    probability of Eq. (1).
+``design``
+    The parameter planner of Section 5.4: accuracy -> filter size ``m``,
+    cost ratio -> leaf capacity ``M_perp`` and tree depth.
+``tree`` / ``pruned``
+    The BloomSampleTree (Section 5) and its pruned, dynamic variant
+    (Section 5.2).
+``sampling`` / ``reconstruct``
+    Algorithm 1 (``BSTSample``, single and one-pass multi-sample) and the
+    recursive reconstruction of Section 6.
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.bloom import BloomFilter
+from repro.core.cardinality import (
+    estimate_cardinality,
+    estimate_intersection_size,
+    false_positive_rate,
+    false_set_overlap_probability,
+)
+from repro.core.counting import (
+    CountingBloomFilter,
+    CountingOverflowError,
+    NotStoredError,
+)
+from repro.core.design import TreeParameters, bloom_size_for_accuracy, plan_tree
+from repro.core.dynamic import DynamicBloomSampleTree
+from repro.core.hashing import (
+    HashFamily,
+    MD5HashFamily,
+    Murmur3HashFamily,
+    SimpleHashFamily,
+    create_family,
+)
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.serialization import load_tree, save_tree
+from repro.core.store import FilterStore
+from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
+from repro.core.sampling import (
+    BSTSampler,
+    ExactUniformSampler,
+    MultiSampleResult,
+    SampleResult,
+)
+from repro.core.tree import BloomSampleTree, TreeNode
+
+__all__ = [
+    "BSTReconstructor",
+    "BSTSampler",
+    "BitVector",
+    "BloomFilter",
+    "BloomSampleTree",
+    "CountingBloomFilter",
+    "CountingOverflowError",
+    "DynamicBloomSampleTree",
+    "ExactUniformSampler",
+    "FilterStore",
+    "HashFamily",
+    "MultiSampleResult",
+    "NotStoredError",
+    "MD5HashFamily",
+    "Murmur3HashFamily",
+    "PrunedBloomSampleTree",
+    "ReconstructionResult",
+    "SampleResult",
+    "SimpleHashFamily",
+    "TreeNode",
+    "TreeParameters",
+    "bloom_size_for_accuracy",
+    "create_family",
+    "estimate_cardinality",
+    "estimate_intersection_size",
+    "false_positive_rate",
+    "false_set_overlap_probability",
+    "load_tree",
+    "plan_tree",
+    "save_tree",
+]

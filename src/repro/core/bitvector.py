@@ -1,0 +1,161 @@
+"""Fixed-size bit vector backed by numpy ``uint64`` words.
+
+Every Bloom filter in the library stores its bits here.  The operations the
+paper's algorithms lean on are:
+
+* batch set / test of positions (vectorised inserts and membership queries),
+* bitwise AND / OR (Bloom filter intersection and union, Section 3.1),
+* popcount (the ``t1``, ``t2``, ``t_and`` inputs of the intersection-size
+  estimator in Section 5.3).
+
+Popcount uses ``np.bitwise_count`` (numpy >= 2.0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD_BITS = 64
+
+
+class BitVector:
+    """A vector of ``num_bits`` bits, all initially zero."""
+
+    __slots__ = ("num_bits", "words")
+
+    def __init__(self, num_bits: int, words: np.ndarray | None = None):
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = int(num_bits)
+        num_words = (self.num_bits + _WORD_BITS - 1) // _WORD_BITS
+        if words is None:
+            self.words = np.zeros(num_words, dtype=np.uint64)
+        else:
+            if words.shape != (num_words,) or words.dtype != np.uint64:
+                raise ValueError("words array has wrong shape or dtype")
+            self.words = words
+
+    # -- single-bit operations ----------------------------------------------
+
+    def set_bit(self, position: int) -> None:
+        """Set the bit at ``position`` to 1."""
+        self._check(position)
+        self.words[position >> 6] |= np.uint64(1) << np.uint64(position & 63)
+
+    def get_bit(self, position: int) -> bool:
+        """Return the bit at ``position``."""
+        self._check(position)
+        word = self.words[position >> 6]
+        return bool((word >> np.uint64(position & 63)) & np.uint64(1))
+
+    def _check(self, position: int) -> None:
+        if not 0 <= position < self.num_bits:
+            raise IndexError(f"bit {position} out of range [0, {self.num_bits})")
+
+    # -- batch operations ----------------------------------------------------
+
+    def set_many(self, positions: np.ndarray) -> None:
+        """Set every bit listed in ``positions`` (any shape, flattened)."""
+        pos = np.asarray(positions, dtype=np.uint64).ravel()
+        if pos.size == 0:
+            return
+        if int(pos.max()) >= self.num_bits:
+            raise IndexError("bit position out of range")
+        np.bitwise_or.at(self.words, pos >> np.uint64(6),
+                         np.uint64(1) << (pos & np.uint64(63)))
+
+    def test_many(self, positions: np.ndarray) -> np.ndarray:
+        """Return a boolean array: for each position, is the bit set?
+
+        ``positions`` may be multi-dimensional; the result has the same
+        shape.  Used by the Bloom filter's batched membership query, where a
+        row of ``k`` positions must *all* be set.
+        """
+        pos = np.asarray(positions, dtype=np.uint64)
+        words = self.words[pos >> np.uint64(6)]
+        return ((words >> (pos & np.uint64(63))) & np.uint64(1)).astype(bool)
+
+    # -- whole-vector operations ----------------------------------------------
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self.num_bits, self.words & other.words)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self.num_bits, self.words | other.words)
+
+    def __iand__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        self.words &= other.words
+        return self
+
+    def __ior__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        self.words |= other.words
+        return self
+
+    def _check_compatible(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeError("expected a BitVector")
+        if other.num_bits != self.num_bits:
+            raise ValueError("bit vectors have different lengths")
+
+    def count_ones(self) -> int:
+        """Number of set bits (popcount)."""
+        return int(np.bitwise_count(self.words).sum())
+
+    def intersection_count(self, other: "BitVector") -> int:
+        """Popcount of ``self & other`` without materialising the AND."""
+        self._check_compatible(other)
+        return int(np.bitwise_count(self.words & other.words).sum())
+
+    def any(self) -> bool:
+        """Whether at least one bit is set."""
+        return bool(self.words.any())
+
+    def intersects(self, other: "BitVector") -> bool:
+        """Whether ``self & other`` has at least one set bit."""
+        self._check_compatible(other)
+        return bool((self.words & other.words).any())
+
+    def copy(self) -> "BitVector":
+        """An independent copy."""
+        return BitVector(self.num_bits, self.words.copy())
+
+    def clear(self) -> None:
+        """Reset every bit to zero."""
+        self.words[:] = 0
+
+    def set_positions(self) -> np.ndarray:
+        """Indices of all set bits, ascending (used by HashInvert)."""
+        return _expand_words(self.words, self.num_bits, want_set=True)
+
+    def unset_positions(self) -> np.ndarray:
+        """Indices of all unset bits, ascending (HashInvert's dense trick)."""
+        return _expand_words(self.words, self.num_bits, want_set=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of backing storage."""
+        return self.words.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.num_bits == other.num_bits and bool(
+            np.array_equal(self.words, other.words)
+        )
+
+    __hash__ = None  # mutable; explicitly unhashable
+
+    def __repr__(self) -> str:
+        return f"BitVector(num_bits={self.num_bits}, ones={self.count_ones()})"
+
+
+def _expand_words(words: np.ndarray, num_bits: int, want_set: bool) -> np.ndarray:
+    """Positions of set (or unset) bits in a word array, below ``num_bits``."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:num_bits]
+    if want_set:
+        return np.flatnonzero(bits)
+    return np.flatnonzero(bits == 0)

@@ -1,0 +1,182 @@
+"""The Bloom filter (Section 3.1 of the paper).
+
+A filter is a :class:`~repro.core.bitvector.BitVector` of ``m`` bits plus a
+:class:`~repro.core.hashing.HashFamily` of ``k`` functions.  Union and
+intersection are bitwise OR / AND of filters sharing the same ``m`` and
+family — exactly the operations the BloomSampleTree leans on.
+
+Membership has a scalar form (``x in bloom``) and a vectorised batch form
+(:meth:`BloomFilter.contains_many`) used by leaf brute-force searches and
+the Dictionary Attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitvector import BitVector
+from repro.core.cardinality import (
+    estimate_cardinality,
+    estimate_intersection_size,
+    false_positive_rate,
+)
+from repro.core.hashing import HashFamily
+
+
+class BloomFilter:
+    """A Bloom filter over non-negative integer elements."""
+
+    __slots__ = ("family", "bits", "_count")
+
+    def __init__(self, family: HashFamily, bits: BitVector | None = None):
+        self.family = family
+        self.bits = bits if bits is not None else BitVector(family.m)
+        if self.bits.num_bits != family.m:
+            raise ValueError("bit vector length does not match family range m")
+        # Number of add() calls; informational only (duplicates recounted).
+        self._count = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_items(cls, items: np.ndarray, family: HashFamily) -> "BloomFilter":
+        """Build a filter holding every element of ``items``."""
+        bloom = cls(family)
+        bloom.add_many(items)
+        return bloom
+
+    @property
+    def m(self) -> int:
+        """Number of bits."""
+        return self.family.m
+
+    @property
+    def k(self) -> int:
+        """Number of hash functions."""
+        return self.family.k
+
+    @property
+    def approximate_count(self) -> int:
+        """Number of insertions performed (duplicates counted twice)."""
+        return self._count
+
+    # -- updates ---------------------------------------------------------------
+
+    def add(self, x: int) -> None:
+        """Insert element ``x``."""
+        self.bits.set_many(self.family.positions(x))
+        self._count += 1
+
+    def add_many(self, xs: np.ndarray) -> None:
+        """Insert a batch of elements (vectorised)."""
+        xs = np.asarray(xs, dtype=np.uint64)
+        if xs.size == 0:
+            return
+        self.bits.set_many(self.family.positions_many(xs))
+        self._count += int(xs.size)
+
+    # -- queries ------------------------------------------------------------------
+
+    def __contains__(self, x: int) -> bool:
+        return bool(self.bits.test_many(self.family.positions(x)).all())
+
+    def contains_many(self, xs: np.ndarray) -> np.ndarray:
+        """Boolean membership array for a batch of elements."""
+        xs = np.asarray(xs, dtype=np.uint64)
+        if xs.size == 0:
+            return np.zeros(0, dtype=bool)
+        return self.bits.test_many(self.family.positions_many(xs)).all(axis=1)
+
+    def is_empty(self) -> bool:
+        """Whether no bit is set (i.e. the stored set is certainly empty)."""
+        return not self.bits.any()
+
+    def count_ones(self) -> int:
+        """Popcount of the bit array."""
+        return self.bits.count_ones()
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        return self.count_ones() / self.m
+
+    # -- set algebra -----------------------------------------------------------------
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if not isinstance(other, BloomFilter):
+            raise TypeError("expected a BloomFilter")
+        if not self.family.is_compatible_with(other.family):
+            raise ValueError(
+                "Bloom filters must share m and the hash family to be combined"
+            )
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """``B(A) | B(B) == B(A u B)`` (exact, Section 3.1)."""
+        self._check_compatible(other)
+        result = BloomFilter(self.family, self.bits | other.bits)
+        result._count = self._count + other._count
+        return result
+
+    def intersection(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise AND; a superset sketch of ``B(A n B)`` (Section 3.1)."""
+        self._check_compatible(other)
+        return BloomFilter(self.family, self.bits & other.bits)
+
+    def union_update(self, other: "BloomFilter") -> None:
+        """In-place union."""
+        self._check_compatible(other)
+        self.bits |= other.bits
+        self._count += other._count
+
+    # -- estimation ----------------------------------------------------------------------
+
+    def estimate_cardinality(self) -> float:
+        """Estimated number of stored elements (from the zero-bit count)."""
+        return estimate_cardinality(self.count_ones(), self.m, self.k)
+
+    def estimate_intersection(self, other: "BloomFilter") -> float:
+        """Estimated ``|A n B|`` via the Section 5.3 estimator.
+
+        This is the per-node quantity the BloomSampleTree computes; one call
+        corresponds to one "intersection operation" in the paper's op
+        counts.
+        """
+        self._check_compatible(other)
+        t_and = self.bits.intersection_count(other.bits)
+        if t_and == 0:
+            return 0.0
+        return estimate_intersection_size(
+            self.count_ones(), other.count_ones(), t_and, self.m, self.k
+        )
+
+    def expected_fpp(self, n: int | None = None) -> float:
+        """Expected false-positive probability for ``n`` stored elements.
+
+        Defaults to the insertion count when ``n`` is omitted.
+        """
+        if n is None:
+            n = self._count
+        return false_positive_rate(n, self.m, self.k)
+
+    def copy(self) -> "BloomFilter":
+        """Independent copy."""
+        clone = BloomFilter(self.family, self.bits.copy())
+        clone._count = self._count
+        return clone
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of bit storage."""
+        return self.bits.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return self.family.is_compatible_with(other.family) and self.bits == other.bits
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(m={self.m}, k={self.k}, family={self.family.name!r}, "
+            f"ones={self.count_ones()})"
+        )

@@ -1,0 +1,100 @@
+"""Estimators and probability formulas used throughout the paper.
+
+* :func:`false_positive_rate` — the classical Bloom FPP
+  ``(1 - e^{-kn/m})^k`` (Section 3.1).
+* :func:`estimate_cardinality` — the Swamidass/Broder-style estimate of how
+  many elements a filter holds, from its zero-bit count (used in the proof
+  of Proposition 5.2 and by the samplers).
+* :func:`estimate_intersection_size` — the Papapetrou et al. estimator
+  ``S^{-1}(t1, t2, t_and)`` quoted in Section 5.3; this is the quantity the
+  BloomSampleTree thresholds to decide whether a branch is empty and uses as
+  the descent probability.
+* :func:`false_set_overlap_probability` — Eq. (1), the probability that two
+  disjoint sets' filters nevertheless intersect; drives the running-time
+  analysis of Proposition 5.3.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def false_positive_rate(n: int, m: int, k: int) -> float:
+    """Probability a membership query on a filter of ``n`` items lies.
+
+    The standard approximation ``(1 - e^{-kn/m})^k``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if m <= 0 or k <= 0:
+        raise ValueError("m and k must be positive")
+    if n == 0:
+        return 0.0
+    return (1.0 - math.exp(-k * n / m)) ** k
+
+
+def estimate_cardinality(set_bits: int, m: int, k: int) -> float:
+    """Estimated number of inserted elements given ``set_bits`` ones.
+
+    ``n_hat = ln(1 - t/m) / (k * ln(1 - 1/m))`` — the form used in the
+    paper's Proposition 5.2 (equivalently ``-(m/k) ln(1 - t/m)`` up to the
+    ``ln(1-1/m) ~ -1/m`` approximation).  A completely full filter has no
+    finite estimate; we return ``inf`` in that case.
+    """
+    if not 0 <= set_bits <= m:
+        raise ValueError("set_bits out of range")
+    if m <= 1 or k <= 0:
+        raise ValueError("m must be > 1 and k positive")
+    if set_bits == 0:
+        return 0.0
+    if set_bits == m:
+        return math.inf
+    return math.log1p(-set_bits / m) / (k * math.log1p(-1.0 / m))
+
+
+def estimate_intersection_size(t1: int, t2: int, t_and: int, m: int, k: int) -> float:
+    """Estimated ``|A intersect B|`` from bit counts of the two filters.
+
+    Implements the estimator of Section 5.3 (Papapetrou et al. [20]):
+
+    ``S^{-1} = [ln(m - (t_and*m - t1*t2)/(m - t1 - t2 + t_and)) - ln m]
+               / (k * ln(1 - 1/m))``
+
+    where ``t1``, ``t2`` are the popcounts of the two filters and ``t_and``
+    the popcount of their bitwise AND.  The raw formula can go (slightly)
+    negative or blow up on degenerate inputs; we clamp to ``[0, inf)`` and
+    treat a non-positive log argument (an over-full AND) as "everything
+    intersects", returning ``inf``.
+    """
+    if m <= 1 or k <= 0:
+        raise ValueError("m must be > 1 and k positive")
+    for t, label in ((t1, "t1"), (t2, "t2"), (t_and, "t_and")):
+        if not 0 <= t <= m:
+            raise ValueError(f"{label} out of range [0, {m}]")
+    if t_and == 0:
+        return 0.0
+    denominator = m - t1 - t2 + t_and
+    if denominator <= 0:
+        # Filters so dense that their union saturates the array; any
+        # estimate would be a guess — report "maximally intersecting".
+        return math.inf
+    inner = (t_and * m - t1 * t2) / denominator
+    argument = m - inner
+    if argument <= 0:
+        return math.inf
+    estimate = (math.log(argument) - math.log(m)) / (k * math.log1p(-1.0 / m))
+    return max(0.0, estimate)
+
+
+def false_set_overlap_probability(n1: int, n2: int, m: int, k: int) -> float:
+    """Eq. (1): P[filters of two *disjoint* sets intersect].
+
+    ``P[FSO] = 1 - (1 - 1/m)^{k^2 * n1 * n2}``.
+    """
+    if n1 < 0 or n2 < 0:
+        raise ValueError("set sizes must be non-negative")
+    if m <= 1 or k <= 0:
+        raise ValueError("m must be > 1 and k positive")
+    exponent = k * k * n1 * n2
+    # (1 - 1/m)^e computed stably in log space.
+    return -math.expm1(exponent * math.log1p(-1.0 / m))

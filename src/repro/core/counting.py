@@ -1,0 +1,166 @@
+"""Counting Bloom filter: the deletion-capable variant.
+
+The paper's motivating applications are *dynamic* — online communities
+that gain and lose members, call records that age out.  A plain Bloom
+filter cannot delete (clearing a bit could erase other elements), so the
+standard remedy is a counting filter: every position holds a small
+counter; insertion increments, deletion decrements, and the
+"bit is set" view is "counter is non-zero".
+
+This module provides that substrate and keeps a plain
+:class:`~repro.core.bloom.BloomFilter` *view* synchronised with the
+counters, so counting filters plug into every algorithm in the library
+(the samplers and reconstructors only ever look at the view).
+
+Counters saturate at the dtype maximum instead of overflowing; a
+saturated counter can no longer be decremented reliably, so the filter
+tracks saturation and refuses deletions that would corrupt it (the
+classical counting-filter caveat, surfaced as an exception instead of
+silent corruption).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+
+
+class CountingOverflowError(RuntimeError):
+    """Raised when a deletion touches a saturated counter."""
+
+
+class NotStoredError(KeyError):
+    """Raised when removing an element the filter (provably) never held."""
+
+
+class CountingBloomFilter:
+    """A Bloom filter whose positions count insertions.
+
+    Supports ``add`` / ``remove`` / membership, exposes a synchronised
+    read-only :class:`BloomFilter` view (:attr:`bloom`) for use with the
+    BloomSampleTree machinery, and converts to a standalone plain filter
+    with :meth:`to_bloom`.
+    """
+
+    __slots__ = ("family", "counts", "_view", "_saturated")
+
+    #: Counter width.  uint16 keeps memory at 16x the plain filter while
+    #: making saturation astronomically unlikely for sane workloads.
+    COUNTER_DTYPE = np.uint16
+
+    def __init__(self, family: HashFamily):
+        self.family = family
+        self.counts = np.zeros(family.m, dtype=self.COUNTER_DTYPE)
+        self._view = BloomFilter(family)
+        self._saturated = 0
+
+    # -- updates ------------------------------------------------------------
+
+    def add(self, x: int) -> None:
+        """Insert one element (increments its ``k`` counters)."""
+        positions = np.unique(self.family.positions(x))
+        self._increment(positions)
+
+    def add_many(self, xs: np.ndarray) -> None:
+        """Insert a batch of elements."""
+        xs = np.asarray(xs, dtype=np.uint64)
+        if xs.size == 0:
+            return
+        # An element hitting the same position with two hash functions
+        # must count it once, or removal would underflow: dedupe per row.
+        for row in self.family.positions_many(xs):
+            self._increment(np.unique(row))
+
+    def _increment(self, positions: np.ndarray) -> None:
+        maximum = np.iinfo(self.COUNTER_DTYPE).max
+        for pos in positions.tolist():
+            value = int(self.counts[pos])
+            if value >= maximum:
+                continue  # saturated: stays pinned
+            if value + 1 >= maximum:
+                self._saturated += 1
+            self.counts[pos] = value + 1
+        self._view.bits.set_many(positions)
+
+    def remove(self, x: int) -> None:
+        """Delete one element (decrements its ``k`` counters).
+
+        Raises :class:`NotStoredError` when any counter is already zero
+        (the element was certainly never inserted) and
+        :class:`CountingOverflowError` when a counter saturated — its
+        true value is unknown, so decrementing could under-count.
+        """
+        positions = np.unique(self.family.positions(x))
+        maximum = np.iinfo(self.COUNTER_DTYPE).max
+        values = self.counts[positions]
+        if (values == 0).any():
+            raise NotStoredError(f"element {x} is not in the filter")
+        if (values == maximum).any():
+            raise CountingOverflowError(
+                f"element {x} touches a saturated counter; "
+                f"deletion would be unsound"
+            )
+        self.counts[positions] = values - 1
+        cleared = positions[self.counts[positions] == 0]
+        if cleared.size:
+            # Rebuilding single bits: clear then re-set survivors' words.
+            for pos in cleared.tolist():
+                self._clear_bit(int(pos))
+
+    def remove_many(self, xs: np.ndarray) -> None:
+        """Delete a batch of elements (loop over :meth:`remove`)."""
+        for x in np.asarray(xs, dtype=np.uint64).tolist():
+            self.remove(int(x))
+
+    def _clear_bit(self, position: int) -> None:
+        word = position >> 6
+        mask = ~(np.uint64(1) << np.uint64(position & 63))
+        self._view.bits.words[word] &= mask
+
+    # -- queries ----------------------------------------------------------------
+
+    def __contains__(self, x: int) -> bool:
+        return x in self._view
+
+    def contains_many(self, xs: np.ndarray) -> np.ndarray:
+        """Boolean membership array (delegates to the plain view)."""
+        return self._view.contains_many(xs)
+
+    @property
+    def bloom(self) -> BloomFilter:
+        """The live plain-filter view (do not mutate it directly)."""
+        return self._view
+
+    def to_bloom(self) -> BloomFilter:
+        """An independent plain BloomFilter snapshot."""
+        return self._view.copy()
+
+    @property
+    def m(self) -> int:
+        """Number of counters (== bits of the view)."""
+        return self.family.m
+
+    @property
+    def k(self) -> int:
+        """Number of hash functions."""
+        return self.family.k
+
+    def count_nonzero(self) -> int:
+        """Number of non-zero counters (== set bits of the view)."""
+        return int((self.counts > 0).sum())
+
+    @property
+    def saturated_counters(self) -> int:
+        """How many counters have pinned at the dtype maximum."""
+        return self._saturated
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of counter + view storage."""
+        return self.counts.nbytes + self._view.nbytes
+
+    def __repr__(self) -> str:
+        return (f"CountingBloomFilter(m={self.m}, k={self.k}, "
+                f"nonzero={self.count_nonzero()})")

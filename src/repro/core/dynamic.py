@@ -1,0 +1,211 @@
+"""Fully dynamic BloomSampleTree: occupancy can grow *and* shrink.
+
+Section 5.2's Pruned-BloomSampleTree grows as new identifiers appear
+(new Twitter accounts), but plain Bloom filters cannot forget, so the
+paper's structure never shrinks.  This extension stores a
+:class:`~repro.core.counting.CountingBloomFilter` at every node; nodes
+expose their synchronised plain-filter views, so the standard
+:class:`~repro.core.sampling.BSTSampler` and
+:class:`~repro.core.reconstruct.BSTReconstructor` work on it unchanged.
+
+``remove`` walks the root-to-leaf path decrementing counters; a subtree
+whose range empties is detached entirely, returning the memory — the
+symmetric counterpart of the paper's dynamic growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.counting import CountingBloomFilter
+from repro.core.hashing import HashFamily
+from repro.core.tree import TreeNode
+
+
+class _DynamicNode(TreeNode):
+    """Tree node that owns a counting filter behind its plain view."""
+
+    __slots__ = ("counting",)
+
+    def __init__(self, level: int, index: int, lo: int, hi: int,
+                 counting: CountingBloomFilter):
+        super().__init__(level, index, lo, hi, counting.bloom)
+        self.counting = counting
+
+
+class DynamicBloomSampleTree:
+    """Pruned BloomSampleTree over counting filters (insert *and* remove)."""
+
+    def __init__(self, namespace_size: int, depth: int, family: HashFamily):
+        if namespace_size < 2:
+            raise ValueError("namespace must hold at least 2 elements")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if (1 << depth) > namespace_size:
+            raise ValueError("tree deeper than the namespace allows")
+        self.namespace_size = int(namespace_size)
+        self.depth = int(depth)
+        self.family = family
+        self.root: _DynamicNode | None = None
+        self._occupied = np.empty(0, dtype=np.uint64)
+
+    @classmethod
+    def build(
+        cls,
+        occupied: np.ndarray,
+        namespace_size: int,
+        depth: int,
+        family: HashFamily,
+    ) -> "DynamicBloomSampleTree":
+        """Build from an initial occupancy (loop of inserts)."""
+        tree = cls(namespace_size, depth, family)
+        tree.insert_many(occupied)
+        return tree
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, x: int) -> None:
+        """Register identifier ``x`` (no-op when already present)."""
+        if not 0 <= x < self.namespace_size:
+            raise ValueError(f"id {x} outside namespace [0, {self.namespace_size})")
+        pos = int(np.searchsorted(self._occupied, x))
+        if pos < len(self._occupied) and int(self._occupied[pos]) == x:
+            return
+        self._occupied = np.insert(self._occupied, pos, np.uint64(x))
+        for node in self._path_to(x, create=True):
+            node.counting.add(x)
+
+    def insert_many(self, xs: np.ndarray) -> None:
+        """Insert a batch of identifiers."""
+        for x in np.asarray(xs, dtype=np.uint64).tolist():
+            self.insert(int(x))
+
+    def remove(self, x: int) -> None:
+        """Forget identifier ``x``; prunes subtrees that become empty."""
+        pos = int(np.searchsorted(self._occupied, x))
+        if pos >= len(self._occupied) or int(self._occupied[pos]) != x:
+            raise KeyError(f"id {x} is not occupied")
+        self._occupied = np.delete(self._occupied, pos)
+        path = self._path_to(x, create=False)
+        for node in path:
+            node.counting.remove(x)
+        self._detach_empty(path)
+
+    def remove_many(self, xs: np.ndarray) -> None:
+        """Remove a batch of identifiers."""
+        for x in np.asarray(xs, dtype=np.uint64).tolist():
+            self.remove(int(x))
+
+    def _path_to(self, x: int, create: bool) -> list[_DynamicNode]:
+        """Root-to-leaf nodes covering ``x`` (optionally materialising)."""
+        if self.root is None:
+            if not create:
+                raise KeyError(f"id {x} is not stored")
+            self.root = _DynamicNode(0, 0, 0, self.namespace_size,
+                                     CountingBloomFilter(self.family))
+        path = [self.root]
+        node = self.root
+        while node.level < self.depth:
+            mid = node.split_point()
+            go_left = x < mid
+            child = node.left if go_left else node.right
+            if child is None:
+                if not create:
+                    raise KeyError(f"id {x} is not stored")
+                level = node.level + 1
+                index = 2 * node.index + (0 if go_left else 1)
+                lo, hi = (node.lo, mid) if go_left else (mid, node.hi)
+                child = _DynamicNode(level, index, lo, hi,
+                                     CountingBloomFilter(self.family))
+                if go_left:
+                    node.left = child
+                else:
+                    node.right = child
+            path.append(child)
+            node = child
+        return path
+
+    def _detach_empty(self, path: list[_DynamicNode]) -> None:
+        """Drop path suffix nodes whose ranges hold no occupied ids."""
+        for node in reversed(path):
+            left_i = int(np.searchsorted(self._occupied, node.lo, "left"))
+            right_i = int(np.searchsorted(self._occupied, node.hi, "left"))
+            if right_i > left_i:
+                break  # node still occupied; ancestors are too
+            if node is self.root:
+                self.root = None
+            else:
+                parent = path[path.index(node) - 1]
+                if parent.left is node:
+                    parent.left = None
+                else:
+                    parent.right = None
+
+    # -- sampler / reconstructor interface -------------------------------------
+
+    @property
+    def occupied(self) -> np.ndarray:
+        """Sorted array of occupied identifiers (read-only view)."""
+        view = self._occupied.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """|occupied| / namespace size."""
+        return len(self._occupied) / self.namespace_size
+
+    def candidate_elements(self, node: TreeNode) -> np.ndarray:
+        """Occupied ids inside a leaf's range."""
+        left_i = int(np.searchsorted(self._occupied, node.lo, "left"))
+        right_i = int(np.searchsorted(self._occupied, node.hi, "left"))
+        return self._occupied[left_i:right_i]
+
+    def is_leaf(self, node: TreeNode) -> bool:
+        """Leaf test (a node at maximum depth)."""
+        return node.level == self.depth
+
+    def check_query(self, query: BloomFilter) -> None:
+        """Validate a query filter shares ``m`` and the hash family."""
+        if not self.family.is_compatible_with(query.family):
+            raise ValueError(
+                "query Bloom filter is incompatible with this tree "
+                "(m and the hash family must match, Definition 5.1)"
+            )
+
+    # -- introspection -----------------------------------------------------------
+
+    def iter_nodes(self):
+        """Yield every materialised node, depth-first pre-order."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def leaves(self):
+        """Yield materialised leaf nodes, left to right."""
+        for node in self.iter_nodes():
+            if self.is_leaf(node):
+                yield node
+
+    @property
+    def num_nodes(self) -> int:
+        """Count of materialised nodes."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of counting-filter storage across materialised nodes."""
+        return sum(node.counting.nbytes for node in self.iter_nodes())
+
+    def __repr__(self) -> str:
+        return (f"DynamicBloomSampleTree(M={self.namespace_size}, "
+                f"depth={self.depth}, occupied={len(self._occupied)}, "
+                f"nodes={self.num_nodes})")

@@ -1,0 +1,55 @@
+"""Operation accounting shared by samplers, reconstructors and baselines.
+
+The paper's primary evaluation metric (Figs. 3, 4, 8, 9, 10) is the number
+of *Bloom filter intersections* and *set membership queries* an algorithm
+performs.  :class:`OpCounter` tallies these; every algorithm in the library
+fills one in as it runs so benchmarks can report paper-style rows without
+re-instrumenting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OpCounter:
+    """Mutable tally of the operations an algorithm performed.
+
+    ``intersections``
+        Bloom-filter intersection(-size estimate) operations.
+    ``memberships``
+        Individual set-membership queries (a batched query over ``c``
+        candidates counts as ``c``, matching the paper's accounting).
+    ``nodes_visited``
+        BloomSampleTree nodes touched (Proposition 5.3's quantity).
+    ``backtracks``
+        Times a sampler abandoned a false-positive path and tried the
+        sibling subtree.
+    ``hash_inversions``
+        Weak-inversion calls (HashInvert only).
+    """
+
+    intersections: int = 0
+    memberships: int = 0
+    nodes_visited: int = 0
+    backtracks: int = 0
+    hash_inversions: int = 0
+
+    def merge(self, other: "OpCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.intersections += other.intersections
+        self.memberships += other.memberships
+        self.nodes_visited += other.nodes_visited
+        self.backtracks += other.backtracks
+        self.hash_inversions += other.hash_inversions
+
+    def copy(self) -> "OpCounter":
+        """Independent copy."""
+        return OpCounter(
+            intersections=self.intersections,
+            memberships=self.memberships,
+            nodes_visited=self.nodes_visited,
+            backtracks=self.backtracks,
+            hash_inversions=self.hash_inversions,
+        )

@@ -1,0 +1,140 @@
+"""Persistence for BloomSampleTrees.
+
+The paper's deployment story is "build the tree once, reuse it for every
+query filter"; for that to survive process restarts the tree must be
+storable.  Trees serialise to a single compressed ``.npz``: the hash
+family's construction parameters (name / k / m / namespace / seed — all
+our families are seed-deterministic), the node coordinates, and one
+stacked matrix of node bit words.  Pruned trees additionally store the
+occupied id array.
+
+>>> save_tree(tree, "tree.npz")
+>>> tree = load_tree("tree.npz")   # BloomSampleTree or PrunedBloomSampleTree
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.bitvector import BitVector
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import (
+    HashFamily,
+    MD5HashFamily,
+    Murmur3HashFamily,
+    SimpleHashFamily,
+    create_family,
+)
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.tree import BloomSampleTree, TreeNode
+
+_FORMAT_VERSION = 1
+
+
+def _family_spec(family: HashFamily) -> tuple[str, int]:
+    """(name, seed) for a reconstructible family."""
+    if isinstance(family, SimpleHashFamily):
+        return "simple", family.seed
+    if isinstance(family, Murmur3HashFamily):
+        return "murmur3", family.seed
+    if isinstance(family, MD5HashFamily):
+        return "md5", family.seed
+    raise TypeError(
+        f"cannot serialise trees built on custom family "
+        f"{type(family).__name__}; only the built-in families round-trip"
+    )
+
+
+def save_tree(tree, path) -> None:
+    """Serialise a (complete or pruned) BloomSampleTree to ``path``."""
+    if isinstance(tree, BloomSampleTree):
+        kind = "complete"
+        occupied = np.empty(0, dtype=np.uint64)
+    elif isinstance(tree, PrunedBloomSampleTree):
+        kind = "pruned"
+        occupied = np.asarray(tree.occupied, dtype=np.uint64)
+    else:
+        raise TypeError(f"not a BloomSampleTree: {type(tree).__name__}")
+
+    name, seed = _family_spec(tree.family)
+    nodes = sorted(tree.iter_nodes(), key=lambda n: (n.level, n.index))
+    coords = np.array([(n.level, n.index) for n in nodes], dtype=np.int64)
+    if nodes:
+        words = np.stack([n.bloom.bits.words for n in nodes])
+    else:
+        words = np.empty((0, 0), dtype=np.uint64)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        kind=np.array(kind),
+        namespace_size=np.int64(tree.namespace_size),
+        depth=np.int64(tree.depth),
+        family_name=np.array(name),
+        family_seed=np.int64(seed),
+        k=np.int64(tree.family.k),
+        m=np.int64(tree.family.m),
+        coords=coords,
+        words=words,
+        occupied=occupied,
+    )
+
+
+def load_tree(path):
+    """Load a tree saved by :func:`save_tree`.
+
+    Returns a :class:`BloomSampleTree` or :class:`PrunedBloomSampleTree`,
+    bit-identical to the saved one (insertion counts are informational
+    and reset to zero).
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported tree format version {version}")
+        kind = str(data["kind"])
+        namespace_size = int(data["namespace_size"])
+        depth = int(data["depth"])
+        family = create_family(
+            str(data["family_name"]), int(data["k"]), int(data["m"]),
+            namespace_size=namespace_size, seed=int(data["family_seed"]),
+        )
+        coords = data["coords"]
+        words = data["words"]
+        occupied = data["occupied"]
+
+    nodes: dict[tuple[int, int], TreeNode] = {}
+    for (level, index), row in zip(coords.tolist(), words):
+        lo, hi = _range_of(namespace_size, level, index)
+        bloom = BloomFilter(family, BitVector(family.m, row.copy()))
+        nodes[(level, index)] = TreeNode(level, index, lo, hi, bloom)
+    for (level, index), node in nodes.items():
+        node.left = nodes.get((level + 1, 2 * index))
+        node.right = nodes.get((level + 1, 2 * index + 1))
+    root = nodes.get((0, 0))
+
+    if kind == "complete":
+        if root is None:
+            raise ValueError("complete tree file holds no nodes")
+        return BloomSampleTree(namespace_size, depth, family, root)
+    if kind == "pruned":
+        return PrunedBloomSampleTree(namespace_size, depth, family, root,
+                                     occupied.astype(np.uint64))
+    raise ValueError(f"unknown tree kind {kind!r}")
+
+
+def _range_of(namespace_size: int, level: int, index: int) -> tuple[int, int]:
+    """Recompute the namespace range of node ``(level, index)``.
+
+    Follows the same midpoint splits as tree construction, so ranges are
+    identical to the originals even for non-power-of-two namespaces.
+    """
+    lo, hi = 0, namespace_size
+    for bit in range(level - 1, -1, -1):
+        mid = (lo + hi) // 2
+        if (index >> bit) & 1:
+            lo = mid
+        else:
+            hi = mid
+    return lo, hi

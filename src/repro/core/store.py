@@ -1,0 +1,225 @@
+"""FilterStore: the paper's database of Bloom-filter-encoded sets.
+
+Section 3.2 frames the system as a database ``D-bar = {B(X_i)}`` of many
+subsets, each stored as a Bloom filter with shared parameters — e.g. one
+filter per social-media community, per graph vertex, per keyword.  This
+module provides that container plus the query surface the paper builds
+on top of it:
+
+* named set management (create / extend / discard),
+* sampling and reconstruction of any stored set through a shared
+  BloomSampleTree,
+* algebraic queries across sets — sample from a *union* of communities
+  (exact, Section 3.1) or from an *intersection sketch* (approximate),
+* persistence of the whole store to one ``.npz`` file.
+
+All filters share the store's hash family, which is the compatibility
+requirement of Definition 5.1.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
+from repro.core.sampling import DEFAULT_EMPTY_THRESHOLD, BSTSampler, SampleResult
+from repro.core.serialization import _family_spec
+from repro.core.hashing import create_family
+from repro.utils.rng import ensure_rng
+
+
+class FilterStore:
+    """A collection of named sets stored as compatible Bloom filters.
+
+    ``tree`` is any BloomSampleTree variant over the same family; when
+    provided, :meth:`sample` and :meth:`reconstruct` are available.
+    """
+
+    def __init__(
+        self,
+        family,
+        tree=None,
+        rng: "int | np.random.Generator | None" = None,
+        empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
+    ):
+        self.family = family
+        self.tree = tree
+        if tree is not None:
+            tree.check_query(BloomFilter(family))
+        self._filters: dict[str, BloomFilter] = {}
+        self._rng = ensure_rng(rng)
+        self._sampler = (BSTSampler(tree, empty_threshold, self._rng)
+                         if tree is not None else None)
+        self._reconstructor = (BSTReconstructor(tree, empty_threshold)
+                               if tree is not None else None)
+
+    # -- set management --------------------------------------------------------
+
+    def create(self, name: str, items: np.ndarray | None = None) -> BloomFilter:
+        """Create a named set (optionally pre-populated); returns its filter."""
+        if name in self._filters:
+            raise KeyError(f"set {name!r} already exists")
+        bloom = BloomFilter(self.family)
+        if items is not None:
+            bloom.add_many(np.asarray(items, dtype=np.uint64))
+        self._filters[name] = bloom
+        return bloom
+
+    def add(self, name: str, items: np.ndarray) -> None:
+        """Insert elements into an existing named set."""
+        self._get(name).add_many(np.asarray(items, dtype=np.uint64))
+
+    def discard(self, name: str) -> None:
+        """Drop a named set."""
+        if name not in self._filters:
+            raise KeyError(name)
+        del self._filters[name]
+
+    def filter(self, name: str) -> BloomFilter:
+        """The raw Bloom filter of a named set."""
+        return self._get(name)
+
+    def _get(self, name: str) -> BloomFilter:
+        try:
+            return self._filters[name]
+        except KeyError:
+            raise KeyError(f"no set named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._filters
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def names(self) -> list[str]:
+        """Stored set names, sorted."""
+        return sorted(self._filters)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of filter storage (excluding the shared tree)."""
+        return sum(f.nbytes for f in self._filters.values())
+
+    # -- membership --------------------------------------------------------------
+
+    def contains(self, name: str, x: int) -> bool:
+        """Membership query on one named set."""
+        return x in self._get(name)
+
+    def sets_containing(self, x: int) -> list[str]:
+        """Names of every stored set whose filter accepts ``x``.
+
+        This is the multiset-membership query of Bloofi / Yoon et al.
+        (Section 2), answered by brute force over the stored filters.
+        """
+        return [name for name in self.names() if x in self._filters[name]]
+
+    # -- sampling and reconstruction ------------------------------------------------
+
+    def _require_tree(self):
+        if self._sampler is None:
+            raise RuntimeError(
+                "this FilterStore was created without a BloomSampleTree; "
+                "pass tree= to enable sampling and reconstruction"
+            )
+
+    def sample(self, name: str) -> SampleResult:
+        """Near-uniform sample from a named set (Algorithm 1)."""
+        self._require_tree()
+        return self._sampler.sample(self._get(name))
+
+    def sample_many(self, name: str, r: int, replacement: bool = True):
+        """One-pass multi-sample from a named set."""
+        self._require_tree()
+        return self._sampler.sample_many(self._get(name), r, replacement)
+
+    def reconstruct(self, name: str,
+                    exhaustive: bool = False) -> ReconstructionResult:
+        """Recover a named set's contents (Section 6)."""
+        self._require_tree()
+        if exhaustive:
+            return BSTReconstructor(self.tree, exhaustive=True).reconstruct(
+                self._get(name))
+        return self._reconstructor.reconstruct(self._get(name))
+
+    def union_filter(self, names: Iterable[str]) -> BloomFilter:
+        """Exact filter of the union of named sets (Section 3.1)."""
+        names = list(names)
+        if not names:
+            raise ValueError("need at least one set name")
+        merged = self._get(names[0]).copy()
+        for name in names[1:]:
+            merged.union_update(self._get(name))
+        return merged
+
+    def intersection_filter(self, names: Iterable[str]) -> BloomFilter:
+        """Approximate filter of the intersection (bitwise AND sketch).
+
+        A superset sketch: every common element passes, plus false set
+        overlaps with the Eq. (1) probability.
+        """
+        names = list(names)
+        if not names:
+            raise ValueError("need at least one set name")
+        merged = self._get(names[0])
+        for name in names[1:]:
+            merged = merged.intersection(self._get(name))
+        return merged
+
+    def sample_union(self, names: Iterable[str]) -> SampleResult:
+        """Sample from the union of named sets (e.g. allied communities)."""
+        self._require_tree()
+        return self._sampler.sample(self.union_filter(names))
+
+    def sample_intersection(self, names: Iterable[str]) -> SampleResult:
+        """Sample from the intersection sketch of named sets."""
+        self._require_tree()
+        return self._sampler.sample(self.intersection_filter(names))
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialise all named filters (not the tree) to one ``.npz``."""
+        name, seed = _family_spec(self.family)
+        names = self.names()
+        if names:
+            words = np.stack([self._filters[n].bits.words for n in names])
+        else:
+            words = np.empty((0, 0), dtype=np.uint64)
+        namespace = getattr(self.family, "namespace_size", self.family.m)
+        np.savez_compressed(
+            path,
+            family_name=np.array(name),
+            family_seed=np.int64(seed),
+            k=np.int64(self.family.k),
+            m=np.int64(self.family.m),
+            namespace_size=np.int64(namespace),
+            set_names=np.array(names),
+            words=words,
+        )
+
+    @classmethod
+    def load(cls, path, tree=None,
+             rng: "int | np.random.Generator | None" = None) -> "FilterStore":
+        """Load a store saved by :meth:`save`; optionally attach a tree."""
+        path = pathlib.Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            family = create_family(
+                str(data["family_name"]), int(data["k"]), int(data["m"]),
+                namespace_size=int(data["namespace_size"]),
+                seed=int(data["family_seed"]),
+            )
+            store = cls(family, tree=tree, rng=rng)
+            from repro.core.bitvector import BitVector
+            for name, row in zip(data["set_names"].tolist(), data["words"]):
+                bloom = BloomFilter(family, BitVector(family.m, row.copy()))
+                store._filters[str(name)] = bloom
+        return store
+
+    def __repr__(self) -> str:
+        return (f"FilterStore(sets={len(self)}, m={self.family.m}, "
+                f"k={self.family.k}, tree={'yes' if self.tree else 'no'})")

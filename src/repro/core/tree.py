@@ -1,0 +1,170 @@
+"""The BloomSampleTree (Section 5, Definition 5.1).
+
+A complete binary tree over the namespace ``[0, M)``.  Node ``(i, j)``
+covers the range ``[j * M / 2^i, (j+1) * M / 2^i)`` and stores a Bloom
+filter of those elements, built with the *same* ``m`` and hash family as
+the query filters (so that intersections are meaningful).  Levels are
+laminar: a node's set is exactly the union of its children's sets.
+
+Construction inserts elements only at the leaves (vectorised) and ORs
+filters upward, which is bit-identical to inserting at every node but
+``depth`` times cheaper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+
+
+class TreeNode:
+    """One node: a namespace range ``[lo, hi)`` plus its Bloom filter."""
+
+    __slots__ = ("level", "index", "lo", "hi", "bloom", "left", "right")
+
+    def __init__(self, level: int, index: int, lo: int, hi: int,
+                 bloom: BloomFilter | None = None):
+        self.level = level
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.bloom = bloom
+        self.left: TreeNode | None = None
+        self.right: TreeNode | None = None
+
+    @property
+    def range_size(self) -> int:
+        """Number of namespace elements the node covers."""
+        return self.hi - self.lo
+
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return self.left is None and self.right is None
+
+    def split_point(self) -> int:
+        """Midpoint at which this node's range is divided among children."""
+        return (self.lo + self.hi) // 2
+
+    def __repr__(self) -> str:
+        return f"TreeNode(level={self.level}, range=[{self.lo}, {self.hi}))"
+
+
+class BloomSampleTree:
+    """Complete BloomSampleTree over ``[0, namespace_size)``.
+
+    Build with :meth:`build`; sample with
+    :class:`~repro.core.sampling.BSTSampler`; reconstruct with
+    :class:`~repro.core.reconstruct.BSTReconstructor`.
+    """
+
+    def __init__(self, namespace_size: int, depth: int, family: HashFamily,
+                 root: TreeNode):
+        self.namespace_size = int(namespace_size)
+        self.depth = int(depth)
+        self.family = family
+        self.root = root
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        namespace_size: int,
+        depth: int,
+        family: HashFamily,
+        leaf_batch: int = 1 << 18,
+    ) -> "BloomSampleTree":
+        """Build the complete tree of the given depth.
+
+        ``leaf_batch`` bounds the size of vectorised insert batches (memory
+        control for very large leaves).
+        """
+        if namespace_size < 2:
+            raise ValueError("namespace must hold at least 2 elements")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if (1 << depth) > namespace_size:
+            raise ValueError("tree deeper than the namespace allows")
+
+        def make(level: int, index: int, lo: int, hi: int) -> TreeNode:
+            node = TreeNode(level, index, lo, hi)
+            if level == depth:
+                node.bloom = _leaf_filter(lo, hi, family, leaf_batch)
+                return node
+            mid = node.split_point()
+            node.left = make(level + 1, 2 * index, lo, mid)
+            node.right = make(level + 1, 2 * index + 1, mid, hi)
+            node.bloom = node.left.bloom.union(node.right.bloom)
+            return node
+
+        root = make(0, 0, 0, namespace_size)
+        return cls(namespace_size, depth, family, root)
+
+    # -- interface used by the sampler / reconstructor ---------------------------
+
+    def candidate_elements(self, node: TreeNode) -> np.ndarray:
+        """Namespace elements to brute-force at a leaf (the full range)."""
+        return np.arange(node.lo, node.hi, dtype=np.uint64)
+
+    def is_leaf(self, node: TreeNode) -> bool:
+        """Leaf test (a node at maximum depth)."""
+        return node.level == self.depth
+
+    def check_query(self, query: BloomFilter) -> None:
+        """Validate a query filter shares ``m`` and the hash family."""
+        if not self.family.is_compatible_with(query.family):
+            raise ValueError(
+                "query Bloom filter is incompatible with this tree "
+                "(m and the hash family must match, Definition 5.1)"
+            )
+
+    # -- introspection ------------------------------------------------------------
+
+    def iter_nodes(self):
+        """Yield every node, depth-first pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def leaves(self):
+        """Yield the leaf nodes, left to right."""
+        for node in self.iter_nodes():
+            if self.is_leaf(node):
+                yield node
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (``2^{depth+1} - 1`` for the complete tree)."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of Bloom filter storage across all nodes."""
+        return sum(node.bloom.nbytes for node in self.iter_nodes())
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum elements any leaf covers (the paper's ``M_perp``)."""
+        return max(leaf.range_size for leaf in self.leaves())
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomSampleTree(M={self.namespace_size}, depth={self.depth}, "
+            f"m={self.family.m}, k={self.family.k})"
+        )
+
+
+def _leaf_filter(lo: int, hi: int, family: HashFamily, batch: int) -> BloomFilter:
+    """Bloom filter of the contiguous range ``[lo, hi)``."""
+    bloom = BloomFilter(family)
+    for start in range(lo, hi, batch):
+        stop = min(start + batch, hi)
+        bloom.add_many(np.arange(start, stop, dtype=np.uint64))
+    return bloom

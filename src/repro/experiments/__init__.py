@@ -1,0 +1,66 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``config`` holds the parameter grids (Table 1) and the scale selector
+(``REPRO_SCALE`` env var: ``small`` for CI, ``default`` for laptop runs,
+``full`` for the paper's exact grid); ``runner`` executes sampling /
+reconstruction / pruned-tree trials and returns row dictionaries;
+``tables`` and ``figures`` assemble the paper's specific artefacts; and
+``formatting`` renders rows as aligned ASCII tables.
+
+The ``benchmarks/`` directory at the repository root contains one
+pytest-benchmark module per paper table/figure, each a thin wrapper over
+this package.
+"""
+
+from repro.experiments.config import (
+    SCALES,
+    ExperimentScale,
+    current_scale,
+    paper_parameters,
+)
+from repro.experiments.figures import (
+    hash_family_rows,
+    pruned_namespace_rows,
+    reconstruction_ops_rows,
+    reconstruction_time_rows,
+    sampling_ops_rows,
+    sampling_time_rows,
+)
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import (
+    ReconstructionTrial,
+    SamplingTrial,
+    TreeCache,
+    make_query_set,
+    reconstruction_trial,
+    sampling_trial,
+)
+from repro.experiments.tables import (
+    chi_squared_rows,
+    creation_time_rows,
+    measured_accuracy_rows,
+    parameter_rows,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "ReconstructionTrial",
+    "SCALES",
+    "SamplingTrial",
+    "TreeCache",
+    "chi_squared_rows",
+    "creation_time_rows",
+    "current_scale",
+    "format_rows",
+    "hash_family_rows",
+    "make_query_set",
+    "measured_accuracy_rows",
+    "paper_parameters",
+    "parameter_rows",
+    "pruned_namespace_rows",
+    "reconstruction_ops_rows",
+    "reconstruction_time_rows",
+    "reconstruction_trial",
+    "sampling_ops_rows",
+    "sampling_time_rows",
+]

@@ -1,0 +1,185 @@
+"""Row producers for the paper's Figures 3-15.
+
+Figures are reported as data series (the rows the plots were drawn from):
+
+* Figs. 3/4 — sampling op counts vs accuracy (uniform / clustered).
+* Figs. 5/6 — average sampling time vs accuracy, BST vs DA.
+* Fig. 7 — hash-family effect on sampling time.
+* Figs. 8/9/10 — reconstruction op counts (BST / HashInvert / DA).
+* Figs. 11/12 — reconstruction time.
+* Figs. 13/14/15 — pruned-tree time / memory / accuracy vs namespace
+  fraction (the Section 8 Twitter experiments).
+"""
+
+from __future__ import annotations
+
+from repro.core.design import plan_tree
+from repro.experiments.config import DEFAULT_FAMILY, PAPER_K
+from repro.experiments.runner import (
+    TreeCache,
+    bst_sampling_row,
+    da_sampling_row,
+    pruned_namespace_row,
+    reconstruction_rows,
+)
+from repro.workloads.twitter import SyntheticTwitterDataset
+
+
+def sampling_ops_rows(
+    cache: TreeCache,
+    namespace_size: int,
+    set_sizes: tuple[int, ...],
+    accuracies: tuple[float, ...],
+    kind: str,
+    rounds: int,
+    da_rounds: int,
+    family_name: str = DEFAULT_FAMILY,
+    seed: int = 0,
+) -> list[dict]:
+    """Figs. 3 (uniform) and 4 (clustered): op counts per accuracy/n."""
+    rows = []
+    for n in set_sizes:
+        for accuracy in accuracies:
+            rows.append(bst_sampling_row(
+                cache, namespace_size, n, accuracy, kind, rounds,
+                family_name, seed,
+            ))
+        # DA op count is accuracy independent (always M memberships);
+        # one row per n, as the paper plots a single flat DA line.
+        rows.append(da_sampling_row(
+            cache, namespace_size, n, accuracies[0], kind, da_rounds,
+            family_name, seed,
+        ))
+    return rows
+
+
+def sampling_time_rows(
+    cache: TreeCache,
+    namespace_size: int,
+    set_sizes: tuple[int, ...],
+    accuracies: tuple[float, ...],
+    kind: str,
+    rounds: int,
+    da_rounds: int,
+    family_name: str = DEFAULT_FAMILY,
+    seed: int = 0,
+) -> list[dict]:
+    """Figs. 5 (M=1e7) and 6 (M=1e6): avg sampling time, BST vs DA."""
+    rows = []
+    for n in set_sizes:
+        for accuracy in accuracies:
+            rows.append(bst_sampling_row(
+                cache, namespace_size, n, accuracy, kind, rounds,
+                family_name, seed,
+            ))
+            rows.append(da_sampling_row(
+                cache, namespace_size, n, accuracy, kind, da_rounds,
+                family_name, seed,
+            ))
+    return rows
+
+
+def hash_family_rows(
+    cache: TreeCache,
+    namespace_size: int,
+    n: int,
+    accuracies: tuple[float, ...],
+    rounds: int,
+    da_rounds: int,
+    families: tuple[str, ...] = ("simple", "murmur3", "md5"),
+    kind: str = "uniform",
+    seed: int = 0,
+) -> list[dict]:
+    """Fig. 7: effect of the hash family on BST and DA sampling time."""
+    rows = []
+    for family_name in families:
+        for accuracy in accuracies:
+            row = bst_sampling_row(cache, namespace_size, n, accuracy,
+                                   kind, rounds, family_name, seed)
+            row["family"] = family_name
+            rows.append(row)
+            row = da_sampling_row(cache, namespace_size, n, accuracy,
+                                  kind, da_rounds, family_name, seed)
+            row["family"] = family_name
+            rows.append(row)
+    return rows
+
+
+def reconstruction_ops_rows(
+    cache: TreeCache,
+    namespace_size: int,
+    set_sizes: tuple[int, ...],
+    accuracies: tuple[float, ...],
+    kind: str,
+    rounds: int,
+    seed: int = 0,
+) -> list[dict]:
+    """Figs. 8/9/10: reconstruction op counts for BST / HI / DA."""
+    rows = []
+    for n in set_sizes:
+        for accuracy in accuracies:
+            rows.extend(reconstruction_rows(
+                cache, namespace_size, n, accuracy, kind, rounds,
+                methods=("BST", "HI", "DA"), seed=seed,
+            ))
+    return rows
+
+
+def reconstruction_time_rows(
+    cache: TreeCache,
+    namespace_size: int,
+    set_sizes: tuple[int, ...],
+    accuracies: tuple[float, ...],
+    kind: str,
+    rounds: int,
+    seed: int = 0,
+) -> list[dict]:
+    """Figs. 11/12: reconstruction wall-clock, BST / HI / DA."""
+    return reconstruction_ops_rows(cache, namespace_size, set_sizes,
+                                   accuracies, kind, rounds, seed)
+
+
+def pruned_namespace_rows(
+    fractions: tuple[float, ...],
+    rounds: int,
+    namespace_size: int = 2_200_000,
+    num_users: int = 72_000,
+    num_hashtags: int = 120,
+    depth: int = 7,
+    accuracy: float = 0.8,
+    family_name: str = DEFAULT_FAMILY,
+    seed: int = 0,
+) -> list[dict]:
+    """Figs. 13/14/15: pruned-tree metrics vs namespace fraction.
+
+    Mirrors Section 8.1: a synthetic Twitter population, a hypothetical
+    tree whose leaves partition the namespace, and occupied namespaces
+    assembled from uniformly or clusteredly chosen leaves.  The filter
+    size is planned for the target ``accuracy`` against the *full*
+    namespace, exactly as the paper fixes m from desired accuracy 0.8.
+    """
+    typical_audience = 1_000
+    params = plan_tree(namespace_size, typical_audience, accuracy, PAPER_K)
+    dataset = SyntheticTwitterDataset.generate(
+        namespace_size=namespace_size,
+        num_users=num_users,
+        num_hashtags=num_hashtags,
+        rng=seed,
+    )
+    rows = []
+    for mode in ("uniform", "clustered"):
+        for fraction in fractions:
+            row = pruned_namespace_row(
+                dataset, fraction, mode, depth, params.m, rounds,
+                family_name, seed,
+            )
+            row["m"] = params.m
+            rows.append(row)
+    return rows
+
+
+def full_tree_memory_mb(namespace_size: int, depth: int, m: int) -> float:
+    """Analytic memory of the *unpruned* tree (Fig. 14's reference line)."""
+    nodes = (1 << (depth + 1)) - 1
+    words = (m + 63) // 64
+    return nodes * words * 8 / 1e6

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment rows.
+
+Benchmarks print the paper's tables as aligned ASCII; keeping the
+renderer here means every bench and example formats identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_rows(
+    rows: Sequence[dict],
+    columns: Iterable[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dictionaries as an aligned ASCII table.
+
+    ``columns`` fixes the column order (defaults to the keys of the first
+    row).  Missing values render as ``-``.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells))
+        for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,19 @@
+"""Small self-contained utilities used across the library.
+
+Nothing in this package knows about Bloom filters; it provides number
+theory helpers (:mod:`repro.utils.primes`), a Fenwick tree used by the
+clustered workload generator (:mod:`repro.utils.fenwick`) and RNG plumbing
+(:mod:`repro.utils.rng`).
+"""
+
+from repro.utils.fenwick import FenwickTree
+from repro.utils.primes import is_prime, mod_inverse, next_prime
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "FenwickTree",
+    "ensure_rng",
+    "is_prime",
+    "mod_inverse",
+    "next_prime",
+]

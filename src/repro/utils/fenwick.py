@@ -1,0 +1,216 @@
+"""Fenwick (binary indexed) tree over float weights with order statistics.
+
+This is the engine behind the paper's *clustered query set* generator
+(Section 7.1): it supports, in ``O(log M)`` each,
+
+* point updates of element weights,
+* sampling an index with probability proportional to its weight
+  (via prefix-sum descent),
+* predecessor / successor queries over the set of *alive* (non-zero
+  weight) elements, needed to find the neighbours ``x`` and ``y`` that
+  receive the sampled element's probability mass.
+
+A subtlety: the generator's "aggressive clustering" step multiplies *every*
+weight by a constant factor each round.  Scaling all weights uniformly does
+not change the sampling distribution, so instead of touching ``M`` entries we
+keep a lazy global multiplier outside the tree and renormalise the stored
+array (a single vectorised multiply, which preserves the Fenwick partial-sum
+structure) only when the multiplier risks underflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FenwickTree:
+    """Fenwick tree over ``size`` float64 weights.
+
+    Weights are addressed by 0-based index.  The tree also maintains an
+    integer "alive" Fenwick (weight > 0) so that rank/select queries over
+    alive elements are ``O(log size)``.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = int(size)
+        # 1-based internal arrays; index 0 unused.
+        self._tree = np.zeros(self.size + 1, dtype=np.float64)
+        self._alive_tree = np.zeros(self.size + 1, dtype=np.int64)
+        self._weights = np.zeros(self.size, dtype=np.float64)
+        self._alive_count = 0
+        # Highest power of two <= size, used by the descent loops.
+        self._log = 1 << (self.size.bit_length() - 1)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, size: int, weight: float = 1.0) -> "FenwickTree":
+        """Build a tree where every element has the same positive weight."""
+        tree = cls(size)
+        tree._weights[:] = weight
+        tree._tree[1:] = _build_fenwick(tree._weights)
+        alive = np.ones(size, dtype=np.int64)
+        tree._alive_tree[1:] = _build_fenwick(alive)
+        tree._alive_count = size
+        return tree
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray) -> "FenwickTree":
+        """Build a tree from an explicit weight vector (zeros = dead)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError("weights must be one-dimensional")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        tree = cls(len(weights))
+        tree._weights[:] = weights
+        tree._tree[1:] = _build_fenwick(tree._weights)
+        alive = (weights > 0).astype(np.int64)
+        tree._alive_tree[1:] = _build_fenwick(alive)
+        tree._alive_count = int(alive.sum())
+        return tree
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Sum of all weights."""
+        return self.prefix_sum(self.size - 1)
+
+    @property
+    def alive_count(self) -> int:
+        """Number of elements with strictly positive weight."""
+        return self._alive_count
+
+    def weight(self, index: int) -> float:
+        """Current weight of ``index``."""
+        return float(self._weights[index])
+
+    def is_alive(self, index: int) -> bool:
+        """Whether ``index`` has strictly positive weight."""
+        return self._weights[index] > 0
+
+    def prefix_sum(self, index: int) -> float:
+        """Sum of weights over ``[0, index]``."""
+        i = index + 1
+        total = 0.0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    # -- updates -----------------------------------------------------------
+
+    def set_weight(self, index: int, value: float) -> None:
+        """Set the weight of ``index`` to ``value`` (>= 0)."""
+        if not 0 <= index < self.size:
+            raise IndexError(index)
+        if value < 0:
+            raise ValueError("weights must be non-negative")
+        delta = value - self._weights[index]
+        was_alive = self._weights[index] > 0
+        self._weights[index] = value
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+        now_alive = value > 0
+        if was_alive != now_alive:
+            step = 1 if now_alive else -1
+            self._alive_count += step
+            i = index + 1
+            while i <= self.size:
+                self._alive_tree[i] += step
+                i += i & (-i)
+
+    def add_weight(self, index: int, delta: float) -> None:
+        """Add ``delta`` to the weight of ``index``."""
+        self.set_weight(index, self._weights[index] + delta)
+
+    def scale_all(self, factor: float) -> None:
+        """Multiply every weight by ``factor`` (> 0) in one vectorised pass.
+
+        Scaling preserves the Fenwick partial-sum invariant, so this is a
+        plain array multiply; aliveness is unchanged because factor > 0.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self._tree *= factor
+        self._weights *= factor
+
+    # -- sampling and order statistics --------------------------------------
+
+    def sample(self, u: float) -> int:
+        """Return the index whose cumulative weight interval contains ``u``.
+
+        ``u`` must lie in ``[0, total)``.  With ``u`` uniform this samples an
+        index with probability proportional to its weight.
+        """
+        pos = 0
+        remaining = u
+        step = self._log
+        while step > 0:
+            nxt = pos + step
+            if nxt <= self.size and self._tree[nxt] <= remaining:
+                remaining -= self._tree[nxt]
+                pos = nxt
+            step >>= 1
+        if pos >= self.size:
+            raise ValueError("u out of range (>= total weight)")
+        return pos  # 0-based: internal pos is count of elements strictly before
+
+    def alive_rank(self, index: int) -> int:
+        """Number of alive elements with index strictly below ``index``."""
+        i = index  # prefix over [0, index-1] -> 1-based position index
+        total = 0
+        while i > 0:
+            total += self._alive_tree[i]
+            i -= i & (-i)
+        return int(total)
+
+    def alive_select(self, rank: int) -> int:
+        """Index of the ``rank``-th alive element (0-based rank)."""
+        if not 0 <= rank < self._alive_count:
+            raise IndexError(rank)
+        pos = 0
+        remaining = rank + 1
+        step = self._log
+        while step > 0:
+            nxt = pos + step
+            if nxt <= self.size and self._alive_tree[nxt] < remaining:
+                remaining -= self._alive_tree[nxt]
+                pos = nxt
+            step >>= 1
+        return pos  # 0-based index of the selected alive element
+
+    def alive_predecessor(self, index: int) -> int | None:
+        """Largest alive index strictly below ``index`` (or ``None``)."""
+        rank = self.alive_rank(index)
+        if rank == 0:
+            return None
+        return self.alive_select(rank - 1)
+
+    def alive_successor(self, index: int) -> int | None:
+        """Smallest alive index strictly above ``index`` (or ``None``)."""
+        rank = self.alive_rank(index + 1)
+        if rank >= self._alive_count:
+            return None
+        return self.alive_select(rank)
+
+
+def _build_fenwick(values: np.ndarray) -> np.ndarray:
+    """Build a Fenwick internal array from plain values, vectorised.
+
+    Uses the prefix-sum identity ``tree[i] = S[i] - S[i - lowbit(i)]``
+    (1-based), which numpy evaluates in a handful of array ops — the
+    clustered generator builds trees over namespaces of millions.
+    """
+    n = len(values)
+    prefix = np.concatenate((np.zeros(1, dtype=np.float64),
+                             np.cumsum(values, dtype=np.float64)))
+    idx = np.arange(1, n + 1, dtype=np.int64)
+    low = idx & (-idx)
+    tree = prefix[idx] - prefix[idx - low]
+    return tree.astype(values.dtype, copy=False)

@@ -1,0 +1,82 @@
+"""Primality testing and modular arithmetic helpers.
+
+The ``Simple`` hash family of the paper, ``h(x) = ((a*x + b) mod p) mod m``,
+needs a prime modulus ``p`` at least as large as the namespace, and its weak
+inversion (Section 4 of the paper) needs the modular inverse of ``a`` mod
+``p``.  This module provides a deterministic Miller-Rabin test that is exact
+for every integer below 3.3 * 10**24 (far beyond any 64-bit namespace) plus
+``next_prime`` and ``mod_inverse``.
+"""
+
+from __future__ import annotations
+
+# Witness set proven deterministic for n < 3_317_044_064_679_887_385_961_981.
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` iff ``n`` is prime.
+
+    Deterministic for all inputs below 3.3e24 (uses the fixed Miller-Rabin
+    witness set); raises ``ValueError`` for larger inputs rather than
+    silently becoming probabilistic.
+    """
+    if n >= 3_317_044_064_679_887_385_961_981:
+        raise ValueError("is_prime is only deterministic below 3.3e24")
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 as d * 2**r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def mod_inverse(a: int, p: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``p``.
+
+    Raises ``ValueError`` when ``a`` is not invertible (i.e. shares a factor
+    with ``p``).
+    """
+    a %= p
+    if a == 0:
+        raise ValueError("0 has no modular inverse")
+    # Extended Euclid.
+    old_r, r = a, p
+    old_s, s = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+    if old_r != 1:
+        raise ValueError(f"{a} is not invertible modulo {p}")
+    return old_s % p

@@ -1,0 +1,26 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts an optional ``rng``
+argument; ``ensure_rng`` normalises ``None`` / seed ints / existing
+generators into a :class:`numpy.random.Generator` so callers can obtain
+reproducible runs by passing a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy ``Generator`` for ``rng``.
+
+    ``None`` gives a fresh nondeterministic generator, an ``int`` is used as
+    a seed, and an existing ``Generator`` is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

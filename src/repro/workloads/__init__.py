@@ -1,0 +1,45 @@
+"""Workload generation: the query sets and namespaces of Sections 7 and 8.
+
+``generators`` produces the uniform and clustered query sets of the
+synthetic micro-benchmarks; ``twitter`` synthesises the low-occupancy
+Twitter scenario of Section 8 (user ids sparsely occupying a huge
+namespace, hashtag query sets).
+"""
+
+from repro.workloads.documents import (
+    SyntheticCorpus,
+    conjunctive_precision_estimate,
+    conjunctive_sample,
+    inverted_index,
+)
+from repro.workloads.generators import (
+    clustered_query_set,
+    clustering_score,
+    select_leaves,
+    uniform_query_set,
+)
+from repro.workloads.graphs import (
+    adjacency_sets,
+    adjacency_store,
+    community_graph,
+    random_walk,
+    relabel_to_integers,
+)
+from repro.workloads.twitter import SyntheticTwitterDataset
+
+__all__ = [
+    "SyntheticCorpus",
+    "SyntheticTwitterDataset",
+    "adjacency_sets",
+    "adjacency_store",
+    "clustered_query_set",
+    "clustering_score",
+    "community_graph",
+    "conjunctive_precision_estimate",
+    "conjunctive_sample",
+    "inverted_index",
+    "random_walk",
+    "relabel_to_integers",
+    "select_leaves",
+    "uniform_query_set",
+]

@@ -1,0 +1,152 @@
+"""Information-retrieval workload: postings lists as Bloom filters.
+
+Section 3.2 names this application directly: store, for every keyword,
+"the list of documents where a keyword occurs".  This module synthesises
+a corpus with the statistics that make the scenario interesting —
+
+* Zipf-distributed keyword document frequencies (a few keywords appear
+  in a large share of documents, most are rare),
+* per-document vocabularies drawn with that skew,
+
+— and builds the inverted index as a
+:class:`~repro.core.store.FilterStore` of postings filters, so the
+library's machinery answers the classic IR operations over the compact
+representation: sample a document containing a keyword, reconstruct a
+postings list, and sample from conjunctive (multi-keyword AND) queries
+via intersection sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class SyntheticCorpus:
+    """A synthetic document collection with Zipf keyword statistics.
+
+    ``postings[k]`` is the sorted array of document ids containing
+    keyword ``k``; document ids form the namespace ``[0, num_documents)``.
+    """
+
+    num_documents: int
+    keywords: list[str]
+    postings: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_keywords(self) -> int:
+        """Vocabulary size."""
+        return len(self.keywords)
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of documents containing ``keyword``."""
+        return int(self.postings[keyword].size)
+
+    def documents_matching(self, keywords: list[str]) -> np.ndarray:
+        """Ground-truth conjunctive query: docs containing *every* keyword."""
+        if not keywords:
+            raise ValueError("need at least one keyword")
+        result = self.postings[keywords[0]]
+        for keyword in keywords[1:]:
+            result = np.intersect1d(result, self.postings[keyword],
+                                    assume_unique=True)
+        return result
+
+    @classmethod
+    def generate(
+        cls,
+        num_documents: int = 100_000,
+        num_keywords: int = 200,
+        max_document_frequency: float = 0.2,
+        min_document_frequency: float = 0.001,
+        zipf_exponent: float = 1.1,
+        rng: "int | np.random.Generator | None" = 0,
+    ) -> "SyntheticCorpus":
+        """Generate a corpus.
+
+        Keyword ``i`` (rank ``i+1``) appears in
+        ``max_df / (i+1)^s`` of the documents, floored at ``min_df`` —
+        the classic Zipf document-frequency curve.  Posting lists are
+        sampled uniformly, mirroring topic-agnostic id assignment.
+        """
+        if not 0 < min_document_frequency <= max_document_frequency <= 1:
+            raise ValueError("need 0 < min_df <= max_df <= 1")
+        rng = ensure_rng(rng)
+        keywords = [f"kw{i:04d}" for i in range(num_keywords)]
+        ranks = np.arange(1, num_keywords + 1, dtype=np.float64)
+        frequencies = np.clip(
+            max_document_frequency / np.power(ranks, zipf_exponent),
+            min_document_frequency, max_document_frequency,
+        )
+        postings = {}
+        for keyword, frequency in zip(keywords, frequencies):
+            size = max(1, int(round(frequency * num_documents)))
+            docs = rng.choice(num_documents, size=size, replace=False)
+            docs = docs.astype(np.uint64)
+            docs.sort()
+            postings[keyword] = docs
+        return cls(num_documents, keywords, postings)
+
+
+def inverted_index(
+    corpus: SyntheticCorpus,
+    family,
+    tree=None,
+    rng: "int | np.random.Generator | None" = None,
+):
+    """Build the corpus's inverted index as a FilterStore.
+
+    Set names are the keywords; with a ``tree`` attached the store
+    supports document sampling and postings reconstruction.
+    """
+    from repro.core.store import FilterStore
+
+    store = FilterStore(family, tree=tree, rng=rng)
+    for keyword in corpus.keywords:
+        store.create(keyword, corpus.postings[keyword])
+    return store
+
+
+def conjunctive_sample(store, keywords: list[str]):
+    """Sample a document from a multi-keyword AND query.
+
+    Uses the intersection sketch (Section 3.1): every true joint match
+    passes, but so do documents that are a member of one postings list
+    and a *false positive* of the others — and those cannot be filtered
+    with the filters alone (passing the AND sketch already implies
+    passing each individual filter).  The expected precision is
+    ``|joint| / (|joint| + sum_i |P_i| * prod_{j != i} FPP_j + ...)``;
+    callers needing certainty must check samples against exact data.
+    """
+    return store.sample_intersection(keywords)
+
+
+def conjunctive_precision_estimate(store, keywords: list[str]) -> float:
+    """Rough expected precision of :func:`conjunctive_sample`.
+
+    Estimates each postings size from its filter and combines it with
+    the filters' expected FPPs for the one-sided-false-positive terms
+    (the dominant contamination for two-keyword queries).
+    """
+    if len(keywords) < 2:
+        return 1.0
+    sizes = [store.filter(k).estimate_cardinality() for k in keywords]
+    fpps = [store.filter(k).expected_fpp(max(1, round(s)))
+            for k, s in zip(keywords, sizes)]
+    # Joint size estimated from the pairwise sketch chain.
+    joint = store.filter(keywords[0])
+    for keyword in keywords[1:]:
+        joint = joint.intersection(store.filter(keyword))
+    joint_size = max(joint.estimate_cardinality(), 1e-9)
+    contamination = 0.0
+    for i, size in enumerate(sizes):
+        others = 1.0
+        for j, fpp in enumerate(fpps):
+            if j != i:
+                others *= fpp
+        contamination += size * others
+    return float(joint_size / (joint_size + contamination))

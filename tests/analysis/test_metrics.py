@@ -1,0 +1,58 @@
+"""Tests for measurement helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import Timer, measured_accuracy, sample_distribution
+
+
+class TestMeasuredAccuracy:
+    def test_all_hits(self):
+        assert measured_accuracy([1, 2, 3], np.array([1, 2, 3, 4])) == 1.0
+
+    def test_mixed(self):
+        assert measured_accuracy([1, 99, 2, 98], np.array([1, 2])) == 0.5
+
+    def test_nones_excluded(self):
+        assert measured_accuracy([1, None, None, 1], np.array([1])) == 1.0
+
+    def test_no_samples(self):
+        with pytest.raises(ValueError):
+            measured_accuracy([None, None], np.array([1]))
+
+
+class TestSampleDistribution:
+    def test_probabilities_align_with_sorted_set(self):
+        true_set = np.array([30, 10, 20])
+        samples = [10, 10, 20, 99]
+        dist = sample_distribution(samples, true_set)
+        np.testing.assert_allclose(dist, [2 / 3, 1 / 3, 0.0])
+
+    def test_empty_inside(self):
+        dist = sample_distribution([99], np.array([1, 2]))
+        np.testing.assert_array_equal(dist, [0.0, 0.0])
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        true_set = np.arange(10)
+        samples = rng.integers(0, 10, size=100).tolist()
+        assert sample_distribution(samples, true_set).sum() == pytest.approx(1.0)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        assert t.elapsed_ms == pytest.approx(t.elapsed * 1e3)
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= first

@@ -1,0 +1,95 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.plots import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    series_from_rows,
+)
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = ascii_line_chart(
+            {"up": ([0, 1, 2], [1.0, 2.0, 3.0]),
+             "down": ([0, 1, 2], [3.0, 2.0, 1.0])},
+            width=20, height=8, title="T", x_label="acc", y_label="ms")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "legend: o up   x down" in chart
+        assert "acc" in chart
+        # Extremes appear on the axis labels.
+        assert "3" in chart and "1" in chart
+
+    def test_markers_placed_at_extremes(self):
+        chart = ascii_line_chart({"s": ([0, 10], [0.0, 5.0])},
+                                 width=11, height=5)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert rows[0].count("o") == 1      # max lands on the top row
+        assert rows[-1].count("o") == 1     # min on the bottom row
+
+    def test_log_scale(self):
+        chart = ascii_line_chart({"s": ([1, 2, 3], [1.0, 10.0, 100.0])},
+                                 log_y=True, width=10, height=7)
+        # On a log axis the three points are equally spaced vertically.
+        marker_rows = [i for i, line in enumerate(chart.splitlines())
+                       if "|" in line and "o" in line]
+        gaps = [b - a for a, b in zip(marker_rows, marker_rows[1:])]
+        assert len(set(gaps)) == 1
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([1], [0.0])}, log_y=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([1, 2], [1.0])})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([], [])})
+
+    def test_flat_series(self):
+        chart = ascii_line_chart({"flat": ([0, 1], [5.0, 5.0])},
+                                 width=8, height=4)
+        assert "o" in chart
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = ascii_bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_bar(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 1.0})
+        assert "0" in chart.splitlines()[0]
+
+    def test_unit_suffix(self):
+        chart = ascii_bar_chart({"a": 2.0}, unit="ms")
+        assert "2ms" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": -1.0})
+
+
+class TestSeriesFromRows:
+    def test_grouping(self):
+        rows = [
+            {"method": "BST", "n": 100, "acc": 0.5, "ms": 1.0},
+            {"method": "BST", "n": 100, "acc": 0.9, "ms": 2.0},
+            {"method": "DA", "n": 100, "acc": 0.5, "ms": 9.0},
+        ]
+        series = series_from_rows(rows, "acc", "ms", ("method", "n"))
+        assert set(series) == {"BST/100", "DA/100"}
+        assert series["BST/100"] == ([0.5, 0.9], [1.0, 2.0])
+
+    def test_round_trip_through_chart(self):
+        rows = [{"m": "A", "x": i, "y": float(i)} for i in range(3)]
+        series = series_from_rows(rows, "x", "y", ("m",))
+        assert "A" in ascii_line_chart(series)

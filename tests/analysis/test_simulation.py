@@ -1,0 +1,66 @@
+"""Tests for the Proposition 5.2 leaf-arrival simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.simulation import leaf_arrival_report
+from repro.core.bloom import BloomFilter
+from repro.core.sampling import BSTSampler, ExactUniformSampler
+from tests.conftest import SMALL_NAMESPACE
+
+
+class TestLeafArrivalReport:
+    def test_exact_sampler_is_proportional(self, small_tree, small_family):
+        rng = np.random.default_rng(4)
+        secret = np.sort(rng.choice(SMALL_NAMESPACE, size=128, replace=False)
+                         ).astype(np.uint64)
+        query = BloomFilter.from_items(secret, small_family)
+        sampler = ExactUniformSampler(small_tree, rng=4, exhaustive=True)
+        report = leaf_arrival_report(small_tree, sampler, query, secret,
+                                     rounds=8_000)
+        assert report.starved_leaves == 0
+        # Uniform-by-construction sampling: ratios concentrate near 1.
+        assert report.max_deviation < 0.6
+        assert np.median(np.abs(report.ratios - 1.0)) < 0.2
+
+    def test_probabilities_normalised(self, small_tree, small_family):
+        rng = np.random.default_rng(5)
+        secret = np.sort(rng.choice(SMALL_NAMESPACE, size=64, replace=False)
+                         ).astype(np.uint64)
+        query = BloomFilter.from_items(secret, small_family)
+        sampler = BSTSampler(small_tree, rng=5)
+        report = leaf_arrival_report(small_tree, sampler, query, secret,
+                                     rounds=2_000)
+        assert report.empirical.sum() == pytest.approx(1.0)
+        assert report.ideal.sum() == pytest.approx(1.0)
+        assert (report.leaf_elements > 0).all()
+        assert report.rounds == 2_000
+
+    def test_descent_sampler_reported_honestly(self, small_tree,
+                                               small_family):
+        """The report exposes descent-sampler distortion when present."""
+        secret = np.array([5, 2000, 4000], dtype=np.uint64)
+        query = BloomFilter.from_items(secret, small_family)
+        sampler = BSTSampler(small_tree, rng=6)
+        report = leaf_arrival_report(small_tree, sampler, query, secret,
+                                     rounds=500)
+        # Three singleton leaves: every ratio is a multiple of 1/ideal.
+        assert len(report.ratios) == 3
+        assert report.max_deviation >= 0.0
+
+    def test_rejects_empty_true_set_coverage(self, small_tree,
+                                             small_family):
+        query = BloomFilter(small_family)
+        sampler = BSTSampler(small_tree, rng=0)
+        with pytest.raises(ValueError):
+            leaf_arrival_report(small_tree, sampler, query,
+                                np.array([], dtype=np.uint64), rounds=10)
+
+    def test_null_rounds_counted(self, small_tree, small_family):
+        # Query filter that stores nothing: every round is null.
+        secret = np.array([17], dtype=np.uint64)
+        empty_query = BloomFilter(small_family)
+        sampler = BSTSampler(small_tree, rng=0)
+        with pytest.raises(ValueError):
+            leaf_arrival_report(small_tree, sampler, empty_query, secret,
+                                rounds=5)

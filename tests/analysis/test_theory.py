@@ -1,0 +1,111 @@
+"""Tests for the closed forms of Propositions 5.2 and 5.3."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    alpha_s,
+    critical_depth,
+    divergence_f,
+    epsilon_m,
+    expected_branching_nodes,
+    expected_nodes_reconstruction,
+    expected_nodes_sampling,
+    sample_probability_bounds,
+)
+from repro.core.cardinality import false_set_overlap_probability
+
+
+class TestEpsilon:
+    def test_vanishes_with_m(self):
+        values = [epsilon_m(m, 1000, 3) for m in (10 ** 4, 10 ** 6, 10 ** 8)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.1
+
+    def test_grows_with_n(self):
+        assert epsilon_m(10 ** 6, 10_000, 3) > epsilon_m(10 ** 6, 100, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epsilon_m(1, 10, 3)
+
+
+class TestDivergence:
+    def test_f_exceeds_epsilon_component(self):
+        f = divergence_f(10 ** 6, 1000, 3, 10 ** 6, 1000)
+        eps = epsilon_m(10 ** 6, 1000, 3)
+        assert f == pytest.approx(2 * eps * math.log2(1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            divergence_f(100, 10, 3, 10, 100)
+
+
+class TestSampleBounds:
+    def test_interval_brackets_share(self):
+        lo, hi = sample_probability_bounds(0.25, 10 ** 8, 100, 3)
+        assert lo <= 0.25 <= hi
+        assert lo > 0.2  # eps is small at this m
+
+    def test_clamped_at_zero(self):
+        lo, __ = sample_probability_bounds(0.01, 1000, 1000, 3)
+        assert lo == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_probability_bounds(1.5, 1000, 10, 3)
+
+
+class TestBranchingProcess:
+    def test_alpha_matches_eq1(self):
+        a = alpha_s(3, 50, 10_000, 3, 1 << 20)
+        expected = false_set_overlap_probability(50, 1 << 17, 10_000, 3)
+        assert a == pytest.approx(expected)
+
+    def test_alpha_decreases_with_depth(self):
+        values = [alpha_s(d, 10, 10 ** 6, 3, 1 << 20) for d in range(0, 15, 3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_expected_nodes_subcritical(self):
+        assert expected_branching_nodes(0.0) == 0.0
+        assert expected_branching_nodes(0.25) == pytest.approx(0.5)
+        assert math.isinf(expected_branching_nodes(0.5))
+        assert math.isinf(expected_branching_nodes(0.9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_branching_nodes(-0.1)
+        with pytest.raises(ValueError):
+            alpha_s(-1, 10, 100, 3, 1000)
+
+
+class TestCriticalDepth:
+    def test_formula(self):
+        d = critical_depth(10 ** 6, 1000, 60_870, 3)
+        expected = math.log2(10 ** 6 * 9 * 1000 / (60_870 * math.log(2)))
+        assert d == pytest.approx(expected)
+
+    def test_shrinks_with_m(self):
+        assert critical_depth(10 ** 6, 1000, 10 ** 7, 3) < \
+            critical_depth(10 ** 6, 1000, 10 ** 4, 3)
+
+    def test_floor_at_zero(self):
+        assert critical_depth(100, 1, 10 ** 9, 1) == 0.0
+
+
+class TestNodeBounds:
+    def test_sampling_bound_components(self):
+        bound = expected_nodes_sampling(1 << 20, 1 << 10, 10 ** 6, 3, 100)
+        assert bound == pytest.approx(10 + (1 << 20) * 9 * 100 / 10 ** 6)
+
+    def test_reconstruction_bound_scales_with_n(self):
+        small = expected_nodes_reconstruction(1 << 20, 1 << 10, 10 ** 6, 3, 10)
+        large = expected_nodes_reconstruction(1 << 20, 1 << 10, 10 ** 6, 3, 100)
+        assert large == pytest.approx(10 * small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_nodes_sampling(10, 100, 10 ** 6, 3, 1)
+        with pytest.raises(ValueError):
+            expected_nodes_reconstruction(10, 100, 10 ** 6, 3, 1)

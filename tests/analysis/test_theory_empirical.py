@@ -1,0 +1,97 @@
+"""Empirical validation of the paper's probability formulas.
+
+These tests simulate the events the formulas describe and check the
+measured frequencies against the closed forms — the reproduction's
+ground-truth link between Section 3/5 theory and the implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.cardinality import (
+    estimate_cardinality,
+    false_positive_rate,
+    false_set_overlap_probability,
+)
+from repro.core.hashing import create_family
+from repro.core.sampling import BSTSampler
+from repro.core.tree import BloomSampleTree
+
+
+class TestFalseSetOverlapEq1:
+    def test_empirical_overlap_probability(self):
+        """Eq. (1) predicts how often disjoint sets' filters intersect."""
+        m, k, n1, n2 = 256, 2, 3, 3
+        namespace = 10_000
+        rng = np.random.default_rng(0)
+        trials = 400
+        overlaps = 0
+        for seed in range(trials):
+            family = create_family("murmur3", k, m, seed=seed)
+            ids = rng.choice(namespace, size=n1 + n2, replace=False)
+            a = BloomFilter.from_items(ids[:n1].astype(np.uint64), family)
+            b = BloomFilter.from_items(ids[n1:].astype(np.uint64), family)
+            overlaps += a.bits.intersects(b.bits)
+        predicted = false_set_overlap_probability(n1, n2, m, k)
+        observed = overlaps / trials
+        # Binomial noise at 400 trials: allow ~3 sigma.
+        sigma = np.sqrt(predicted * (1 - predicted) / trials)
+        assert abs(observed - predicted) < max(3 * sigma, 0.03)
+
+
+class TestFppModel:
+    def test_empirical_false_positive_rate(self):
+        m, k, n = 4_096, 3, 300
+        namespace = 100_000
+        family = create_family("murmur3", k, m, seed=5)
+        rng = np.random.default_rng(5)
+        members = rng.choice(namespace // 2, size=n, replace=False)
+        bloom = BloomFilter.from_items(members.astype(np.uint64), family)
+        outsiders = np.arange(namespace // 2, namespace, dtype=np.uint64)
+        observed = bloom.contains_many(outsiders).mean()
+        predicted = false_positive_rate(n, m, k)
+        assert observed == pytest.approx(predicted, rel=0.15)
+
+
+class TestCardinalityEstimator:
+    def test_estimator_is_calibrated(self):
+        """Across random filters the estimate centres on the truth."""
+        m, k, n = 8_192, 3, 500
+        estimates = []
+        for seed in range(30):
+            family = create_family("murmur3", k, m, seed=seed)
+            rng = np.random.default_rng(seed)
+            items = rng.choice(1 << 30, size=n, replace=False)
+            bloom = BloomFilter.from_items(items.astype(np.uint64), family)
+            estimates.append(estimate_cardinality(bloom.count_ones(), m, k))
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(n, rel=0.03)
+        # Spread should be modest at this fill ratio.
+        assert float(np.std(estimates)) < 0.1 * n
+
+
+class TestNodeVisitEfficiency:
+    def test_visits_stay_near_tree_height(self):
+        """Prop. 5.3's efficiency story: visits ~ height, not ~ nodes.
+
+        The sampler's node count must sit within a small constant of the
+        lower bound ``depth + 1`` (the direct root-to-leaf path) — far
+        below the tree's total node count, which is what makes the BST
+        beat the dictionary attack (Figs. 3-6).
+        """
+        namespace, m, depth = 16_384, 8_192, 6
+        family = create_family("murmur3", 3, m, seed=2)
+        tree = BloomSampleTree.build(namespace, depth, family)
+        rng = np.random.default_rng(2)
+        for n in (16, 256, 2_048):
+            items = rng.choice(namespace, size=n, replace=False)
+            query = BloomFilter.from_items(items.astype(np.uint64), family)
+            sampler = BSTSampler(tree, rng=3)
+            mean_nodes = float(np.mean([
+                sampler.sample(query).ops.nodes_visited
+                for __ in range(120)
+            ]))
+            assert mean_nodes >= depth + 1
+            assert mean_nodes <= 3 * (depth + 1)
+            assert mean_nodes < tree.num_nodes / 4

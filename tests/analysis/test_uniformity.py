@@ -1,0 +1,95 @@
+"""Tests for the chi-squared uniformity protocol (Section 7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uniformity import (
+    chi_squared_uniformity,
+    recommended_rounds,
+    sample_counts,
+    total_variation_distance,
+    uniformity_p_value,
+)
+
+
+class TestChiSquared:
+    def test_uniform_counts_pass(self):
+        rng = np.random.default_rng(0)
+        draws = rng.integers(0, 50, size=50 * 130)
+        counts = np.bincount(draws, minlength=50)
+        __, p = chi_squared_uniformity(counts)
+        assert p > 0.05
+
+    def test_skewed_counts_fail(self):
+        counts = np.full(50, 130)
+        counts[0] = 1300  # one element 10x over-sampled
+        __, p = chi_squared_uniformity(counts)
+        assert p < 0.001
+
+    def test_starved_elements_fail(self):
+        counts = np.full(50, 130)
+        counts[:10] = 0
+        __, p = chi_squared_uniformity(counts)
+        assert p < 0.001
+
+    def test_statistic_is_pearson(self):
+        counts = np.array([10, 20, 30])
+        stat, __ = chi_squared_uniformity(counts)
+        expected = ((counts - 20.0) ** 2 / 20.0).sum()
+        assert stat == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_squared_uniformity(np.array([5]))
+        with pytest.raises(ValueError):
+            chi_squared_uniformity(np.zeros(5))
+
+
+class TestProtocolHelpers:
+    def test_recommended_rounds(self):
+        assert recommended_rounds(100) == 13_000
+        assert recommended_rounds(1) == 130
+        with pytest.raises(ValueError):
+            recommended_rounds(0)
+
+    def test_sample_counts_alignment(self):
+        population = [10, 20, 30]
+        samples = [10, 10, 30, 99]  # 99 is outside: ignored
+        counts = sample_counts(samples, population)
+        np.testing.assert_array_equal(counts, [2, 0, 1])
+
+    def test_uniformity_p_value_wrapper(self):
+        rng = np.random.default_rng(1)
+        population = list(range(20))
+        samples = rng.choice(population, size=20 * 130).tolist()
+        assert uniformity_p_value(samples, population) > 0.01
+
+    def test_no_samples_in_population(self):
+        with pytest.raises(ValueError):
+            uniformity_p_value([99, 98], [1, 2, 3])
+
+
+class TestTotalVariation:
+    def test_perfectly_uniform_is_zero(self):
+        assert total_variation_distance(np.full(10, 7)) == 0.0
+
+    def test_concentrated_approaches_one(self):
+        counts = np.zeros(100, dtype=np.int64)
+        counts[0] = 1_000
+        assert total_variation_distance(counts) == pytest.approx(0.99)
+
+    def test_half_starved(self):
+        counts = np.array([2, 2, 0, 0])
+        assert total_variation_distance(counts) == pytest.approx(0.5)
+
+    def test_sampling_noise_is_small(self):
+        rng = np.random.default_rng(0)
+        counts = np.bincount(rng.integers(0, 50, size=50 * 200),
+                             minlength=50)
+        assert total_variation_distance(counts) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1]))
+        with pytest.raises(ValueError):
+            total_variation_distance(np.zeros(4))

@@ -1,0 +1,82 @@
+"""Tests for the DictionaryAttack baseline (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dictionary_attack import DictionaryAttack, reservoir_sample
+from repro.core.bloom import BloomFilter
+from tests.conftest import SMALL_NAMESPACE
+
+
+class TestReservoirSample:
+    def test_empty_stream(self):
+        assert reservoir_sample([]) is None
+
+    def test_single_element(self):
+        assert reservoir_sample([42], rng=0) == 42
+
+    def test_uniformity(self):
+        rng = np.random.default_rng(0)
+        counts = np.zeros(5, dtype=np.int64)
+        for __ in range(5000):
+            counts[reservoir_sample(range(5), rng=rng)] += 1
+        freqs = counts / counts.sum()
+        np.testing.assert_allclose(freqs, 0.2, atol=0.03)
+
+
+class TestSampling:
+    def test_sample_is_positive(self, query_filter, secret_set):
+        attack = DictionaryAttack(SMALL_NAMESPACE, rng=0)
+        for __ in range(10):
+            result = attack.sample(query_filter)
+            assert result.value in query_filter
+
+    def test_membership_cost_is_namespace(self, query_filter):
+        attack = DictionaryAttack(SMALL_NAMESPACE, rng=0)
+        result = attack.sample(query_filter)
+        assert result.ops.memberships == SMALL_NAMESPACE
+
+    def test_empty_filter_none(self, small_family):
+        attack = DictionaryAttack(SMALL_NAMESPACE, rng=0)
+        assert attack.sample(BloomFilter(small_family)).value is None
+
+    def test_uniform_over_positives(self, small_family):
+        """Chunked reservoir matches the uniform distribution exactly."""
+        secret = np.array([1, 100, 1000, 2000, 4000], dtype=np.uint64)
+        query = BloomFilter.from_items(secret, small_family)
+        attack = DictionaryAttack(SMALL_NAMESPACE, chunk_size=700, rng=3)
+        counts = {}
+        for __ in range(3000):
+            v = attack.sample(query).value
+            counts[v] = counts.get(v, 0) + 1
+        # All positives seen, frequencies near-uniform.
+        positives = sorted(counts)
+        assert set(secret.tolist()) <= set(positives)
+        freqs = np.array([counts[p] for p in positives]) / 3000
+        np.testing.assert_allclose(freqs, 1 / len(positives), atol=0.04)
+
+    def test_chunk_boundaries(self, small_family):
+        secret = np.array([0, 699, 700, SMALL_NAMESPACE - 1], dtype=np.uint64)
+        query = BloomFilter.from_items(secret, small_family)
+        attack = DictionaryAttack(SMALL_NAMESPACE, chunk_size=700, rng=1)
+        seen = {attack.sample(query).value for __ in range(200)}
+        assert set(secret.tolist()) <= seen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DictionaryAttack(0)
+
+
+class TestReconstruction:
+    def test_exact_positive_set(self, query_filter):
+        attack = DictionaryAttack(SMALL_NAMESPACE, rng=0)
+        elements, ops = attack.reconstruct(query_filter)
+        namespace = np.arange(SMALL_NAMESPACE, dtype=np.uint64)
+        expected = namespace[query_filter.contains_many(namespace)]
+        np.testing.assert_array_equal(elements, expected)
+        assert ops.memberships == SMALL_NAMESPACE
+
+    def test_empty_filter(self, small_family):
+        attack = DictionaryAttack(SMALL_NAMESPACE, rng=0)
+        elements, __ = attack.reconstruct(BloomFilter(small_family))
+        assert elements.size == 0

@@ -1,0 +1,105 @@
+"""Tests for the HashInvert baseline (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hashinvert import HashInvert
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import NotInvertibleError
+from tests.conftest import SMALL_NAMESPACE
+
+
+@pytest.fixture()
+def simple_query(simple_family, secret_set):
+    return BloomFilter.from_items(secret_set, simple_family)
+
+
+class TestSampling:
+    def test_sample_is_positive(self, simple_query):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        for __ in range(20):
+            result = invert.sample(simple_query)
+            assert result.value is not None
+            assert result.value in simple_query
+
+    def test_ops_counted(self, simple_query):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        result = invert.sample(simple_query)
+        assert result.ops.hash_inversions == simple_query.k
+        assert result.ops.memberships > 0
+
+    def test_empty_filter_none(self, simple_family):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        assert invert.sample(BloomFilter(simple_family)).value is None
+
+    def test_requires_invertible_family(self, query_filter):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        with pytest.raises(NotInvertibleError):
+            invert.sample(query_filter)
+
+    def test_eventually_covers_set(self, simple_family):
+        secret = np.array([5, 500, 2500, 4000], dtype=np.uint64)
+        query = BloomFilter.from_items(secret, simple_family)
+        invert = HashInvert(SMALL_NAMESPACE, rng=1)
+        seen = {invert.sample(query).value for __ in range(400)}
+        assert set(secret.tolist()) <= seen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashInvert(0)
+
+
+class TestReconstruction:
+    def _brute(self, query):
+        namespace = np.arange(SMALL_NAMESPACE, dtype=np.uint64)
+        return namespace[query.contains_many(namespace)]
+
+    def test_set_bits_strategy_exact(self, simple_query):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        elements, ops = invert.reconstruct(simple_query, strategy="set-bits")
+        np.testing.assert_array_equal(elements, self._brute(simple_query))
+        assert ops.memberships > 0
+
+    def test_unset_bits_strategy_exact(self, simple_query):
+        """The complement trick needs zero membership queries."""
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        elements, ops = invert.reconstruct(simple_query, strategy="unset-bits")
+        np.testing.assert_array_equal(elements, self._brute(simple_query))
+        assert ops.memberships == 0
+
+    def test_auto_picks_by_density(self, simple_family):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        sparse = BloomFilter.from_items(np.arange(16, dtype=np.uint64),
+                                        simple_family)
+        assert sparse.fill_ratio() <= 0.5
+        __, ops = invert.reconstruct(sparse, strategy="auto")
+        assert ops.memberships > 0  # chose set-bits
+
+        dense = BloomFilter.from_items(
+            np.arange(0, SMALL_NAMESPACE, 1, dtype=np.uint64), simple_family)
+        assert dense.fill_ratio() > 0.5
+        __, ops = invert.reconstruct(dense, strategy="auto")
+        assert ops.memberships == 0  # chose unset-bits
+
+    def test_strategies_agree(self, simple_query):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        a, __ = invert.reconstruct(simple_query, strategy="set-bits")
+        b, __ = invert.reconstruct(simple_query, strategy="unset-bits")
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_filter(self, simple_family):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        elements, __ = invert.reconstruct(BloomFilter(simple_family),
+                                          strategy="set-bits")
+        assert elements.size == 0
+
+    def test_unknown_strategy(self, simple_query):
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        with pytest.raises(ValueError):
+            invert.reconstruct(simple_query, strategy="best")
+
+    def test_inversion_savings_vs_dictionary(self, simple_query):
+        """HashInvert queries fewer candidates than the whole namespace."""
+        invert = HashInvert(SMALL_NAMESPACE, rng=0)
+        __, ops = invert.reconstruct(simple_query, strategy="set-bits")
+        assert ops.memberships < SMALL_NAMESPACE

@@ -1,0 +1,85 @@
+"""Shared fixtures: a small namespace + tree every suite can afford.
+
+The fixtures deliberately use a *large* filter relative to the namespace
+(m chosen for accuracy ~0.99) so that estimator noise does not make
+behavioural assertions flaky; noise-regime behaviour is tested explicitly
+where it matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BloomFilter,
+    BloomSampleTree,
+    PrunedBloomSampleTree,
+    create_family,
+)
+
+SMALL_M = 16_384
+SMALL_NAMESPACE = 4_096
+SMALL_DEPTH = 5
+SMALL_K = 3
+
+
+@pytest.fixture(scope="session")
+def small_family():
+    """Murmur3 family over the small namespace."""
+    return create_family("murmur3", SMALL_K, SMALL_M,
+                         namespace_size=SMALL_NAMESPACE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def simple_family():
+    """Weakly invertible family over the small namespace."""
+    return create_family("simple", SMALL_K, SMALL_M,
+                         namespace_size=SMALL_NAMESPACE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_family):
+    """Complete BloomSampleTree over the small namespace."""
+    return BloomSampleTree.build(SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+
+
+@pytest.fixture(scope="session")
+def simple_tree(simple_family):
+    """Complete tree with the invertible family."""
+    return BloomSampleTree.build(SMALL_NAMESPACE, SMALL_DEPTH, simple_family)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def secret_set(rng):
+    """A 64-element uniform secret set in the small namespace."""
+    values = rng.choice(SMALL_NAMESPACE, size=64, replace=False)
+    return np.sort(values).astype(np.uint64)
+
+
+@pytest.fixture()
+def query_filter(secret_set, small_family):
+    """Query Bloom filter storing the secret set (murmur3 family)."""
+    return BloomFilter.from_items(secret_set, small_family)
+
+
+@pytest.fixture()
+def simple_query_filter(secret_set, simple_family):
+    """Query Bloom filter storing the secret set (simple family)."""
+    return BloomFilter.from_items(secret_set, simple_family)
+
+
+@pytest.fixture()
+def sparse_pruned_tree(small_family, rng):
+    """Pruned tree over 256 occupied ids in the small namespace."""
+    occupied = np.sort(rng.choice(SMALL_NAMESPACE, size=256, replace=False))
+    tree = PrunedBloomSampleTree.build(
+        occupied.astype(np.uint64), SMALL_NAMESPACE, SMALL_DEPTH, small_family
+    )
+    return tree, occupied.astype(np.uint64)

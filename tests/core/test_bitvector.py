@@ -1,0 +1,182 @@
+"""Tests for the numpy-backed bit vector."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import BitVector
+
+
+class TestSingleBits:
+    def test_starts_empty(self):
+        bv = BitVector(100)
+        assert bv.count_ones() == 0
+        assert not bv.any()
+        assert not bv.get_bit(0)
+        assert not bv.get_bit(99)
+
+    def test_set_and_get(self):
+        bv = BitVector(100)
+        for pos in (0, 1, 63, 64, 65, 99):
+            bv.set_bit(pos)
+            assert bv.get_bit(pos)
+        assert bv.count_ones() == 6
+
+    def test_set_idempotent(self):
+        bv = BitVector(10)
+        bv.set_bit(3)
+        bv.set_bit(3)
+        assert bv.count_ones() == 1
+
+    def test_bounds_checked(self):
+        bv = BitVector(10)
+        with pytest.raises(IndexError):
+            bv.set_bit(10)
+        with pytest.raises(IndexError):
+            bv.get_bit(-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+
+class TestBatchOps:
+    def test_set_many_matches_loop(self):
+        rng = np.random.default_rng(0)
+        positions = rng.integers(0, 1000, size=200, dtype=np.uint64)
+        batch = BitVector(1000)
+        batch.set_many(positions)
+        loop = BitVector(1000)
+        for p in positions.tolist():
+            loop.set_bit(int(p))
+        assert batch == loop
+
+    def test_test_many_matches_get(self):
+        rng = np.random.default_rng(1)
+        bv = BitVector(500)
+        bv.set_many(rng.integers(0, 500, size=100, dtype=np.uint64))
+        probes = rng.integers(0, 500, size=300, dtype=np.uint64)
+        results = bv.test_many(probes)
+        for p, r in zip(probes.tolist(), results.tolist()):
+            assert r == bv.get_bit(int(p))
+
+    def test_test_many_2d_shape(self):
+        bv = BitVector(64)
+        bv.set_many(np.array([1, 2, 3], dtype=np.uint64))
+        probes = np.array([[1, 2], [3, 4]], dtype=np.uint64)
+        result = bv.test_many(probes)
+        assert result.shape == (2, 2)
+        assert result.tolist() == [[True, True], [True, False]]
+
+    def test_set_many_empty_noop(self):
+        bv = BitVector(64)
+        bv.set_many(np.array([], dtype=np.uint64))
+        assert bv.count_ones() == 0
+
+    def test_set_many_bounds(self):
+        bv = BitVector(64)
+        with pytest.raises(IndexError):
+            bv.set_many(np.array([64], dtype=np.uint64))
+
+
+class TestWholeVector:
+    def _pair(self):
+        a = BitVector(130)
+        b = BitVector(130)
+        a.set_many(np.array([0, 5, 64, 127], dtype=np.uint64))
+        b.set_many(np.array([5, 63, 64, 129], dtype=np.uint64))
+        return a, b
+
+    def test_and(self):
+        a, b = self._pair()
+        assert sorted((a & b).set_positions().tolist()) == [5, 64]
+
+    def test_or(self):
+        a, b = self._pair()
+        assert sorted((a | b).set_positions().tolist()) == [0, 5, 63, 64, 127, 129]
+
+    def test_inplace_ops(self):
+        a, b = self._pair()
+        c = a.copy()
+        c &= b
+        assert c == (a & b)
+        d = a.copy()
+        d |= b
+        assert d == (a | b)
+
+    def test_intersection_count(self):
+        a, b = self._pair()
+        assert a.intersection_count(b) == 2
+        assert a.intersects(b)
+
+    def test_disjoint_intersects_false(self):
+        a = BitVector(64)
+        b = BitVector(64)
+        a.set_bit(1)
+        b.set_bit(2)
+        assert not a.intersects(b)
+        assert a.intersection_count(b) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector(64) & BitVector(65)
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeError):
+            BitVector(64) & object()
+
+    def test_clear(self):
+        a, _ = self._pair()
+        a.clear()
+        assert a.count_ones() == 0
+
+    def test_copy_independent(self):
+        a, _ = self._pair()
+        c = a.copy()
+        c.set_bit(10)
+        assert not a.get_bit(10)
+
+
+class TestPositions:
+    def test_set_and_unset_partition(self):
+        rng = np.random.default_rng(3)
+        bv = BitVector(300)
+        bv.set_many(rng.integers(0, 300, size=80, dtype=np.uint64))
+        set_pos = bv.set_positions()
+        unset_pos = bv.unset_positions()
+        assert len(set_pos) + len(unset_pos) == 300
+        assert len(np.intersect1d(set_pos, unset_pos)) == 0
+        assert bv.count_ones() == len(set_pos)
+
+    def test_positions_below_num_bits(self):
+        # num_bits not a multiple of 64: padding bits must not leak.
+        bv = BitVector(70)
+        bv.set_bit(69)
+        assert bv.set_positions().tolist() == [69]
+        assert len(bv.unset_positions()) == 69
+
+    def test_nbytes(self):
+        assert BitVector(64).nbytes == 8
+        assert BitVector(65).nbytes == 16
+
+
+class TestModelEquivalence:
+    """Cross-check all ops against a Python big-int model."""
+
+    def test_random_ops_match_int_model(self):
+        rng = np.random.default_rng(9)
+        size = 257
+        bv_a, bv_b = BitVector(size), BitVector(size)
+        int_a = int_b = 0
+        for __ in range(300):
+            pos = int(rng.integers(0, size))
+            if rng.random() < 0.5:
+                bv_a.set_bit(pos)
+                int_a |= 1 << pos
+            else:
+                bv_b.set_bit(pos)
+                int_b |= 1 << pos
+        assert bv_a.count_ones() == bin(int_a).count("1")
+        assert (bv_a & bv_b).count_ones() == bin(int_a & int_b).count("1")
+        assert (bv_a | bv_b).count_ones() == bin(int_a | int_b).count("1")
+        for pos in range(size):
+            assert bv_a.get_bit(pos) == bool(int_a >> pos & 1)

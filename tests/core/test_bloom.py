@@ -1,0 +1,145 @@
+"""Tests for the Bloom filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import create_family
+
+M = 8_192
+NAMESPACE = 4_096
+K = 3
+
+
+@pytest.fixture(scope="module")
+def family():
+    return create_family("murmur3", K, M, namespace_size=NAMESPACE, seed=7)
+
+
+@pytest.fixture(scope="module")
+def other_family():
+    return create_family("murmur3", K, M, namespace_size=NAMESPACE, seed=8)
+
+
+class TestMembership:
+    def test_empty_filter_contains_nothing(self, family):
+        bloom = BloomFilter(family)
+        assert bloom.is_empty()
+        assert 0 not in bloom
+        assert not bloom.contains_many(np.arange(50, dtype=np.uint64)).any()
+
+    def test_no_false_negatives(self, family):
+        rng = np.random.default_rng(1)
+        items = rng.choice(NAMESPACE, size=300, replace=False).astype(np.uint64)
+        bloom = BloomFilter.from_items(items, family)
+        assert bloom.contains_many(items).all()
+        for x in items[:20].tolist():
+            assert int(x) in bloom
+
+    def test_scalar_matches_batch(self, family):
+        rng = np.random.default_rng(2)
+        items = rng.choice(NAMESPACE, size=100, replace=False).astype(np.uint64)
+        bloom = BloomFilter.from_items(items, family)
+        probes = np.arange(0, 500, dtype=np.uint64)
+        batch = bloom.contains_many(probes)
+        for x, hit in zip(probes.tolist(), batch.tolist()):
+            assert (int(x) in bloom) == hit
+
+    def test_false_positive_rate_near_model(self, family):
+        rng = np.random.default_rng(3)
+        n = 200
+        items = rng.choice(NAMESPACE // 2, size=n, replace=False).astype(np.uint64)
+        bloom = BloomFilter.from_items(items, family)
+        outsiders = np.arange(NAMESPACE // 2, NAMESPACE, dtype=np.uint64)
+        observed = bloom.contains_many(outsiders).mean()
+        model = bloom.expected_fpp(n)
+        assert observed == pytest.approx(model, abs=0.02)
+
+    def test_add_scalar(self, family):
+        bloom = BloomFilter(family)
+        bloom.add(42)
+        assert 42 in bloom
+        assert bloom.approximate_count == 1
+
+    def test_empty_batch_noop(self, family):
+        bloom = BloomFilter(family)
+        bloom.add_many(np.array([], dtype=np.uint64))
+        assert bloom.is_empty()
+        assert bloom.contains_many(np.array([], dtype=np.uint64)).size == 0
+
+
+class TestSetAlgebra:
+    def test_union_equals_filter_of_union(self, family):
+        a_items = np.arange(0, 100, dtype=np.uint64)
+        b_items = np.arange(50, 150, dtype=np.uint64)
+        a = BloomFilter.from_items(a_items, family)
+        b = BloomFilter.from_items(b_items, family)
+        union = a.union(b)
+        direct = BloomFilter.from_items(np.arange(0, 150, dtype=np.uint64),
+                                        family)
+        assert union == direct  # exact identity from Section 3.1
+
+    def test_union_update_in_place(self, family):
+        a = BloomFilter.from_items(np.arange(10, dtype=np.uint64), family)
+        b = BloomFilter.from_items(np.arange(10, 20, dtype=np.uint64), family)
+        expected = a.union(b)
+        a.union_update(b)
+        assert a == expected
+
+    def test_intersection_superset_of_true_intersection(self, family):
+        a = BloomFilter.from_items(np.arange(0, 100, dtype=np.uint64), family)
+        b = BloomFilter.from_items(np.arange(50, 150, dtype=np.uint64), family)
+        inter = a.intersection(b)
+        true_inter = BloomFilter.from_items(np.arange(50, 100, dtype=np.uint64),
+                                            family)
+        # Every bit of B(A n B) is set in B(A) & B(B).
+        assert (inter.bits.words & true_inter.bits.words
+                == true_inter.bits.words).all()
+
+    def test_incompatible_filters_rejected(self, family, other_family):
+        a = BloomFilter(family)
+        b = BloomFilter(other_family)
+        with pytest.raises(ValueError):
+            a.union(b)
+        with pytest.raises(ValueError):
+            a.intersection(b)
+        with pytest.raises(TypeError):
+            a.union(object())
+
+    def test_copy_independent(self, family):
+        a = BloomFilter.from_items(np.arange(10, dtype=np.uint64), family)
+        b = a.copy()
+        b.add(3_000)
+        assert a != b
+
+
+class TestEstimation:
+    def test_cardinality_estimate_close(self, family):
+        rng = np.random.default_rng(5)
+        for n in (10, 100, 400):
+            items = rng.choice(NAMESPACE, size=n, replace=False).astype(np.uint64)
+            bloom = BloomFilter.from_items(items, family)
+            assert bloom.estimate_cardinality() == pytest.approx(n, rel=0.15)
+
+    def test_intersection_estimate_tracks_overlap(self, family):
+        base = np.arange(0, 300, dtype=np.uint64)
+        a = BloomFilter.from_items(base, family)
+        estimates = []
+        for overlap in (0, 100, 200, 300):
+            other = np.arange(300 - overlap, 600 - overlap, dtype=np.uint64)
+            b = BloomFilter.from_items(other, family)
+            estimates.append(a.estimate_intersection(b))
+        # Monotone in the true overlap, and roughly calibrated.
+        assert estimates == sorted(estimates)
+        assert estimates[-1] == pytest.approx(300, rel=0.2)
+        assert estimates[0] < 30
+
+    def test_fill_ratio(self, family):
+        bloom = BloomFilter.from_items(np.arange(100, dtype=np.uint64), family)
+        assert 0 < bloom.fill_ratio() < 0.1
+        assert bloom.count_ones() == bloom.bits.count_ones()
+
+    def test_mismatched_bits_rejected(self, family):
+        from repro.core.bitvector import BitVector
+        with pytest.raises(ValueError):
+            BloomFilter(family, BitVector(M + 1))

@@ -1,0 +1,130 @@
+"""Tests for the estimator formulas and Eq. (1)."""
+
+import math
+
+import pytest
+
+from repro.core.cardinality import (
+    estimate_cardinality,
+    estimate_intersection_size,
+    false_positive_rate,
+    false_set_overlap_probability,
+)
+
+
+class TestFalsePositiveRate:
+    def test_zero_items(self):
+        assert false_positive_rate(0, 1000, 3) == 0.0
+
+    def test_monotone_in_n(self):
+        rates = [false_positive_rate(n, 10_000, 3) for n in (10, 100, 1000)]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_m(self):
+        rates = [false_positive_rate(100, m, 3) for m in (500, 5_000, 50_000)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_known_value(self):
+        # (1 - e^{-1})^1 at k=1, n=m.
+        assert false_positive_rate(1000, 1000, 1) == pytest.approx(
+            1 - math.exp(-1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(-1, 100, 3)
+        with pytest.raises(ValueError):
+            false_positive_rate(1, 0, 3)
+
+
+class TestCardinalityEstimate:
+    def test_roundtrip_expected_bits(self):
+        m, k = 10_000, 3
+        for n in (10, 100, 1000):
+            # Expected number of set bits after n insertions.
+            t = round(m * (1 - (1 - 1 / m) ** (k * n)))
+            assert estimate_cardinality(t, m, k) == pytest.approx(n, rel=0.02)
+
+    def test_empty(self):
+        assert estimate_cardinality(0, 100, 3) == 0.0
+
+    def test_full_is_infinite(self):
+        assert math.isinf(estimate_cardinality(100, 100, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_cardinality(101, 100, 3)
+        with pytest.raises(ValueError):
+            estimate_cardinality(5, 1, 3)
+
+
+class TestIntersectionEstimate:
+    def _expected_bits(self, n, m, k):
+        return m * (1 - (1 - 1 / m) ** (k * n))
+
+    def test_calibrated_on_expectations(self):
+        """Feeding the estimator exact expected bit counts recovers sizes."""
+        m, k = 100_000, 3
+        n1, n2, shared = 1000, 800, 300
+        t1 = self._expected_bits(n1, m, k)
+        t2 = self._expected_bits(n2, m, k)
+        # P(bit set in both) = 1 - P(!A) - P(!B) + P(!(A u B)).
+        p_not_a = (1 - 1 / m) ** (k * n1)
+        p_not_b = (1 - 1 / m) ** (k * n2)
+        p_not_union = (1 - 1 / m) ** (k * (n1 + n2 - shared))
+        t_and = m * (1 - p_not_a - p_not_b + p_not_union)
+        estimate = estimate_intersection_size(
+            round(t1), round(t2), round(t_and), m, k)
+        assert estimate == pytest.approx(shared, rel=0.05)
+
+    def test_disjoint_on_expectations_is_zero(self):
+        m, k = 100_000, 3
+        t1 = round(self._expected_bits(1000, m, k))
+        t2 = round(self._expected_bits(800, m, k))
+        p_not_union = (1 - 1 / m) ** (k * 1800)
+        t_and = round(m * (1 - (1 - 1 / m) ** (k * 1000)
+                           - (1 - 1 / m) ** (k * 800) + p_not_union))
+        estimate = estimate_intersection_size(t1, t2, t_and, m, k)
+        assert estimate == pytest.approx(0.0, abs=1.0)
+
+    def test_zero_and_bits(self):
+        assert estimate_intersection_size(100, 100, 0, 1000, 3) == 0.0
+
+    def test_saturated_returns_inf(self):
+        m = 1000
+        assert math.isinf(estimate_intersection_size(m, m, m, m, 3))
+
+    def test_never_negative(self):
+        # t_and below the independence baseline clamps to zero.
+        assert estimate_intersection_size(500, 500, 1, 10_000, 3) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_intersection_size(2000, 10, 5, 1000, 3)
+        with pytest.raises(ValueError):
+            estimate_intersection_size(10, 10, 5, 1, 3)
+
+
+class TestFalseSetOverlap:
+    def test_eq1_reference(self):
+        # Direct evaluation of Eq. (1).
+        m, k, n1, n2 = 1000, 3, 10, 20
+        expected = 1 - (1 - 1 / m) ** (k * k * n1 * n2)
+        assert false_set_overlap_probability(n1, n2, m, k) == pytest.approx(
+            expected)
+
+    def test_empty_sets_never_overlap(self):
+        assert false_set_overlap_probability(0, 100, 1000, 3) == 0.0
+
+    def test_monotone_in_sizes(self):
+        probs = [false_set_overlap_probability(n, 50, 10_000, 3)
+                 for n in (1, 10, 100, 1000)]
+        assert probs == sorted(probs)
+        assert all(0 <= p <= 1 for p in probs)
+
+    def test_large_exponent_saturates(self):
+        assert false_set_overlap_probability(10 ** 6, 10 ** 6, 100, 3) == \
+            pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            false_set_overlap_probability(-1, 1, 100, 3)

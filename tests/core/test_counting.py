@@ -1,0 +1,120 @@
+"""Tests for the counting Bloom filter (deletion substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.counting import (
+    CountingBloomFilter,
+    CountingOverflowError,
+    NotStoredError,
+)
+from repro.core.hashing import create_family
+
+M = 2_048
+
+
+@pytest.fixture()
+def family():
+    return create_family("murmur3", 3, M, seed=13)
+
+
+class TestAddRemove:
+    def test_membership_after_add(self, family):
+        cbf = CountingBloomFilter(family)
+        cbf.add(42)
+        assert 42 in cbf
+        assert cbf.count_nonzero() > 0
+
+    def test_remove_restores_empty(self, family):
+        cbf = CountingBloomFilter(family)
+        cbf.add(42)
+        cbf.remove(42)
+        assert cbf.count_nonzero() == 0
+        assert 42 not in cbf
+
+    def test_remove_keeps_other_elements(self, family):
+        cbf = CountingBloomFilter(family)
+        items = np.arange(100, dtype=np.uint64)
+        cbf.add_many(items)
+        cbf.remove(50)
+        survivors = np.delete(items, 50)
+        assert cbf.contains_many(survivors).all()
+
+    def test_batch_roundtrip_matches_plain_filter(self, family):
+        from repro.core.bloom import BloomFilter
+        rng = np.random.default_rng(0)
+        items = rng.choice(10_000, size=300, replace=False).astype(np.uint64)
+        cbf = CountingBloomFilter(family)
+        cbf.add_many(items)
+        assert cbf.bloom == BloomFilter.from_items(items, family)
+        # Remove half; the view must equal a fresh filter of the rest.
+        cbf.remove_many(items[:150])
+        assert cbf.bloom == BloomFilter.from_items(items[150:], family)
+
+    def test_duplicate_insertions_counted(self, family):
+        cbf = CountingBloomFilter(family)
+        cbf.add(7)
+        cbf.add(7)
+        cbf.remove(7)
+        assert 7 in cbf  # one copy remains
+        cbf.remove(7)
+        assert 7 not in cbf
+
+    def test_remove_absent_raises(self, family):
+        cbf = CountingBloomFilter(family)
+        cbf.add(1)
+        with pytest.raises(NotStoredError):
+            cbf.remove(999)
+
+    def test_self_colliding_element(self, family):
+        """An element whose hashes collide must survive add+remove."""
+        # Find an element with a self-collision (k positions, < k unique).
+        for x in range(50_000):
+            if len(set(family.positions(x).tolist())) < family.k:
+                cbf = CountingBloomFilter(family)
+                cbf.add(x)
+                cbf.remove(x)
+                assert cbf.count_nonzero() == 0
+                return
+        pytest.skip("no self-colliding element found in range")
+
+
+class TestSaturation:
+    def test_saturated_counter_blocks_removal(self, family):
+        cbf = CountingBloomFilter(family)
+        maximum = np.iinfo(CountingBloomFilter.COUNTER_DTYPE).max
+        # Saturate one of element 5's counters artificially.
+        position = int(family.positions(5)[0])
+        cbf.counts[position] = maximum
+        cbf.add(5)
+        with pytest.raises(CountingOverflowError):
+            cbf.remove(5)
+
+    def test_saturation_tracked(self, family):
+        cbf = CountingBloomFilter(family)
+        assert cbf.saturated_counters == 0
+
+
+class TestViews:
+    def test_to_bloom_snapshot_independent(self, family):
+        cbf = CountingBloomFilter(family)
+        cbf.add(3)
+        snapshot = cbf.to_bloom()
+        cbf.remove(3)
+        assert 3 in snapshot
+        assert 3 not in cbf
+
+    def test_view_usable_with_estimators(self, family):
+        from repro.core.bloom import BloomFilter
+        cbf = CountingBloomFilter(family)
+        cbf.add_many(np.arange(50, dtype=np.uint64))
+        other = BloomFilter.from_items(np.arange(25, 75, dtype=np.uint64),
+                                       family)
+        estimate = cbf.bloom.estimate_intersection(other)
+        assert estimate == pytest.approx(25, abs=15)
+
+    def test_memory_accounting(self, family):
+        cbf = CountingBloomFilter(family)
+        assert cbf.nbytes == cbf.counts.nbytes + cbf.bloom.nbytes
+        assert cbf.m == M
+        assert cbf.k == 3

@@ -1,0 +1,130 @@
+"""Tests for the fully dynamic (insert + remove) BloomSampleTree."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.dynamic import DynamicBloomSampleTree
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.reconstruct import BSTReconstructor
+from repro.core.sampling import BSTSampler
+from tests.conftest import SMALL_DEPTH, SMALL_NAMESPACE
+
+
+@pytest.fixture()
+def dynamic_tree(small_family, rng):
+    occupied = np.sort(rng.choice(SMALL_NAMESPACE, size=200, replace=False)
+                       ).astype(np.uint64)
+    tree = DynamicBloomSampleTree.build(occupied, SMALL_NAMESPACE,
+                                        SMALL_DEPTH, small_family)
+    return tree, occupied
+
+
+class TestInsertRemove:
+    def test_build_matches_pruned_tree(self, dynamic_tree, small_family):
+        tree, occupied = dynamic_tree
+        pruned = PrunedBloomSampleTree.build(occupied, SMALL_NAMESPACE,
+                                             SMALL_DEPTH, small_family)
+        assert tree.num_nodes == pruned.num_nodes
+        dyn = {(n.level, n.index): n.bloom for n in tree.iter_nodes()}
+        prn = {(n.level, n.index): n.bloom for n in pruned.iter_nodes()}
+        assert dyn.keys() == prn.keys()
+        for key in dyn:
+            assert dyn[key] == prn[key]
+
+    def test_remove_then_equals_fresh_build(self, dynamic_tree, small_family):
+        tree, occupied = dynamic_tree
+        tree.remove_many(occupied[::2])
+        survivors = occupied[1::2]
+        fresh = DynamicBloomSampleTree.build(survivors, SMALL_NAMESPACE,
+                                             SMALL_DEPTH, small_family)
+        np.testing.assert_array_equal(tree.occupied, survivors)
+        assert tree.num_nodes == fresh.num_nodes
+        dyn = {(n.level, n.index): n.bloom for n in tree.iter_nodes()}
+        ref = {(n.level, n.index): n.bloom for n in fresh.iter_nodes()}
+        assert dyn.keys() == ref.keys()
+        for key in dyn:
+            assert dyn[key] == ref[key]
+
+    def test_remove_everything_empties_tree(self, dynamic_tree):
+        tree, occupied = dynamic_tree
+        tree.remove_many(occupied)
+        assert tree.root is None
+        assert tree.num_nodes == 0
+        assert len(tree.occupied) == 0
+
+    def test_empty_subtrees_detached(self, small_family):
+        # Two ids in opposite halves; removing one kills half the tree.
+        ids = np.array([1, SMALL_NAMESPACE - 2], dtype=np.uint64)
+        tree = DynamicBloomSampleTree.build(ids, SMALL_NAMESPACE,
+                                            SMALL_DEPTH, small_family)
+        before = tree.num_nodes
+        tree.remove(1)
+        assert tree.num_nodes == SMALL_DEPTH + 1  # single surviving path
+        assert tree.num_nodes < before
+        assert tree.root.left is None
+
+    def test_reinsert_after_remove(self, dynamic_tree):
+        tree, occupied = dynamic_tree
+        x = int(occupied[0])
+        tree.remove(x)
+        tree.insert(x)
+        assert x in tree.root.bloom
+        assert int(tree.occupied[0]) == x
+
+    def test_remove_unknown_raises(self, dynamic_tree):
+        tree, occupied = dynamic_tree
+        missing = next(x for x in range(SMALL_NAMESPACE)
+                       if x not in set(occupied.tolist()))
+        with pytest.raises(KeyError):
+            tree.remove(missing)
+
+    def test_insert_validation(self, small_family):
+        tree = DynamicBloomSampleTree(SMALL_NAMESPACE, SMALL_DEPTH,
+                                      small_family)
+        with pytest.raises(ValueError):
+            tree.insert(SMALL_NAMESPACE)
+
+    def test_constructor_validation(self, small_family):
+        with pytest.raises(ValueError):
+            DynamicBloomSampleTree(1, 0, small_family)
+        with pytest.raises(ValueError):
+            DynamicBloomSampleTree(16, 5, small_family)
+
+
+class TestAlgorithmsOnDynamicTree:
+    def test_sampler_works(self, dynamic_tree, small_family, rng):
+        tree, occupied = dynamic_tree
+        subset = occupied[rng.choice(len(occupied), size=32, replace=False)]
+        query = BloomFilter.from_items(subset, small_family)
+        sampler = BSTSampler(tree, rng=rng)
+        for __ in range(50):
+            value = sampler.sample(query).value
+            assert value is not None
+            assert value in query
+
+    def test_reconstruction_tracks_removals(self, dynamic_tree,
+                                            small_family):
+        tree, occupied = dynamic_tree
+        subset = occupied[:40]
+        query = BloomFilter.from_items(subset, small_family)
+        before = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        assert set(subset.tolist()) <= set(before.elements.tolist())
+        # Forget half the queried ids from the *namespace* side.
+        tree.remove_many(subset[:20])
+        after = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        remaining = set(subset[20:].tolist())
+        assert remaining <= set(after.elements.tolist())
+        assert not (set(subset[:20].tolist()) &
+                    set(after.elements.tolist()))
+
+    def test_memory_shrinks_with_removals(self, dynamic_tree):
+        tree, occupied = dynamic_tree
+        before = tree.memory_bytes
+        tree.remove_many(occupied[: len(occupied) // 2])
+        assert tree.memory_bytes <= before
+
+    def test_occupancy_fraction(self, dynamic_tree):
+        tree, occupied = dynamic_tree
+        assert tree.occupancy_fraction == pytest.approx(
+            len(occupied) / SMALL_NAMESPACE)

@@ -1,0 +1,125 @@
+"""Edge cases across the core: tiny parameters, degenerate inputs.
+
+These guard the boundaries that realistic experiments never touch but a
+library user eventually will: one-word bit vectors, namespaces smaller
+than the filter, trees of depth zero, queries that match nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import BitVector
+from repro.core.bloom import BloomFilter
+from repro.core.dynamic import DynamicBloomSampleTree
+from repro.core.hashing import SimpleHashFamily, create_family
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.reconstruct import BSTReconstructor
+from repro.core.sampling import BSTSampler, ExactUniformSampler
+from repro.core.serialization import save_tree
+from repro.core.tree import BloomSampleTree
+
+
+class TestTinyBitVectors:
+    def test_single_bit(self):
+        bv = BitVector(1)
+        assert not bv.get_bit(0)
+        bv.set_bit(0)
+        assert bv.get_bit(0)
+        assert bv.count_ones() == 1
+        assert bv.set_positions().tolist() == [0]
+        assert bv.unset_positions().size == 0
+
+    def test_sub_word_filter(self):
+        family = create_family("murmur3", 2, 7, seed=0)
+        bloom = BloomFilter(family)
+        bloom.add_many(np.arange(20, dtype=np.uint64))
+        assert bloom.count_ones() <= 7
+        assert bloom.contains_many(np.arange(20, dtype=np.uint64)).all()
+
+    def test_exactly_64_bits(self):
+        bv = BitVector(64)
+        bv.set_bit(63)
+        assert bv.nbytes == 8
+        assert bv.set_positions().tolist() == [63]
+
+
+class TestTinyHashNamespaces:
+    def test_namespace_smaller_than_m(self):
+        # p must cover max(namespace, m): inversion stays exact.
+        family = SimpleHashFamily(2, 1_024, namespace_size=100, seed=1)
+        assert family.p >= 1_024
+        xs = np.arange(100, dtype=np.uint64)
+        positions = family.positions_many(xs)
+        for target in (0, 500, 1_023):
+            expected = np.flatnonzero(positions[:, 0] == target)
+            got = family.invert(0, target, 100)
+            np.testing.assert_array_equal(got, expected.astype(np.uint64))
+
+    def test_two_element_namespace(self):
+        family = create_family("murmur3", 2, 64, namespace_size=2, seed=0)
+        tree = BloomSampleTree.build(2, 1, family)
+        query = BloomFilter.from_items(np.array([1], dtype=np.uint64),
+                                       family)
+        result = BSTSampler(tree, rng=0).sample(query)
+        assert result.value == 1
+
+
+class TestDegenerateQueries:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        family = create_family("murmur3", 3, 4_096, namespace_size=512,
+                               seed=2)
+        tree = BloomSampleTree.build(512, 3, family)
+        return family, tree
+
+    def test_query_of_out_of_namespace_elements(self, tiny):
+        """A filter of ids outside [0, M) matches nothing in the tree."""
+        family, tree = tiny
+        query = BloomFilter.from_items(
+            np.array([100_000, 200_000], dtype=np.uint64), family)
+        result = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        # Only chance false positives can appear, never guaranteed hits.
+        assert result.size <= 5
+
+    def test_full_namespace_query(self, tiny):
+        family, tree = tiny
+        query = BloomFilter.from_items(np.arange(512, dtype=np.uint64),
+                                       family)
+        result = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        assert result.size == 512
+        sample = BSTSampler(tree, rng=1).sample(query)
+        assert 0 <= sample.value < 512
+
+    def test_exact_sampler_distinct_queries_not_confused(self, tiny):
+        family, tree = tiny
+        a = BloomFilter.from_items(np.array([10], dtype=np.uint64), family)
+        b = BloomFilter.from_items(np.array([400], dtype=np.uint64), family)
+        sampler = ExactUniformSampler(tree, rng=0, exhaustive=True)
+        assert sampler.sample(a).value == 10
+        assert sampler.sample(b).value == 400
+        assert sampler.sample(a).value == 10  # cache keyed by contents
+
+
+class TestSerializationGuards:
+    def test_dynamic_tree_rejected(self, small_family, tmp_path):
+        tree = DynamicBloomSampleTree(1_024, 3, small_family)
+        tree.insert(5)
+        with pytest.raises(TypeError):
+            save_tree(tree, tmp_path / "dyn.npz")
+
+
+class TestPrunedSingletons:
+    def test_single_occupied_id(self, small_family):
+        tree = PrunedBloomSampleTree.build(
+            np.array([123], dtype=np.uint64), 4_096, 5, small_family)
+        assert tree.num_nodes == 6  # one root-to-leaf path
+        query = BloomFilter.from_items(np.array([123], dtype=np.uint64),
+                                       small_family)
+        assert BSTSampler(tree, rng=0).sample(query).value == 123
+
+    def test_min_and_max_ids(self, small_family):
+        ids = np.array([0, 4_095], dtype=np.uint64)
+        tree = PrunedBloomSampleTree.build(ids, 4_096, 5, small_family)
+        query = BloomFilter.from_items(ids, small_family)
+        result = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        np.testing.assert_array_equal(result.elements, ids)

@@ -1,0 +1,32 @@
+"""Tests for the operation counter."""
+
+from repro.core.ops import OpCounter
+
+
+def test_defaults_zero():
+    ops = OpCounter()
+    assert ops.intersections == 0
+    assert ops.memberships == 0
+    assert ops.nodes_visited == 0
+    assert ops.backtracks == 0
+    assert ops.hash_inversions == 0
+
+
+def test_merge_accumulates():
+    a = OpCounter(intersections=1, memberships=2, nodes_visited=3,
+                  backtracks=4, hash_inversions=5)
+    b = OpCounter(intersections=10, memberships=20, nodes_visited=30,
+                  backtracks=40, hash_inversions=50)
+    a.merge(b)
+    assert (a.intersections, a.memberships, a.nodes_visited,
+            a.backtracks, a.hash_inversions) == (11, 22, 33, 44, 55)
+    # b unchanged
+    assert b.intersections == 10
+
+
+def test_copy_independent():
+    a = OpCounter(intersections=7)
+    b = a.copy()
+    b.intersections += 1
+    assert a.intersections == 7
+    assert b.intersections == 8

@@ -1,0 +1,175 @@
+"""Tests for the Pruned-BloomSampleTree (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.reconstruct import BSTReconstructor
+from repro.core.sampling import BSTSampler
+from tests.conftest import SMALL_DEPTH, SMALL_NAMESPACE
+
+
+class TestBuild:
+    def test_only_occupied_subtrees_materialised(self, small_family):
+        # All ids in the first quarter of the namespace.
+        occupied = np.arange(0, SMALL_NAMESPACE // 4, 8, dtype=np.uint64)
+        tree = PrunedBloomSampleTree.build(
+            occupied, SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+        full_nodes = (1 << (SMALL_DEPTH + 1)) - 1
+        assert tree.num_nodes < full_nodes / 2
+        for node in tree.iter_nodes():
+            lo_i = np.searchsorted(occupied, node.lo, side="left")
+            hi_i = np.searchsorted(occupied, node.hi, side="left")
+            assert hi_i > lo_i  # every materialised node holds something
+
+    def test_node_filters_store_only_occupied(self, sparse_pruned_tree,
+                                              small_family):
+        tree, occupied = sparse_pruned_tree
+        for leaf in tree.leaves():
+            ids = occupied[(occupied >= leaf.lo) & (occupied < leaf.hi)]
+            assert leaf.bloom == BloomFilter.from_items(ids, small_family)
+
+    def test_parent_union_of_children(self, sparse_pruned_tree):
+        tree, __ = sparse_pruned_tree
+        for node in tree.iter_nodes():
+            if tree.is_leaf(node):
+                continue
+            children = [c for c in (node.left, node.right) if c is not None]
+            assert children
+            merged = children[0].bloom.copy()
+            for child in children[1:]:
+                merged.union_update(child.bloom)
+            assert node.bloom == merged
+
+    def test_duplicates_deduplicated(self, small_family):
+        occupied = np.array([5, 5, 9, 9, 9], dtype=np.uint64)
+        tree = PrunedBloomSampleTree.build(
+            occupied, SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+        assert len(tree.occupied) == 2
+
+    def test_empty_occupancy(self, small_family):
+        tree = PrunedBloomSampleTree.build(
+            np.array([], dtype=np.uint64), SMALL_NAMESPACE, SMALL_DEPTH,
+            small_family)
+        assert tree.root is None
+        assert tree.num_nodes == 0
+        result = BSTSampler(tree).sample(BloomFilter(small_family))
+        assert result.value is None
+
+    def test_out_of_namespace_rejected(self, small_family):
+        with pytest.raises(ValueError):
+            PrunedBloomSampleTree.build(
+                np.array([SMALL_NAMESPACE], dtype=np.uint64),
+                SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+
+    def test_memory_below_full_tree(self, sparse_pruned_tree, small_tree,
+                                    small_family):
+        # Uniform occupancy can touch every subtree, so only <= holds...
+        tree, __ = sparse_pruned_tree
+        assert tree.memory_bytes <= small_tree.memory_bytes
+        # ...but clustered occupancy prunes strictly.
+        clustered = np.arange(0, SMALL_NAMESPACE // 8, dtype=np.uint64)
+        packed = PrunedBloomSampleTree.build(
+            clustered, SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+        assert packed.memory_bytes < small_tree.memory_bytes / 2
+
+
+class TestDynamicInsert:
+    def test_insert_equals_batch_build(self, small_family, rng):
+        ids = np.sort(rng.choice(SMALL_NAMESPACE, size=100, replace=False)
+                      ).astype(np.uint64)
+        batch = PrunedBloomSampleTree.build(
+            ids, SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+        incremental = PrunedBloomSampleTree.build(
+            ids[:50], SMALL_NAMESPACE, SMALL_DEPTH, small_family)
+        incremental.insert_many(ids[50:])
+        assert incremental.num_nodes == batch.num_nodes
+        nodes_a = {(n.level, n.index): n for n in batch.iter_nodes()}
+        nodes_b = {(n.level, n.index): n for n in incremental.iter_nodes()}
+        assert nodes_a.keys() == nodes_b.keys()
+        for key in nodes_a:
+            assert nodes_a[key].bloom == nodes_b[key].bloom
+        np.testing.assert_array_equal(batch.occupied, incremental.occupied)
+
+    def test_insert_into_empty_tree(self, small_family):
+        tree = PrunedBloomSampleTree.build(
+            np.array([], dtype=np.uint64), SMALL_NAMESPACE, SMALL_DEPTH,
+            small_family)
+        tree.insert(77)
+        assert tree.root is not None
+        assert tree.num_nodes == SMALL_DEPTH + 1  # one path
+        assert 77 in tree.root.bloom
+
+    def test_reinsert_noop(self, sparse_pruned_tree):
+        tree, occupied = sparse_pruned_tree
+        before = tree.num_nodes
+        tree.insert(int(occupied[0]))
+        assert tree.num_nodes == before
+        assert len(tree.occupied) == len(occupied)
+
+    def test_insert_validation(self, sparse_pruned_tree):
+        tree, __ = sparse_pruned_tree
+        with pytest.raises(ValueError):
+            tree.insert(-1)
+        with pytest.raises(ValueError):
+            tree.insert(SMALL_NAMESPACE)
+
+    def test_occupancy_fraction(self, sparse_pruned_tree):
+        tree, occupied = sparse_pruned_tree
+        assert tree.occupancy_fraction == pytest.approx(
+            len(occupied) / SMALL_NAMESPACE)
+
+
+class TestQueries:
+    def test_candidates_are_occupied_slice(self, sparse_pruned_tree):
+        tree, occupied = sparse_pruned_tree
+        for leaf in tree.leaves():
+            expected = occupied[(occupied >= leaf.lo) & (occupied < leaf.hi)]
+            np.testing.assert_array_equal(
+                tree.candidate_elements(leaf), expected)
+
+    def test_sampling_over_occupied_subset(self, sparse_pruned_tree,
+                                           small_family, rng):
+        tree, occupied = sparse_pruned_tree
+        subset = occupied[rng.choice(len(occupied), size=32, replace=False)]
+        query = BloomFilter.from_items(subset, small_family)
+        sampler = BSTSampler(tree, rng=rng)
+        seen = set()
+        for __ in range(200):
+            result = sampler.sample(query)
+            if result.value is not None:
+                seen.add(result.value)
+                # Every sample must at least be an occupied id that the
+                # query filter accepts.
+                assert result.value in occupied
+                assert result.value in query
+        assert seen  # something was sampled
+        assert seen <= set(occupied.tolist())
+
+    def test_reconstruction_matches_brute_force(self, sparse_pruned_tree,
+                                                small_family, rng):
+        tree, occupied = sparse_pruned_tree
+        subset = occupied[rng.choice(len(occupied), size=32, replace=False)]
+        query = BloomFilter.from_items(subset, small_family)
+        result = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        brute = occupied[query.contains_many(occupied)]
+        np.testing.assert_array_equal(result.elements, brute)
+
+    def test_equivalent_to_full_tree_on_occupied(self, sparse_pruned_tree,
+                                                 small_tree, small_family,
+                                                 rng):
+        """Pruned reconstruction == full-tree reconstruction n occupied."""
+        tree, occupied = sparse_pruned_tree
+        subset = occupied[rng.choice(len(occupied), size=24, replace=False)]
+        query = BloomFilter.from_items(subset, small_family)
+        pruned_out = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        full_out = BSTReconstructor(small_tree,
+                                    exhaustive=True).reconstruct(query)
+        expected = np.intersect1d(full_out.elements, occupied)
+        np.testing.assert_array_equal(pruned_out.elements, expected)
+
+    def test_occupied_view_read_only(self, sparse_pruned_tree):
+        tree, __ = sparse_pruned_tree
+        with pytest.raises(ValueError):
+            tree.occupied[0] = 0

@@ -1,0 +1,112 @@
+"""Tests for tree persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.reconstruct import BSTReconstructor
+from repro.core.sampling import BSTSampler
+from repro.core.serialization import _range_of, load_tree, save_tree
+from repro.core.tree import BloomSampleTree
+from tests.conftest import SMALL_DEPTH, SMALL_NAMESPACE
+
+
+class TestCompleteTreeRoundTrip:
+    def test_structure_preserved(self, small_tree, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_tree(small_tree, path)
+        loaded = load_tree(path)
+        assert isinstance(loaded, BloomSampleTree)
+        assert loaded.namespace_size == small_tree.namespace_size
+        assert loaded.depth == small_tree.depth
+        assert loaded.num_nodes == small_tree.num_nodes
+        assert loaded.family.is_compatible_with(small_tree.family)
+        for a, b in zip(small_tree.iter_nodes(), loaded.iter_nodes()):
+            assert (a.level, a.index, a.lo, a.hi) == (b.level, b.index,
+                                                      b.lo, b.hi)
+            assert a.bloom == b.bloom
+
+    def test_behaviour_preserved(self, small_tree, query_filter, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_tree(small_tree, path)
+        loaded = load_tree(path)
+        original = BSTReconstructor(small_tree,
+                                    exhaustive=True).reconstruct(query_filter)
+        reloaded = BSTReconstructor(loaded,
+                                    exhaustive=True).reconstruct(query_filter)
+        np.testing.assert_array_equal(original.elements, reloaded.elements)
+        # The loaded tree accepts the same query filters.
+        assert BSTSampler(loaded, rng=0).sample(query_filter).value is not None
+
+    def test_independent_of_original(self, small_tree, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_tree(small_tree, path)
+        loaded = load_tree(path)
+        loaded.root.bloom.bits.clear()
+        assert small_tree.root.bloom.bits.any()
+
+
+class TestPrunedTreeRoundTrip:
+    def test_round_trip(self, sparse_pruned_tree, small_family, tmp_path):
+        tree, occupied = sparse_pruned_tree
+        path = tmp_path / "pruned.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert isinstance(loaded, PrunedBloomSampleTree)
+        np.testing.assert_array_equal(loaded.occupied, occupied)
+        assert loaded.num_nodes == tree.num_nodes
+        query = BloomFilter.from_items(occupied[:16], small_family)
+        a = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        b = BSTReconstructor(loaded, exhaustive=True).reconstruct(query)
+        np.testing.assert_array_equal(a.elements, b.elements)
+
+    def test_loaded_tree_still_grows(self, sparse_pruned_tree, tmp_path):
+        tree, __ = sparse_pruned_tree
+        path = tmp_path / "pruned.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        before = len(loaded.occupied)
+        new_id = next(x for x in range(SMALL_NAMESPACE)
+                      if x not in set(loaded.occupied.tolist()))
+        loaded.insert(new_id)
+        assert len(loaded.occupied) == before + 1
+
+    def test_empty_pruned_tree(self, small_family, tmp_path):
+        tree = PrunedBloomSampleTree.build(
+            np.array([], dtype=np.uint64), SMALL_NAMESPACE, SMALL_DEPTH,
+            small_family)
+        path = tmp_path / "empty.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert loaded.root is None
+        assert loaded.num_nodes == 0
+
+
+class TestRangeRecomputation:
+    def test_matches_built_tree(self, small_tree):
+        for node in small_tree.iter_nodes():
+            assert _range_of(small_tree.namespace_size, node.level,
+                             node.index) == (node.lo, node.hi)
+
+    def test_non_power_of_two(self, small_family):
+        tree = BloomSampleTree.build(1000, 4, small_family)
+        for node in tree.iter_nodes():
+            assert _range_of(1000, node.level, node.index) == \
+                (node.lo, node.hi)
+
+
+class TestErrors:
+    def test_wrong_object(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_tree(object(), tmp_path / "x.npz")
+
+    def test_all_families_round_trip(self, tmp_path):
+        from repro.core.hashing import create_family
+        for name in ("simple", "murmur3", "md5"):
+            family = create_family(name, 2, 512, namespace_size=256, seed=3)
+            tree = BloomSampleTree.build(256, 2, family)
+            path = tmp_path / f"{name}.npz"
+            save_tree(tree, path)
+            loaded = load_tree(path)
+            assert loaded.family.is_compatible_with(family)

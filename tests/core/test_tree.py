@@ -1,0 +1,112 @@
+"""Tests for the complete BloomSampleTree structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import create_family
+from repro.core.tree import BloomSampleTree
+from tests.conftest import SMALL_DEPTH, SMALL_NAMESPACE
+
+
+class TestStructure:
+    def test_node_count(self, small_tree):
+        assert small_tree.num_nodes == (1 << (SMALL_DEPTH + 1)) - 1
+
+    def test_levels_partition_namespace(self, small_tree):
+        by_level = {}
+        for node in small_tree.iter_nodes():
+            by_level.setdefault(node.level, []).append((node.lo, node.hi))
+        for level, ranges in by_level.items():
+            ranges.sort()
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == SMALL_NAMESPACE
+            for (___, hi), (lo, __) in zip(ranges, ranges[1:]):
+                assert hi == lo  # contiguous, non-overlapping
+            assert len(ranges) == 1 << level
+
+    def test_children_split_parent(self, small_tree):
+        for node in small_tree.iter_nodes():
+            if small_tree.is_leaf(node):
+                assert node.left is None and node.right is None
+                continue
+            assert node.left.lo == node.lo
+            assert node.right.hi == node.hi
+            assert node.left.hi == node.right.lo == node.split_point()
+
+    def test_leaf_count_and_capacity(self, small_tree):
+        leaves = list(small_tree.leaves())
+        assert len(leaves) == 1 << SMALL_DEPTH
+        assert small_tree.leaf_capacity == max(l.range_size for l in leaves)
+        assert sum(l.range_size for l in leaves) == SMALL_NAMESPACE
+
+    def test_memory_accounting(self, small_tree):
+        per_node = small_tree.root.bloom.nbytes
+        assert small_tree.memory_bytes == per_node * small_tree.num_nodes
+
+
+class TestLaminarFilters:
+    def test_parent_is_union_of_children(self, small_tree):
+        """Definition 5.1: each node's filter is its children's union."""
+        for node in small_tree.iter_nodes():
+            if small_tree.is_leaf(node):
+                continue
+            assert node.bloom == node.left.bloom.union(node.right.bloom)
+
+    def test_leaf_filters_store_exact_ranges(self, small_tree, small_family):
+        leaf = next(iter(small_tree.leaves()))
+        direct = BloomFilter.from_items(
+            np.arange(leaf.lo, leaf.hi, dtype=np.uint64), small_family)
+        assert leaf.bloom == direct
+
+    def test_every_element_passes_its_path(self, small_tree):
+        rng = np.random.default_rng(0)
+        for x in rng.choice(SMALL_NAMESPACE, size=20, replace=False).tolist():
+            node = small_tree.root
+            while node is not None:
+                assert int(x) in node.bloom
+                if small_tree.is_leaf(node):
+                    break
+                node = node.left if x < node.split_point() else node.right
+
+
+class TestInterface:
+    def test_candidate_elements_is_full_range(self, small_tree):
+        leaf = next(iter(small_tree.leaves()))
+        candidates = small_tree.candidate_elements(leaf)
+        np.testing.assert_array_equal(
+            candidates, np.arange(leaf.lo, leaf.hi, dtype=np.uint64))
+
+    def test_check_query_accepts_matching(self, small_tree, small_family):
+        small_tree.check_query(BloomFilter(small_family))
+
+    def test_check_query_rejects_mismatched(self, small_tree):
+        other = create_family("murmur3", 3, small_tree.family.m, seed=999)
+        with pytest.raises(ValueError):
+            small_tree.check_query(BloomFilter(other))
+
+    def test_non_power_of_two_namespace(self, small_family):
+        family = small_family.with_range(small_family.m)
+        tree = BloomSampleTree.build(1000, 3, family)
+        sizes = [leaf.range_size for leaf in tree.leaves()]
+        assert sum(sizes) == 1000
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_build_validation(self, small_family):
+        with pytest.raises(ValueError):
+            BloomSampleTree.build(1, 1, small_family)
+        with pytest.raises(ValueError):
+            BloomSampleTree.build(100, -1, small_family)
+        with pytest.raises(ValueError):
+            BloomSampleTree.build(4, 3, small_family)  # 2^3 > 4
+
+    def test_depth_zero_tree(self, small_family):
+        tree = BloomSampleTree.build(128, 0, small_family)
+        assert tree.num_nodes == 1
+        assert tree.is_leaf(tree.root)
+
+    def test_batched_build_matches_direct(self, small_family):
+        a = BloomSampleTree.build(512, 2, small_family, leaf_batch=33)
+        b = BloomSampleTree.build(512, 2, small_family)
+        for na, nb in zip(a.iter_nodes(), b.iter_nodes()):
+            assert na.bloom == nb.bloom

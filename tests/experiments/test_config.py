@@ -1,0 +1,51 @@
+"""Tests for experiment scales and configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    SCALES,
+    current_scale,
+    paper_parameters,
+)
+
+
+def test_all_scales_present():
+    assert set(SCALES) == {"small", "default", "full"}
+
+
+def test_full_scale_is_paper_grid():
+    full = SCALES["full"]
+    assert 10_000_000 in full.namespace_sizes
+    assert 50_000 in full.set_sizes
+    assert full.sampling_rounds == 10_000
+    assert full.accuracies == (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_scales_ordered_by_size():
+    assert SCALES["small"].sampling_rounds < \
+        SCALES["default"].sampling_rounds < SCALES["full"].sampling_rounds
+
+
+def test_set_sizes_for_filters_large_sets():
+    full = SCALES["full"]
+    assert 50_000 not in full.set_sizes_for(100_000)
+    assert 50_000 in full.set_sizes_for(10_000_000)
+
+
+def test_current_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    assert current_scale().name == "small"
+    monkeypatch.setenv("REPRO_SCALE", "FULL")
+    assert current_scale().name == "full"
+    monkeypatch.delenv("REPRO_SCALE")
+    assert current_scale().name == "default"
+    monkeypatch.setenv("REPRO_SCALE", "huge")
+    with pytest.raises(ValueError):
+        current_scale()
+
+
+def test_paper_parameters():
+    params = paper_parameters()
+    assert params["namespace_size"] == 10_000_000
+    assert params["k"] == 3
+    assert "simple" in params["families"]

@@ -1,0 +1,117 @@
+"""Tests for the experiment runner primitives (scaled down)."""
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.sampling import BSTSampler
+from repro.experiments.runner import (
+    TreeCache,
+    bst_sampling_row,
+    da_sampling_row,
+    make_query_set,
+    pruned_namespace_row,
+    reconstruction_rows,
+    reconstruction_trial,
+    sampling_trial,
+)
+from repro.workloads.twitter import SyntheticTwitterDataset
+
+M = 10_000
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return TreeCache()
+
+
+class TestTreeCache:
+    def test_reuses_trees(self, cache):
+        a = cache.tree(M, 4096, 3, "murmur3")
+        b = cache.tree(M, 4096, 3, "murmur3")
+        assert a is b
+
+    def test_distinct_keys_distinct_trees(self, cache):
+        a = cache.tree(M, 4096, 3, "murmur3")
+        b = cache.tree(M, 4096, 4, "murmur3")
+        assert a is not b
+
+    def test_clear(self):
+        local = TreeCache()
+        a = local.tree(M, 2048, 2, "murmur3")
+        local.clear()
+        b = local.tree(M, 2048, 2, "murmur3")
+        assert a is not b
+
+
+class TestTrials:
+    def test_sampling_trial_aggregates(self, cache):
+        tree = cache.tree(M, 8192, 4, "murmur3")
+        secret = make_query_set(M, 64, "uniform", rng=0)
+        query = BloomFilter.from_items(secret, tree.family)
+        trial = sampling_trial(BSTSampler(tree, rng=0), query, secret,
+                               rounds=20, method="BST")
+        assert trial.rounds == 20
+        assert trial.mean_intersections > 0
+        assert trial.mean_memberships > 0
+        assert 0 <= trial.accuracy <= 1
+        row = trial.as_row()
+        assert row["method"] == "BST"
+        assert set(row) >= {"intersections", "memberships", "time_ms",
+                            "accuracy"}
+
+    def test_reconstruction_trial_metrics(self, cache):
+        tree = cache.tree(M, 8192, 4, "murmur3")
+        secret = make_query_set(M, 64, "uniform", rng=1)
+        query = BloomFilter.from_items(secret, tree.family)
+        from repro.core.reconstruct import BSTReconstructor
+        reconstructor = BSTReconstructor(tree, exhaustive=True)
+
+        def fn(q):
+            result = reconstructor.reconstruct(q)
+            return result.elements, result.ops
+
+        trial = reconstruction_trial(fn, query, secret, rounds=2,
+                                     method="BST")
+        assert trial.recall == 1.0
+        assert trial.precision > 0.9
+        assert trial.mean_memberships == M
+
+    def test_make_query_set_kinds(self):
+        uni = make_query_set(M, 50, "uniform", rng=0)
+        clu = make_query_set(M, 50, "clustered", rng=0)
+        assert len(uni) == len(clu) == 50
+        with pytest.raises(ValueError):
+            make_query_set(M, 50, "zigzag")
+
+
+class TestRowProducers:
+    def test_bst_row_keys(self, cache):
+        row = bst_sampling_row(cache, M, 64, 0.9, "uniform", rounds=10)
+        assert row["method"] == "BST"
+        assert row["M"] == M
+        assert row["memberships"] > 0
+        assert row["intersections"] > 0
+
+    def test_da_row_costs_namespace(self, cache):
+        row = da_sampling_row(cache, M, 64, 0.9, "uniform", rounds=2)
+        assert row["method"] == "DA"
+        assert row["memberships"] == M
+        assert row["intersections"] == 0
+
+    def test_reconstruction_rows_all_methods(self, cache):
+        rows = reconstruction_rows(cache, M, 64, 0.9, "uniform", rounds=1)
+        assert [r["method"] for r in rows] == ["BST", "HI", "DA"]
+        da_row = rows[-1]
+        assert da_row["memberships"] == M
+        assert da_row["recall"] == 1.0
+
+    def test_pruned_row(self):
+        dataset = SyntheticTwitterDataset.generate(
+            namespace_size=50_000, num_users=2_000, num_hashtags=10,
+            min_audience=30, max_audience=200, rng=0)
+        row = pruned_namespace_row(dataset, fraction=0.5, mode="uniform",
+                                   depth=5, m=16_384, rounds=10)
+        assert row["occupied"] > 0
+        assert row["nodes"] <= (1 << 6) - 1
+        assert row["memory_mb"] > 0
+        assert 0 <= row["accuracy"] <= 1

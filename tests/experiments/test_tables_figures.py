@@ -1,0 +1,104 @@
+"""Smoke tests for the table/figure row producers and the formatter."""
+
+import pytest
+
+from repro.experiments.figures import (
+    full_tree_memory_mb,
+    hash_family_rows,
+    pruned_namespace_rows,
+    reconstruction_ops_rows,
+    sampling_ops_rows,
+)
+from repro.experiments.formatting import format_rows
+from repro.experiments.runner import TreeCache
+from repro.experiments.tables import (
+    PAPER_TABLE2_M,
+    chi_squared_rows,
+    creation_time_rows,
+    measured_accuracy_rows,
+    parameter_rows,
+)
+
+M = 20_000
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return TreeCache()
+
+
+class TestFormatting:
+    def test_aligned_output(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": None}]
+        text = format_rows(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "222" in text and "-" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_rows([])
+
+    def test_column_selection(self):
+        text = format_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestTables:
+    def test_table2_matches_paper(self):
+        rows = parameter_rows(1_000_000)
+        for row in rows:
+            if "paper_m" in row:
+                assert abs(row["m_ratio"] - 1.0) < 0.005
+        assert {row["accuracy"] for row in rows} == set(PAPER_TABLE2_M)
+
+    def test_creation_time_rows(self):
+        rows = creation_time_rows((M,), accuracies=(0.8,), n=100)
+        assert len(rows) == 1
+        assert rows[0]["create_s"] >= 0
+        assert rows[0]["nodes"] >= 1
+
+    def test_chi_squared_rows(self, cache):
+        rows = chi_squared_rows(cache, M, set_sizes=(32,),
+                                accuracies=(0.9,), rounds_per_element=20,
+                                samplers=("exact",))
+        assert len(rows) == 1
+        assert 0 <= rows[0]["p_exact"] <= 1
+
+    def test_measured_accuracy_rows(self, cache):
+        rows = measured_accuracy_rows(cache, (M,), (0.8,), n=100, rounds=50)
+        assert len(rows) == 1
+        assert 0 <= rows[0]["measured"] <= 1
+        assert rows[0]["model"] >= 0.8
+
+
+class TestFigures:
+    def test_sampling_ops_rows(self, cache):
+        rows = sampling_ops_rows(cache, M, (64,), (0.8,), "uniform",
+                                 rounds=10, da_rounds=1)
+        methods = [r["method"] for r in rows]
+        assert methods == ["BST", "DA"]
+
+    def test_hash_family_rows(self, cache):
+        rows = hash_family_rows(cache, M, 64, (0.8,), rounds=5, da_rounds=1,
+                                families=("simple", "murmur3"))
+        assert {r["family"] for r in rows} == {"simple", "murmur3"}
+
+    def test_reconstruction_ops_rows(self, cache):
+        rows = reconstruction_ops_rows(cache, M, (64,), (0.8,), "uniform",
+                                       rounds=1)
+        assert [r["method"] for r in rows] == ["BST", "HI", "DA"]
+
+    def test_pruned_namespace_rows(self):
+        rows = pruned_namespace_rows(
+            fractions=(0.2, 0.6), rounds=5, namespace_size=50_000,
+            num_users=2_000, num_hashtags=8, depth=5)
+        assert len(rows) == 4  # 2 fractions x 2 modes
+        assert {r["mode"] for r in rows} == {"uniform", "clustered"}
+        for mode in ("uniform", "clustered"):
+            subset = [r for r in rows if r["mode"] == mode]
+            assert subset[0]["occupied"] <= subset[1]["occupied"]
+
+    def test_full_tree_memory(self):
+        assert full_tree_memory_mb(1 << 20, 7, 64_000) == pytest.approx(
+            255 * 8000 / 1e6)

@@ -1,0 +1,164 @@
+"""End-to-end pipelines exercising the public API exactly as a user would."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BloomFilter,
+    BloomSampleTree,
+    BSTReconstructor,
+    BSTSampler,
+    DictionaryAttack,
+    ExactUniformSampler,
+    HashInvert,
+    PrunedBloomSampleTree,
+    clustered_query_set,
+    create_family,
+    family_for_parameters,
+    measured_accuracy,
+    plan_tree,
+    uniform_query_set,
+)
+
+M = 50_000
+N = 400
+
+
+class TestPlannedPipeline:
+    """plan_tree -> build -> sample/reconstruct, per the README quickstart."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        params = plan_tree(M, N, accuracy=0.95)
+        family = family_for_parameters(params, "murmur3", seed=21)
+        tree = BloomSampleTree.build(M, params.depth, family)
+        secret = uniform_query_set(M, N, rng=21)
+        query = BloomFilter.from_items(secret, family)
+        return params, tree, secret, query
+
+    def test_planned_accuracy_is_met(self, pipeline):
+        params, tree, secret, query = pipeline
+        sampler = BSTSampler(tree, rng=1)
+        samples = [sampler.sample(query).value for __ in range(300)]
+        accuracy = measured_accuracy(samples, secret)
+        assert accuracy >= params.target_accuracy - 0.07
+
+    def test_sampling_beats_dictionary_attack_in_ops(self, pipeline):
+        __, tree, _s, query = pipeline
+        bst_ops = BSTSampler(tree, rng=2).sample(query).ops
+        da_ops = DictionaryAttack(M, rng=2).sample(query).ops
+        bst_cost = bst_ops.memberships + bst_ops.intersections * tree.family.m / 64
+        assert bst_cost < da_ops.memberships / 5
+
+    def test_reconstruction_roundtrip(self, pipeline):
+        __, tree, secret, query = pipeline
+        exact = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        assert set(secret.tolist()) <= set(exact.elements.tolist())
+        # The estimator-guided variant trades recall for membership cost;
+        # at this SNR it must still recover the bulk of the set.
+        pruned = BSTReconstructor(tree).reconstruct(query)
+        recovered = set(pruned.elements.tolist())
+        assert len(set(secret.tolist()) & recovered) >= 0.7 * N
+        assert pruned.ops.memberships <= exact.ops.memberships
+
+    def test_multi_sample_one_pass(self, pipeline):
+        __, tree, secret, query = pipeline
+        sampler = BSTSampler(tree, rng=3)
+        result = sampler.sample_many(query, 100, replacement=False)
+        truth = set(secret.tolist())
+        assert len(result.values) >= 90
+        assert sum(v in truth for v in result.values) >= 0.9 * len(result.values)
+
+
+class TestClusteredCommunityScenario:
+    """The paper's motivating workload: clustered (community) id sets."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        params = plan_tree(M, N, accuracy=0.9)
+        family = family_for_parameters(params, "murmur3", seed=4)
+        tree = BloomSampleTree.build(M, params.depth, family)
+        secret = clustered_query_set(M, N, rng=4)
+        query = BloomFilter.from_items(secret, family)
+        return tree, secret, query
+
+    def test_reconstruction_prunes_hard(self, scenario):
+        tree, secret, query = scenario
+        result = BSTReconstructor(tree).reconstruct(query)
+        # Clustered sets let the tree skip most of the namespace.
+        assert result.ops.memberships < M / 3
+        recovered = set(result.elements.tolist())
+        assert len(set(secret.tolist()) & recovered) >= 0.9 * N
+
+    def test_exact_sampler_uniform_over_recovered(self, scenario):
+        from repro.analysis.uniformity import (chi_squared_uniformity,
+                                               sample_counts)
+        tree, secret, query = scenario
+        sampler = ExactUniformSampler(tree, rng=5, exhaustive=True)
+        draws = [sampler.sample(query).value for __ in range(N * 40)]
+        counts = sample_counts(draws, secret)
+        assert (counts > 0).all()
+        __, p = chi_squared_uniformity(counts)
+        assert p > 0.005
+
+
+class TestInvertibleFamilyAgreement:
+    """All three reconstruction algorithms agree on S u S(B)."""
+
+    def test_three_way_agreement(self):
+        family = create_family("simple", 3, 32_768, namespace_size=M, seed=9)
+        secret = uniform_query_set(M, N, rng=9)
+        query = BloomFilter.from_items(secret, family)
+
+        tree = BloomSampleTree.build(M, 6, family)
+        bst = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        da, __ = DictionaryAttack(M).reconstruct(query)
+        hi, __ = HashInvert(M).reconstruct(query)
+        np.testing.assert_array_equal(bst.elements, da)
+        np.testing.assert_array_equal(np.sort(hi), da)
+
+
+class TestPrunedTreeScenario:
+    """Section 8: sparse occupancy of a large namespace."""
+
+    def test_sparse_pipeline(self):
+        namespace = 1 << 22  # 4M ids
+        occupied = uniform_query_set(namespace, 3_000, rng=6)
+        family = create_family("murmur3", 3, 65_536,
+                               namespace_size=namespace, seed=6)
+        tree = PrunedBloomSampleTree.build(occupied, namespace, 8, family)
+        full_nodes = (1 << 9) - 1
+        assert tree.num_nodes <= full_nodes
+
+        subset = occupied[::10]
+        query = BloomFilter.from_items(subset, family)
+        sampler = BSTSampler(tree, rng=6)
+        truth = set(subset.tolist())
+        hits = 0
+        for __ in range(100):
+            value = sampler.sample(query).value
+            assert value is not None
+            hits += value in truth
+        assert hits >= 90  # sparse occupancy boosts effective accuracy
+
+        result = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        # Reconstruction over occupied ids only: every true element found,
+        # cost bounded by the occupied population, not the namespace.
+        assert set(subset.tolist()) <= set(result.elements.tolist())
+        assert result.ops.memberships <= len(occupied)
+
+    def test_dynamic_growth_matches_rebuild(self):
+        namespace = 1 << 16
+        family = create_family("murmur3", 3, 16_384,
+                               namespace_size=namespace, seed=7)
+        first = uniform_query_set(namespace, 200, rng=7)
+        tree = PrunedBloomSampleTree.build(first, namespace, 6, family)
+        newcomers = uniform_query_set(namespace, 100, rng=8)
+        tree.insert_many(newcomers)
+        rebuilt = PrunedBloomSampleTree.build(
+            np.union1d(first, newcomers), namespace, 6, family)
+        assert tree.num_nodes == rebuilt.num_nodes
+        query = BloomFilter.from_items(newcomers[:50], family)
+        a = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        b = BSTReconstructor(rebuilt, exhaustive=True).reconstruct(query)
+        np.testing.assert_array_equal(a.elements, b.elements)

@@ -1,0 +1,106 @@
+"""Property-based tests for the deletion-capable structures.
+
+Models: the counting filter against a Python multiset; the dynamic tree
+against a from-scratch rebuild after an arbitrary insert/remove history.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.counting import CountingBloomFilter, NotStoredError
+from repro.core.dynamic import DynamicBloomSampleTree
+from repro.core.hashing import create_family
+
+NAMESPACE = 256
+M_BITS = 2_048
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _family(seed: int):
+    return create_family("murmur3", 3, M_BITS, namespace_size=NAMESPACE,
+                         seed=seed)
+
+
+# An operation history: (element, is_insert).  Removals of absent
+# elements are skipped by the executor, so any history is valid.
+histories = st.lists(
+    st.tuples(st.integers(0, NAMESPACE - 1), st.booleans()),
+    max_size=60,
+)
+
+
+class TestCountingFilterModel:
+    @COMMON
+    @given(history=histories, seed=st.integers(0, 4))
+    def test_matches_multiset_model(self, history, seed):
+        family = _family(seed)
+        cbf = CountingBloomFilter(family)
+        model: dict[int, int] = {}
+        for element, is_insert in history:
+            if is_insert:
+                cbf.add(element)
+                model[element] = model.get(element, 0) + 1
+            elif model.get(element, 0) > 0:
+                cbf.remove(element)
+                model[element] -= 1
+        survivors = np.array(sorted(x for x, c in model.items() if c > 0),
+                             dtype=np.uint64)
+        # The live view equals a fresh plain filter of the survivors.
+        assert cbf.bloom == BloomFilter.from_items(survivors, family)
+        for x in survivors.tolist():
+            assert int(x) in cbf
+
+    @COMMON
+    @given(items=st.sets(st.integers(0, NAMESPACE - 1), max_size=40),
+           seed=st.integers(0, 4))
+    def test_remove_all_restores_empty(self, items, seed):
+        family = _family(seed)
+        cbf = CountingBloomFilter(family)
+        values = np.array(sorted(items), dtype=np.uint64)
+        cbf.add_many(values)
+        cbf.remove_many(values)
+        assert cbf.count_nonzero() == 0
+
+    @COMMON
+    @given(seed=st.integers(0, 4), x=st.integers(0, NAMESPACE - 1))
+    def test_double_remove_raises(self, seed, x):
+        cbf = CountingBloomFilter(_family(seed))
+        cbf.add(x)
+        cbf.remove(x)
+        with pytest.raises(NotStoredError):
+            cbf.remove(x)
+
+
+class TestDynamicTreeModel:
+    @COMMON
+    @given(history=histories, seed=st.integers(0, 3))
+    def test_matches_rebuild(self, history, seed):
+        family = _family(seed)
+        tree = DynamicBloomSampleTree(NAMESPACE, 4, family)
+        occupied: set[int] = set()
+        for element, is_insert in history:
+            if is_insert:
+                tree.insert(element)
+                occupied.add(element)
+            elif element in occupied:
+                tree.remove(element)
+                occupied.discard(element)
+        rebuilt = DynamicBloomSampleTree.build(
+            np.array(sorted(occupied), dtype=np.uint64), NAMESPACE, 4,
+            family)
+        np.testing.assert_array_equal(tree.occupied, rebuilt.occupied)
+        assert tree.num_nodes == rebuilt.num_nodes
+        ours = {(n.level, n.index): n.bloom for n in tree.iter_nodes()}
+        reference = {(n.level, n.index): n.bloom
+                     for n in rebuilt.iter_nodes()}
+        assert ours.keys() == reference.keys()
+        for key in ours:
+            assert ours[key] == reference[key]

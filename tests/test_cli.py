@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestPlan:
+    def test_prints_parameters(self, capsys):
+        assert main(["plan", "-M", "100000", "-n", "500",
+                     "-a", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "filter bits m" in out
+        assert "tree depth" in out
+        assert "MB" in out
+
+    def test_cost_ratio_flag(self, capsys):
+        main(["plan", "-M", "100000", "-n", "500", "--cost-ratio", "1000"])
+        shallow = capsys.readouterr().out
+        main(["plan", "-M", "100000", "-n", "500", "--cost-ratio", "5"])
+        deep = capsys.readouterr().out
+        depth_of = lambda text: int(
+            next(l for l in text.splitlines() if "tree depth" in l)
+            .split(":")[1])
+        assert depth_of(deep) > depth_of(shallow)
+
+
+class TestPaperTables:
+    def test_prints_both_tables(self, capsys):
+        assert main(["paper-tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "137231" in out or "137230" in out  # accuracy-1.0 row
+
+
+class TestDemo:
+    def test_runs_end_to_end(self, capsys):
+        assert main(["demo", "--namespace", "5000", "--set-size", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "10 samples" in out
+        assert "reconstruction" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

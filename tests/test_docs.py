@@ -1,0 +1,92 @@
+"""Documentation health: doctests run, public API is importable/documented."""
+
+import doctest
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+def test_package_doctest():
+    """The README-style doctest in the package docstring must pass."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip()
+
+
+def test_all_submodules_have_docstrings():
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ and module.__doc__.strip()):
+            missing.append(info.name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_public_api_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_public_classes_and_functions_documented():
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"undocumented exports: {undocumented}"
+
+
+def _inherits_documented(cls, attr_name) -> bool:
+    """Whether some base class documents an attribute of the same name."""
+    for base in cls.__mro__[1:]:
+        base_attr = base.__dict__.get(attr_name)
+        if base_attr is None:
+            continue
+        target = base_attr.fget if isinstance(base_attr, property) else base_attr
+        if (getattr(target, "__doc__", None) or "").strip():
+            return True
+    return False
+
+
+def test_public_methods_documented():
+    """Every public method on exported classes carries a docstring.
+
+    Overrides of a documented base-class method (e.g. the HashFamily
+    implementations) inherit their contract from the base.
+    """
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if not inspect.isclass(obj):
+            continue
+        for attr_name, attr in vars(obj).items():
+            if attr_name.startswith("_"):
+                continue
+            if callable(attr) or isinstance(attr, property):
+                target = attr.fget if isinstance(attr, property) else attr
+                documented = bool((getattr(target, "__doc__", None)
+                                   or "").strip())
+                if target is not None and not documented and \
+                        not _inherits_documented(obj, attr_name):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"undocumented methods: {undocumented}"

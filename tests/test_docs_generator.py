@@ -1,0 +1,33 @@
+"""The committed API reference must stay in sync with the code."""
+
+import pathlib
+import subprocess
+import sys
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+
+
+def test_api_reference_up_to_date(tmp_path):
+    committed = (DOCS / "api.md").read_text()
+    result = subprocess.run([sys.executable, str(DOCS / "generate_api.py")],
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    regenerated = (DOCS / "api.md").read_text()
+    assert regenerated == committed, (
+        "docs/api.md is stale; run python docs/generate_api.py"
+    )
+
+
+def test_api_reference_mentions_key_exports():
+    text = (DOCS / "api.md").read_text()
+    for name in ("BloomSampleTree", "BSTSampler", "DictionaryAttack",
+                 "HashInvert", "PrunedBloomSampleTree", "FilterStore",
+                 "CountingBloomFilter", "plan_tree"):
+        assert name in text, name
+
+
+def test_algorithms_doc_exists():
+    text = (DOCS / "algorithms.md").read_text()
+    for anchor in ("Section 3.1", "Algorithm 1", "Section 5.4",
+                   "Known deviations"):
+        assert anchor in text, anchor

@@ -1,0 +1,36 @@
+"""Every example script must run end-to-end (scaled down)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["--namespace", "20000", "--set-size", "200"],
+    "twitter_communities.py": ["--namespace", "200000", "--users", "8000",
+                               "--hashtags", "10"],
+    "graph_adjacency.py": ["--vertices", "2000", "--walk-length", "6"],
+    "hash_family_tradeoffs.py": ["--namespace", "10000", "--set-size",
+                                 "150", "--rounds", "5"],
+    "dynamic_membership.py": ["--namespace", "50000", "--population",
+                              "3000"],
+    "keyword_search.py": ["--documents", "20000", "--keywords", "40"],
+}
+
+
+def test_every_example_has_a_case():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES)
+
+
+@pytest.mark.parametrize("script,args", sorted(CASES.items()))
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

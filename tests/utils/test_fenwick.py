@@ -1,0 +1,147 @@
+"""Tests for the Fenwick tree powering the clustered generator."""
+
+import numpy as np
+import pytest
+
+from repro.utils.fenwick import FenwickTree
+
+
+class TestConstruction:
+    def test_uniform_totals(self):
+        tree = FenwickTree.uniform(10)
+        assert tree.total == pytest.approx(10.0)
+        assert tree.alive_count == 10
+
+    def test_from_weights(self):
+        weights = np.array([0.0, 2.0, 0.0, 3.0, 1.0])
+        tree = FenwickTree.from_weights(weights)
+        assert tree.total == pytest.approx(6.0)
+        assert tree.alive_count == 3
+        assert not tree.is_alive(0)
+        assert tree.is_alive(1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree.from_weights(np.array([1.0, -0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree.from_weights(np.ones((2, 2)))
+
+
+class TestPrefixSums:
+    def test_matches_cumsum(self):
+        rng = np.random.default_rng(0)
+        weights = rng.random(97)
+        tree = FenwickTree.from_weights(weights)
+        cumsum = np.cumsum(weights)
+        for i in range(97):
+            assert tree.prefix_sum(i) == pytest.approx(cumsum[i])
+
+    def test_after_updates(self):
+        tree = FenwickTree.uniform(16)
+        tree.set_weight(3, 5.0)
+        tree.add_weight(10, 2.5)
+        reference = np.ones(16)
+        reference[3] = 5.0
+        reference[10] = 3.5
+        for i in range(16):
+            assert tree.prefix_sum(i) == pytest.approx(reference[: i + 1].sum())
+
+
+class TestUpdates:
+    def test_set_weight_kills_and_revives(self):
+        tree = FenwickTree.uniform(8)
+        tree.set_weight(2, 0.0)
+        assert tree.alive_count == 7
+        assert not tree.is_alive(2)
+        tree.set_weight(2, 0.5)
+        assert tree.alive_count == 8
+
+    def test_weight_readback(self):
+        tree = FenwickTree.uniform(8)
+        tree.set_weight(5, 3.25)
+        assert tree.weight(5) == pytest.approx(3.25)
+
+    def test_out_of_range(self):
+        tree = FenwickTree.uniform(8)
+        with pytest.raises(IndexError):
+            tree.set_weight(8, 1.0)
+        with pytest.raises(ValueError):
+            tree.set_weight(0, -1.0)
+
+    def test_scale_all(self):
+        tree = FenwickTree.uniform(8)
+        tree.scale_all(0.5)
+        assert tree.total == pytest.approx(4.0)
+        assert tree.alive_count == 8
+        assert tree.weight(3) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            tree.scale_all(0.0)
+
+
+class TestSampling:
+    def test_sample_respects_intervals(self):
+        tree = FenwickTree.from_weights(np.array([1.0, 2.0, 3.0]))
+        assert tree.sample(0.5) == 0
+        assert tree.sample(1.5) == 1
+        assert tree.sample(2.999) == 1
+        assert tree.sample(3.0) == 2
+        assert tree.sample(5.999) == 2
+
+    def test_sample_skips_dead(self):
+        tree = FenwickTree.from_weights(np.array([0.0, 1.0, 0.0, 1.0]))
+        assert tree.sample(0.5) == 1
+        assert tree.sample(1.5) == 3
+
+    def test_sample_out_of_range(self):
+        tree = FenwickTree.uniform(4)
+        with pytest.raises(ValueError):
+            tree.sample(4.0)
+
+    def test_sampling_distribution(self):
+        rng = np.random.default_rng(7)
+        weights = np.array([1.0, 4.0, 5.0])
+        tree = FenwickTree.from_weights(weights)
+        draws = np.array([
+            tree.sample(rng.random() * tree.total) for _ in range(20_000)
+        ])
+        freqs = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freqs, weights / weights.sum(), atol=0.02)
+
+
+class TestAliveOrderStatistics:
+    def test_rank_select_roundtrip(self):
+        weights = np.array([0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        tree = FenwickTree.from_weights(weights)
+        alive = [1, 2, 4, 6]
+        for rank, idx in enumerate(alive):
+            assert tree.alive_select(rank) == idx
+            assert tree.alive_rank(idx) == rank
+
+    def test_predecessor_successor(self):
+        weights = np.array([0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        tree = FenwickTree.from_weights(weights)
+        assert tree.alive_predecessor(4) == 2
+        assert tree.alive_successor(4) == 6
+        assert tree.alive_predecessor(1) is None
+        assert tree.alive_successor(6) is None
+        # Neighbours of a *dead* index work too.
+        assert tree.alive_predecessor(3) == 2
+        assert tree.alive_successor(3) == 4
+
+    def test_select_out_of_range(self):
+        tree = FenwickTree.uniform(4)
+        with pytest.raises(IndexError):
+            tree.alive_select(4)
+
+    def test_updates_tracked(self):
+        tree = FenwickTree.uniform(5)
+        tree.set_weight(2, 0.0)
+        assert tree.alive_successor(1) == 3
+        tree.set_weight(2, 1.0)
+        assert tree.alive_successor(1) == 2

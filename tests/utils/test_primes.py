@@ -1,0 +1,99 @@
+"""Tests for the Miller-Rabin primality helpers."""
+
+import pytest
+
+from repro.utils.primes import is_prime, mod_inverse, next_prime
+
+FIRST_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+                59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+# Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341]
+
+LARGE_PRIMES = [
+    1_000_003,
+    2_147_483_647,        # Mersenne prime 2^31 - 1
+    1_000_000_007,
+    2_305_843_009_213_693_951,  # Mersenne prime 2^61 - 1
+]
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in FIRST_PRIMES:
+            assert is_prime(p), p
+
+    def test_small_composites(self):
+        composites = set(range(100)) - set(FIRST_PRIMES)
+        for c in composites:
+            assert not is_prime(c), c
+
+    def test_carmichael_numbers_rejected(self):
+        for c in CARMICHAEL:
+            assert not is_prime(c), c
+
+    def test_large_primes(self):
+        for p in LARGE_PRIMES:
+            assert is_prime(p), p
+
+    def test_large_composites(self):
+        for p in LARGE_PRIMES:
+            assert not is_prime(p * 3)
+        assert not is_prime(2_147_483_647 * 1_000_003)
+
+    def test_negative_and_edge(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_square_of_prime(self):
+        assert not is_prime(1_000_003 ** 2)
+
+    def test_deterministic_range_guard(self):
+        with pytest.raises(ValueError):
+            is_prime(10 ** 25)
+
+
+class TestNextPrime:
+    def test_exact_prime_returned(self):
+        assert next_prime(7) == 7
+        assert next_prime(1_000_003) == 1_000_003
+
+    def test_steps_to_next(self):
+        assert next_prime(8) == 11
+        assert next_prime(90) == 97
+        assert next_prime(1_000_000) == 1_000_003
+
+    def test_tiny_inputs(self):
+        assert next_prime(0) == 2
+        assert next_prime(1) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+
+    def test_million_scale(self):
+        p = next_prime(10_000_000)
+        assert p >= 10_000_000
+        assert is_prime(p)
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("p", [7, 101, 1_000_003])
+    def test_inverse_property(self, p):
+        for a in [1, 2, 3, p - 1, 12345 % p or 1]:
+            inv = mod_inverse(a, p)
+            assert (a * inv) % p == 1
+
+    def test_zero_not_invertible(self):
+        with pytest.raises(ValueError):
+            mod_inverse(0, 7)
+        with pytest.raises(ValueError):
+            mod_inverse(14, 7)  # reduces to 0 mod 7
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+    def test_result_in_range(self):
+        p = 1_000_003
+        inv = mod_inverse(999_999, p)
+        assert 0 < inv < p

@@ -1,0 +1,26 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def test_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_seed_reproducible():
+    a = ensure_rng(42)
+    b = ensure_rng(42)
+    assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert ensure_rng(gen) is gen
+
+
+def test_different_seeds_differ():
+    draws_a = ensure_rng(1).integers(0, 1 << 30, size=4)
+    draws_b = ensure_rng(2).integers(0, 1 << 30, size=4)
+    assert not np.array_equal(draws_a, draws_b)

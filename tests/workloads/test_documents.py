@@ -1,0 +1,114 @@
+"""Tests for the information-retrieval workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import create_family
+from repro.core.tree import BloomSampleTree
+from repro.workloads.documents import (
+    SyntheticCorpus,
+    conjunctive_sample,
+    inverted_index,
+)
+
+DOCS = 20_000
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus.generate(num_documents=DOCS, num_keywords=50,
+                                    rng=0)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    family = create_family("murmur3", 3, 32_768, namespace_size=DOCS,
+                           seed=3)
+    tree = BloomSampleTree.build(DOCS, 6, family)
+    return inverted_index(corpus, family, tree=tree, rng=3)
+
+
+class TestCorpusGeneration:
+    def test_shape(self, corpus):
+        assert corpus.num_keywords == 50
+        assert len(corpus.postings) == 50
+        assert all(k.startswith("kw") for k in corpus.keywords)
+
+    def test_zipf_document_frequencies(self, corpus):
+        frequencies = [corpus.document_frequency(k) for k in corpus.keywords]
+        # Head keyword near max_df, tail at the floor, non-increasing.
+        assert frequencies[0] == pytest.approx(0.2 * DOCS, rel=0.01)
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert frequencies[-1] >= max(1, int(0.001 * DOCS))
+
+    def test_postings_are_valid_doc_ids(self, corpus):
+        for keyword in corpus.keywords[:10]:
+            docs = corpus.postings[keyword]
+            assert docs.max() < DOCS
+            assert len(np.unique(docs)) == len(docs)
+            assert (np.diff(docs.astype(np.int64)) > 0).all()
+
+    def test_conjunctive_ground_truth(self, corpus):
+        a, b = corpus.keywords[0], corpus.keywords[1]
+        both = corpus.documents_matching([a, b])
+        expected = np.intersect1d(corpus.postings[a], corpus.postings[b])
+        np.testing.assert_array_equal(both, expected)
+        with pytest.raises(ValueError):
+            corpus.documents_matching([])
+
+    def test_generation_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus.generate(min_document_frequency=0.5,
+                                     max_document_frequency=0.1)
+
+
+class TestInvertedIndex:
+    def test_one_filter_per_keyword(self, corpus, index):
+        assert len(index) == corpus.num_keywords
+
+    def test_membership_matches_postings(self, corpus, index):
+        keyword = corpus.keywords[5]
+        docs = corpus.postings[keyword]
+        assert index.filter(keyword).contains_many(docs).all()
+
+    def test_document_sampling(self, corpus, index):
+        keyword = corpus.keywords[3]
+        truth = set(corpus.postings[keyword].tolist())
+        hits = sum(index.sample(keyword).value in truth for __ in range(30))
+        assert hits >= 27
+
+    def test_postings_reconstruction(self, corpus, index):
+        keyword = corpus.keywords[-1]  # rare keyword: small postings
+        result = index.reconstruct(keyword, exhaustive=True)
+        truth = set(corpus.postings[keyword].tolist())
+        assert truth <= set(result.elements.tolist())
+
+    def test_conjunctive_sampling_precision(self, corpus, index):
+        from repro.workloads.documents import conjunctive_precision_estimate
+
+        keywords = [corpus.keywords[0], corpus.keywords[1]]
+        truth = set(corpus.documents_matching(keywords).tolist())
+        assert truth, "test needs a non-empty conjunction"
+        produced = []
+        for __ in range(60):
+            result = conjunctive_sample(index, keywords)
+            if result.value is not None:
+                produced.append(result.value)
+        assert produced
+        hits = sum(v in truth for v in produced)
+        measured = hits / len(produced)
+        predicted = conjunctive_precision_estimate(index, keywords)
+        # One-sided false positives contaminate the AND sketch; the
+        # precision model must predict the measured rate.
+        assert measured == pytest.approx(predicted, abs=0.25)
+        assert measured >= 0.5
+
+    def test_conjunctive_empty_intersection(self, corpus, index):
+        # Two rare keywords usually share no document.
+        rare = [k for k in corpus.keywords
+                if corpus.document_frequency(k) <= 25][:2]
+        if len(rare) < 2 or corpus.documents_matching(rare).size > 0:
+            pytest.skip("no disjoint rare pair in this corpus draw")
+        nones = sum(conjunctive_sample(index, rare).value is None
+                    for __ in range(20))
+        assert nones >= 15

@@ -1,0 +1,119 @@
+"""Tests for the query-set generators (Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    clustered_query_set,
+    clustering_score,
+    select_leaves,
+    uniform_query_set,
+)
+
+
+class TestUniform:
+    def test_size_range_uniqueness(self):
+        values = uniform_query_set(10_000, 500, rng=0)
+        assert len(values) == 500
+        assert len(np.unique(values)) == 500
+        assert values.min() >= 0
+        assert values.max() < 10_000
+        assert (np.diff(values.astype(np.int64)) > 0).all()  # sorted
+
+    def test_lo_offset(self):
+        values = uniform_query_set(10_000, 100, rng=0, lo=9_000)
+        assert values.min() >= 9_000
+
+    def test_rejection_path_for_sparse_draws(self):
+        # Large namespace forces the rejection-sampling branch.
+        values = uniform_query_set(1 << 40, 1000, rng=0)
+        assert len(np.unique(values)) == 1000
+
+    def test_full_namespace(self):
+        values = uniform_query_set(100, 100, rng=0)
+        np.testing.assert_array_equal(values, np.arange(100))
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_query_set(10, 11)
+
+    def test_approximately_uniform(self):
+        values = uniform_query_set(1000, 500, rng=1)
+        # Half the namespace drawn: each half should hold roughly half.
+        assert 200 < (values < 500).sum() < 300
+
+
+class TestClustered:
+    def test_size_range_uniqueness(self):
+        values = clustered_query_set(10_000, 500, rng=0)
+        assert len(values) == 500
+        assert len(np.unique(values)) == 500
+        assert values.min() >= 0
+        assert values.max() < 10_000
+
+    def test_more_clustered_than_uniform(self):
+        M, n = 50_000, 400
+        uni = uniform_query_set(M, n, rng=3)
+        clu = clustered_query_set(M, n, rng=3)
+        assert clustering_score(clu, M) > clustering_score(uni, M) + 0.1
+
+    def test_aggressiveness_increases_clustering(self):
+        M, n = 50_000, 400
+        mild = clustered_query_set(M, n, rng=4, aggressiveness=0.0)
+        strong = clustered_query_set(M, n, rng=4, aggressiveness=30.0)
+        assert clustering_score(strong, M) >= clustering_score(mild, M)
+
+    def test_adjacent_runs_present(self):
+        """The paper's p=10 process produces runs of consecutive ids."""
+        values = clustered_query_set(100_000, 300, rng=5)
+        gaps = np.diff(values.astype(np.int64))
+        assert (gaps == 1).mean() > 0.5
+
+    def test_whole_namespace(self):
+        values = clustered_query_set(64, 64, rng=0)
+        np.testing.assert_array_equal(values, np.arange(64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_query_set(10, 11)
+        with pytest.raises(ValueError):
+            clustered_query_set(100, 10, aggressiveness=100.0)
+        with pytest.raises(ValueError):
+            clustered_query_set(100, 10, aggressiveness=-1.0)
+
+    def test_deterministic_with_seed(self):
+        a = clustered_query_set(10_000, 100, rng=7)
+        b = clustered_query_set(10_000, 100, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestClusteringScore:
+    def test_tight_cluster_scores_high(self):
+        assert clustering_score(np.arange(100), 100_000) > 0.9
+
+    def test_evenly_spread_scores_low(self):
+        spread = np.arange(0, 100_000, 1000)
+        assert clustering_score(spread, 100_000) < 0.05
+
+    def test_degenerate_inputs(self):
+        assert clustering_score(np.array([5]), 100) == 0.0
+        assert clustering_score(np.array([]), 100) == 0.0
+
+
+class TestSelectLeaves:
+    def test_uniform_mode(self):
+        leaves = select_leaves(256, 52, "uniform", rng=0)
+        assert len(leaves) == 52
+        assert len(np.unique(leaves)) == 52
+        assert leaves.max() < 256
+
+    def test_clustered_mode(self):
+        leaves = select_leaves(256, 52, "clustered", rng=0)
+        assert len(np.unique(leaves)) == 52
+        assert leaves.max() < 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_leaves(10, 11, "uniform")
+        with pytest.raises(ValueError):
+            select_leaves(10, 5, "diagonal")

@@ -1,0 +1,103 @@
+"""Tests for the graph adjacency workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import create_family
+from repro.core.tree import BloomSampleTree
+from repro.workloads.graphs import (
+    adjacency_sets,
+    adjacency_store,
+    community_graph,
+    random_walk,
+    relabel_to_integers,
+)
+
+nx = pytest.importorskip("networkx")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_graph(400, community_size=40, rng=0)
+
+
+class TestGraphGeneration:
+    def test_shape(self, graph):
+        assert graph.number_of_nodes() == 400
+        assert graph.number_of_edges() > 0
+
+    def test_communities_are_dense(self, graph):
+        # Within-community edges dominate: neighbour ids stay close.
+        gaps = []
+        for vertex in list(graph.nodes)[:50]:
+            for neighbour in graph.neighbors(vertex):
+                gaps.append(abs(neighbour - vertex))
+        assert np.median(gaps) < 40
+
+    def test_deterministic(self):
+        a = community_graph(200, rng=3)
+        b = community_graph(200, rng=3)
+        assert set(a.edges) == set(b.edges)
+
+
+class TestAdjacencySets:
+    def test_matches_graph(self, graph):
+        sets = adjacency_sets(graph)
+        assert set(sets) == set(int(v) for v in graph.nodes)
+        for vertex in list(graph.nodes)[:20]:
+            expected = np.array(sorted(graph.neighbors(vertex)),
+                                dtype=np.uint64)
+            np.testing.assert_array_equal(sets[int(vertex)], expected)
+
+    def test_relabel(self):
+        labelled = nx.Graph([("a", "b"), ("b", "c")])
+        relabelled, mapping = relabel_to_integers(labelled)
+        assert set(relabelled.nodes) == {0, 1, 2}
+        assert relabelled.has_edge(mapping["a"], mapping["b"])
+
+
+class TestAdjacencyStore:
+    @pytest.fixture(scope="class")
+    def setup(self, graph):
+        namespace = graph.number_of_nodes()
+        family = create_family("murmur3", 3, 8_192,
+                               namespace_size=namespace, seed=1)
+        tree = BloomSampleTree.build(namespace, 4, family)
+        store = adjacency_store(graph, family, tree=tree, rng=1)
+        return graph, store
+
+    def test_one_filter_per_vertex(self, setup):
+        graph, store = setup
+        assert len(store) == graph.number_of_nodes()
+        assert "adj:0" in store
+
+    def test_membership_matches_edges(self, setup):
+        graph, store = setup
+        for u, v in list(graph.edges)[:30]:
+            assert store.contains(f"adj:{u}", v)
+            assert store.contains(f"adj:{v}", u)
+
+    def test_neighbour_sampling(self, setup):
+        graph, store = setup
+        vertex = 0
+        true_neighbours = set(graph.neighbors(vertex))
+        hits = 0
+        for __ in range(30):
+            value = store.sample(f"adj:{vertex}").value
+            hits += value in true_neighbours
+        assert hits >= 25
+
+    def test_random_walk_mostly_follows_edges(self, setup):
+        graph, store = setup
+        walk = random_walk(store, start=5, length=10)
+        assert walk[0] == 5
+        assert len(walk) >= 2
+        valid = sum(graph.has_edge(a, b) for a, b in zip(walk, walk[1:]))
+        assert valid >= (len(walk) - 1) * 0.7
+
+    def test_reconstruction_recovers_neighbourhood(self, setup):
+        graph, store = setup
+        vertex = max(graph.nodes, key=graph.degree)
+        result = store.reconstruct(f"adj:{vertex}", exhaustive=True)
+        true_neighbours = set(graph.neighbors(vertex))
+        assert true_neighbours <= set(result.elements.tolist())

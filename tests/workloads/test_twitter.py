@@ -1,0 +1,90 @@
+"""Tests for the synthetic Twitter dataset (Section 8 substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.twitter import SyntheticTwitterDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticTwitterDataset.generate(
+        namespace_size=200_000, num_users=5_000, num_hashtags=40,
+        min_audience=50, max_audience=500, rng=0)
+
+
+class TestGeneration:
+    def test_shape(self, dataset):
+        assert dataset.num_users == 5_000
+        assert len(dataset.hashtag_audiences) == 40
+        assert dataset.occupancy == pytest.approx(5_000 / 200_000)
+
+    def test_user_ids_valid(self, dataset):
+        ids = dataset.user_ids
+        assert len(np.unique(ids)) == len(ids)
+        assert ids.max() < 200_000
+        assert (np.diff(ids.astype(np.int64)) > 0).all()
+
+    def test_audiences_are_users(self, dataset):
+        users = set(dataset.user_ids.tolist())
+        for audience in dataset.hashtag_audiences:
+            assert 50 <= len(audience) <= 500
+            assert set(audience.tolist()) <= users
+            assert len(np.unique(audience)) == len(audience)
+
+    def test_audience_sizes_skewed(self, dataset):
+        sizes = np.array([len(a) for a in dataset.hashtag_audiences])
+        assert sizes.max() == 500  # head of the Zipf hits the cap
+        assert sizes.min() == 50   # tail hits the floor
+
+    def test_uniform_vs_clustered_ids(self):
+        uni = SyntheticTwitterDataset.generate(
+            namespace_size=200_000, num_users=5_000, num_hashtags=5,
+            id_distribution="uniform", rng=1)
+        clu = SyntheticTwitterDataset.generate(
+            namespace_size=200_000, num_users=5_000, num_hashtags=5,
+            id_distribution="clustered", rng=1)
+        from repro.workloads.generators import clustering_score
+        assert clustering_score(clu.user_ids, 200_000) > \
+            clustering_score(uni.user_ids, 200_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTwitterDataset.generate(namespace_size=10, num_users=20)
+        with pytest.raises(ValueError):
+            SyntheticTwitterDataset.generate(id_distribution="sideways")
+
+
+class TestNamespaceFractions:
+    def test_restrict_drops_outsiders(self, dataset):
+        keep = dataset.user_ids[: dataset.num_users // 2]
+        restricted = dataset.restrict_to_namespace(keep)
+        assert restricted.num_users == len(keep)
+        users = set(restricted.user_ids.tolist())
+        for audience in restricted.hashtag_audiences:
+            assert set(audience.tolist()) <= users
+
+    def test_users_in_leaves(self, dataset):
+        num_leaves = 16
+        all_leaves = np.arange(num_leaves)
+        everyone = dataset.users_in_leaves(all_leaves, num_leaves)
+        np.testing.assert_array_equal(everyone, dataset.user_ids)
+        first_half = dataset.users_in_leaves(np.arange(8), num_leaves)
+        assert (first_half < 100_000).all()
+
+    def test_fraction_monotone(self, dataset):
+        small = dataset.namespace_at_fraction(0.1, "uniform", rng=3)
+        large = dataset.namespace_at_fraction(0.8, "uniform", rng=3)
+        assert len(small) < len(large)
+        assert len(large) <= dataset.num_users
+
+    def test_clustered_fraction(self, dataset):
+        occupied = dataset.namespace_at_fraction(0.3, "clustered", rng=3)
+        assert 0 < len(occupied) < dataset.num_users
+        assert set(occupied.tolist()) <= set(dataset.user_ids.tolist())
+
+    def test_fraction_validation(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.namespace_at_fraction(0.0, "uniform")
+        with pytest.raises(ValueError):
+            dataset.namespace_at_fraction(1.5, "uniform")
