@@ -2,13 +2,14 @@
 """Dynamic membership: communities that gain *and* lose members.
 
 The paper motivates Bloom-filter sampling with "dynamic, online
-communities" — yet its structures only grow.  This example uses the
-library's extensions to run the full lifecycle:
+communities" — yet its structures only grow.  This example runs the full
+lifecycle through a single ``tree="dynamic"`` :class:`~repro.api.BloomDB`
+engine:
 
-* a ``DynamicBloomSampleTree`` (counting filters at the nodes) tracks the
-  population of active account ids; deactivated accounts are *removed*
-  and empty subtrees detached,
-* a ``FilterStore`` holds one Bloom filter per community and answers
+* the engine's DynamicBloomSampleTree (counting filters at the nodes)
+  tracks the population of active account ids; deactivated accounts are
+  *retired* and empty subtrees detached,
+* one Bloom filter per community, stored under its name, answers
   sampling / reconstruction / cross-community queries through the tree,
 * union and intersection sampling pick members of merged or overlapping
   communities.
@@ -20,13 +21,7 @@ import argparse
 
 import numpy as np
 
-from repro import (
-    DynamicBloomSampleTree,
-    FilterStore,
-    create_family,
-    plan_tree,
-    uniform_query_set,
-)
+from repro import BloomDB, uniform_query_set
 
 
 def main() -> None:
@@ -37,63 +32,76 @@ def main() -> None:
     args = parser.parse_args()
 
     rng = np.random.default_rng(args.seed)
-    params = plan_tree(args.namespace, 1_000, 0.9)
-    family = create_family("murmur3", params.k, params.m,
-                           namespace_size=args.namespace, seed=args.seed)
+
+    # One engine owns the planner, family, dynamic tree and filter store.
+    db = BloomDB.plan(
+        namespace_size=args.namespace,
+        accuracy=0.9,
+        set_size=1_000,
+        family="murmur3",
+        tree="dynamic",
+        seed=args.seed,
+    )
 
     # Active account ids occupy a sliver of the namespace.
     population = uniform_query_set(args.namespace, args.population, rng=rng)
-    tree = DynamicBloomSampleTree.build(population, args.namespace,
-                                        params.depth, family)
-    print(f"population: {len(tree.occupied)} active ids "
-          f"({tree.occupancy_fraction:.2%} of the namespace), "
-          f"{tree.num_nodes} tree nodes, "
-          f"{tree.memory_bytes / 1e6:.2f} MB")
+    db.insert_ids(population)
+    print(f"population: {len(db.occupied)} active ids "
+          f"({len(db.occupied) / args.namespace:.2%} of the namespace), "
+          f"{db.tree.num_nodes} tree nodes, "
+          f"{db.tree.memory_bytes / 1e6:.2f} MB")
 
-    # Communities are subsets of the population, stored as filters.
-    store = FilterStore(family, tree=tree, rng=args.seed)
+    # Communities are subsets of the population, stored as named filters.
     for name, size in (("gamers", 3_000), ("chefs", 2_000),
                        ("cyclists", 1_500)):
         members = rng.choice(population, size=size, replace=False)
-        store.create(name, members)
+        db.add_set(name, members)
     # Overlap: some gamers also cook.
-    both = rng.choice(store.reconstruct("gamers",
-                                        exhaustive=True).elements, 400)
-    store.add("chefs", both)
-    print(f"store: {store.names()}, {store.nbytes / 1e3:.0f} kB of filters")
+    both = rng.choice(db.reconstruct("gamers",
+                                     exhaustive=True).elements, 400)
+    db.extend_set("chefs", both)
+    print(f"store: {db.names()}, {db.store.nbytes / 1e3:.0f} kB of filters")
 
     # Sample members; advertise to the union; find the overlap.
-    print(f"\na random gamer:            {store.sample('gamers').value}")
-    print(f"a random gamer-or-chef:    {store.sample_union(['gamers', 'chefs']).value}")
-    overlap = store.sample_intersection(["gamers", "chefs"])
+    print(f"\na random gamer:            {db.sample('gamers').value}")
+    print(f"a random gamer-or-chef:    "
+          f"{db.sample_union(['gamers', 'chefs']).value}")
+    overlap = db.sample_intersection(["gamers", "chefs"])
     print(f"a random gamer-and-chef:   {overlap.value} "
           f"(intersection sketch; Eq. (1) false overlaps possible)")
+
+    # One batched call samples every community with a merged op report.
+    batch = db.sample_many(r=5)
+    print(f"batched sample_many(r=5):  "
+          f"{ {name: vals[:2] for name, vals in batch.values.items()} } ... "
+          f"({batch.ops.intersections} intersections total, "
+          f"{batch.elapsed_s * 1e3:.1f} ms)")
 
     # Churn: 20% of accounts deactivate, new ones register.
     leavers = rng.choice(population, size=args.population // 5,
                          replace=False)
-    tree.remove_many(leavers)
-    taken = set(tree.occupied.tolist()) | set(leavers.tolist())
+    db.retire_ids(leavers)
+    taken = set(db.occupied.tolist()) | set(leavers.tolist())
     newcomers = []
     while len(newcomers) < 500:
         candidate = int(rng.integers(0, args.namespace))
         if candidate not in taken:
             taken.add(candidate)
             newcomers.append(candidate)
-            tree.insert(candidate)
+    db.insert_ids(newcomers)
     print(f"\nafter churn (-{len(leavers)}, +{len(newcomers)}): "
-          f"{len(tree.occupied)} active ids, {tree.num_nodes} nodes, "
-          f"{tree.memory_bytes / 1e6:.2f} MB")
+          f"{len(db.occupied)} active ids, {db.tree.num_nodes} nodes, "
+          f"{db.tree.memory_bytes / 1e6:.2f} MB")
 
     # Sampling still works and leavers can no longer be produced: the
     # tree's candidate space is the *live* population.
-    gamers = set(store.reconstruct("gamers", exhaustive=True)
+    gamers = set(db.reconstruct("gamers", exhaustive=True)
                  .elements.tolist())
     gone = set(leavers.tolist())
     assert not (gamers & gone), "reconstruction returned a deactivated id"
     print(f"gamers still reachable:    {len(gamers)} "
           f"(deactivated members excluded by construction)")
-    sample = store.sample("gamers")
+    sample = db.sample("gamers")
     print(f"a random remaining gamer:  {sample.value}")
 
 

@@ -15,12 +15,8 @@ Run:  python examples/keyword_search.py [--documents 100000]
 
 import argparse
 
-from repro import BloomSampleTree, create_family, plan_tree
-from repro.workloads.documents import (
-    SyntheticCorpus,
-    conjunctive_sample,
-    inverted_index,
-)
+from repro import BloomDB
+from repro.workloads.documents import SyntheticCorpus, conjunctive_sample
 
 
 def main() -> None:
@@ -38,17 +34,23 @@ def main() -> None:
           f"{corpus.document_frequency(corpus.keywords[0])} (head) .. "
           f"{corpus.document_frequency(corpus.keywords[-1])} (tail)")
 
-    # Size the filters for a mid-size postings list, build the tree once.
+    # Size the filters for a mid-size postings list; one engine owns the
+    # planner, family, tree and the index itself.
     typical = corpus.document_frequency(
         corpus.keywords[len(corpus.keywords) // 2])
-    params = plan_tree(args.documents, typical, accuracy=0.95)
-    family = create_family("murmur3", params.k, params.m,
-                           namespace_size=args.documents, seed=args.seed)
-    tree = BloomSampleTree.build(args.documents, params.depth, family)
-    index = inverted_index(corpus, family, tree=tree, rng=args.seed)
+    index = BloomDB.plan(
+        namespace_size=args.documents,
+        accuracy=0.95,
+        set_size=typical,
+        family="murmur3",
+        seed=args.seed,
+    )
+    for keyword in corpus.keywords:
+        index.add_set(keyword, corpus.postings[keyword])
     print(f"index: {len(index)} postings filters, "
-          f"{index.nbytes / 1e6:.2f} MB + {tree.memory_bytes / 1e6:.2f} MB "
-          f"tree (m={params.m}, depth={params.depth})")
+          f"{index.store.nbytes / 1e6:.2f} MB + "
+          f"{index.tree.memory_bytes / 1e6:.2f} MB "
+          f"tree (m={index.params.m}, depth={index.params.depth})")
 
     # Document-frequency estimation straight from the filters.
     print("\nestimated vs true document frequency:")

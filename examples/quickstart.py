@@ -1,85 +1,94 @@
 #!/usr/bin/env python3
-"""Quickstart: store a set in a Bloom filter, then sample and rebuild it.
+"""Quickstart: store a set in the BloomDB engine, then sample and rebuild it.
 
-Walks the full happy path of the library:
+Walks the full happy path of the library through the
+:class:`~repro.api.BloomDB` facade:
 
-1. plan tree parameters from a desired sampling accuracy (Section 5.4),
-2. build the BloomSampleTree once,
-3. store a secret set in a query Bloom filter,
-4. draw near-uniform samples (Algorithm 1) — single and one-pass multi,
-5. reconstruct the set (Section 6),
-6. compare op counts against the DictionaryAttack baseline.
+1. plan an engine from a desired sampling accuracy (Section 5.4) — one
+   call resolves the filter size, tree depth and hash family,
+2. store a secret set under a name,
+3. draw near-uniform samples (Algorithm 1) — single and one-pass multi,
+4. reconstruct the set (Section 6),
+5. compare op counts against the DictionaryAttack baseline.
 
-Run:  python examples/quickstart.py [--namespace 100000] [--set-size 500]
+Run:  python examples/quickstart.py [--namespace 50000] [--set-size 500]
+
+At namespaces much larger than the planned filter size the upper tree
+levels saturate and the paper's thresholded descent loses its signal
+(every estimate clamps to zero); pass ``--descent floored`` for the
+starvation-free policy in that regime.
 """
 
 import argparse
 
-from repro import (
-    BloomFilter,
-    BloomSampleTree,
-    BSTReconstructor,
-    BSTSampler,
-    DictionaryAttack,
-    family_for_parameters,
-    plan_tree,
-    uniform_query_set,
-)
+from repro import BloomDB, DictionaryAttack, uniform_query_set
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--namespace", type=int, default=100_000,
+    parser.add_argument("--namespace", type=int, default=50_000,
                         help="size of the id namespace M")
     parser.add_argument("--set-size", type=int, default=500,
                         help="number of elements in the secret set n")
     parser.add_argument("--accuracy", type=float, default=0.95,
                         help="desired sampling accuracy (Section 5.4)")
+    parser.add_argument("--tree", choices=("static", "pruned", "dynamic"),
+                        default="static", help="tree backend variant")
+    parser.add_argument("--descent", choices=("threshold", "floored"),
+                        default="threshold",
+                        help="branch policy: the paper's thresholded rule, "
+                             "or the starvation-free floored variant")
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
-    # 1. Plan: desired accuracy -> filter size m, tree depth, leaf size.
-    params = plan_tree(args.namespace, args.set_size, args.accuracy)
-    print(f"planned: m={params.m} bits, depth={params.depth}, "
-          f"leaf capacity M_perp={params.leaf_capacity}, "
-          f"tree memory {params.memory_mb:.2f} MB")
+    # 1. Plan the engine: desired accuracy -> m, depth, family, tree —
+    #    all owned by one facade object.
+    db = BloomDB.plan(
+        namespace_size=args.namespace,
+        accuracy=args.accuracy,
+        set_size=args.set_size,
+        family="murmur3",
+        tree=args.tree,
+        descent=args.descent,
+        seed=args.seed,
+    )
+    print(f"planned: m={db.params.m} bits, depth={db.params.depth}, "
+          f"leaf capacity M_perp={db.params.leaf_capacity}, "
+          f"tree memory {db.params.memory_mb:.2f} MB "
+          f"(backend: {db.config.tree})")
 
-    # 2. Build the tree once; it serves every future query filter.
-    family = family_for_parameters(params, "murmur3", seed=args.seed)
-    tree = BloomSampleTree.build(args.namespace, params.depth, family)
-
-    # 3. Someone hands us a Bloom filter of a set we cannot see.
+    # 2. Someone hands us a set we store as a Bloom filter.
     secret = uniform_query_set(args.namespace, args.set_size, rng=args.seed)
-    query = BloomFilter.from_items(secret, family)
-    print(f"query filter: {query.count_ones()} of {query.m} bits set "
+    db.add_set("secret", secret)
+    truth = set(secret.tolist())
+    query = db.filter("secret")
+    print(f"stored filter: {query.count_ones()} of {query.m} bits set "
           f"(expected FPP {query.expected_fpp(args.set_size):.2e})")
 
-    # 4. Sample from the hidden set.
-    sampler = BSTSampler(tree, rng=args.seed)
-    truth = set(secret.tolist())
-    result = sampler.sample(query)
+    # 3. Sample from the hidden set.
+    result = db.sample("secret")
     print(f"\none sample: {result.value} "
           f"(true element: {result.value in truth}) — cost "
           f"{result.ops.intersections} intersections + "
           f"{result.ops.memberships} membership queries")
 
-    many = sampler.sample_many(query, 20, replacement=False)
+    many = db.sample("secret", r=20, replacement=False)
     hits = sum(v in truth for v in many.values)
     print(f"20 samples in one pass: {hits}/20 true elements, "
           f"{many.ops.intersections} intersections total")
 
-    # 5. Reconstruct the whole set.
-    reconstruction = BSTReconstructor(tree).reconstruct(query)
+    # 4. Reconstruct the whole set.
+    reconstruction = db.reconstruct("secret")
     recovered = set(reconstruction.elements.tolist())
     print(f"\nreconstruction: {len(recovered)} elements "
           f"({len(truth & recovered)}/{len(truth)} of the true set) using "
           f"{reconstruction.ops.memberships} membership queries")
-    exact = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+    exact = db.reconstruct("secret", exhaustive=True)
     print(f"exhaustive reconstruction: {exact.size} elements "
           f"(recall 100% by construction, "
           f"{exact.ops.memberships} membership queries)")
 
-    # 6. The baseline pays the whole namespace for every single sample.
+    # 5. The baseline pays the whole namespace for every single sample.
     attack = DictionaryAttack(args.namespace, rng=args.seed)
     da = attack.sample(query)
     print(f"\nDictionaryAttack sample: {da.value} — cost "

@@ -21,14 +21,7 @@ import argparse
 
 import numpy as np
 
-from repro import (
-    BloomFilter,
-    BSTSampler,
-    PrunedBloomSampleTree,
-    SyntheticTwitterDataset,
-    create_family,
-    plan_tree,
-)
+from repro import BloomDB, SyntheticTwitterDataset
 from repro.experiments.figures import full_tree_memory_mb
 
 
@@ -55,50 +48,59 @@ def main() -> None:
           f"{dataset.namespace_size} ({dataset.occupancy:.2%} occupied), "
           f"{len(dataset.hashtag_audiences)} hashtag audiences")
 
-    # Plan m against the full namespace, exactly as the paper does.
-    params = plan_tree(args.namespace, 1_000, args.accuracy)
-    family = create_family("murmur3", params.k, params.m,
-                           namespace_size=args.namespace, seed=args.seed)
-    tree = PrunedBloomSampleTree.build(dataset.user_ids, args.namespace,
-                                       args.depth, family)
-    full_mb = full_tree_memory_mb(args.namespace, args.depth, params.m)
-    print(f"pruned tree: {tree.num_nodes} nodes, "
-          f"{tree.memory_bytes / 1e6:.2f} MB "
+    # Plan m against the full namespace, exactly as the paper does; the
+    # pruned backend is selected purely by the engine config, and the
+    # existing user base seeds it through the variant's bulk build.
+    db = BloomDB.plan(
+        namespace_size=args.namespace,
+        accuracy=args.accuracy,
+        set_size=1_000,
+        family="murmur3",
+        tree="pruned",
+        depth=args.depth,
+        seed=args.seed,
+        occupied=dataset.user_ids,
+    )
+    full_mb = full_tree_memory_mb(args.namespace, args.depth, db.params.m)
+    print(f"pruned tree: {db.tree.num_nodes} nodes, "
+          f"{db.tree.memory_bytes / 1e6:.2f} MB "
           f"(full tree would be {full_mb:.2f} MB)")
 
-    # Sample audience members for the five most popular hashtags.
-    sampler = BSTSampler(tree, rng=args.seed)
+    # Store the five most popular hashtag audiences as named sets and
+    # sample each in one batched call.
     audiences = sorted(dataset.hashtag_audiences, key=len, reverse=True)[:5]
+    for i, audience in enumerate(audiences):
+        db.add_set(f"tag-{i:03d}", audience)
+    batch = db.sample_many(r=1)
     print(f"\n{'hashtag':>8}  {'audience':>8}  {'sample':>9}  "
           f"{'true?':>5}  {'memberships':>11}")
     for i, audience in enumerate(audiences):
-        query = BloomFilter.from_items(audience, family)
-        result = sampler.sample(query)
-        is_true = result.value in set(audience.tolist())
-        print(f"#tag-{i:03d}  {len(audience):>8}  {str(result.value):>9}  "
+        result = batch[f"tag-{i:03d}"]
+        value = result.values[0] if result.values else None
+        is_true = value in set(audience.tolist())
+        print(f"#tag-{i:03d}  {len(audience):>8}  {str(value):>9}  "
               f"{str(is_true):>5}  {result.ops.memberships:>11}")
 
     # Measured accuracy across many rounds beats the planned target.
     rng = np.random.default_rng(args.seed)
     hits = produced = 0
     for __ in range(300):
-        audience = audiences[int(rng.integers(0, len(audiences)))]
-        query = BloomFilter.from_items(audience, family)
-        result = sampler.sample(query)
+        i = int(rng.integers(0, len(audiences)))
+        result = db.sample(f"tag-{i:03d}")
         if result.value is not None:
             produced += 1
-            hits += result.value in set(audience.tolist())
+            hits += result.value in set(audiences[i].tolist())
     print(f"\nmeasured accuracy over {produced} samples: "
           f"{hits / produced:.3f} (planned {args.accuracy} — the sparse "
           f"effective namespace boosts it, Fig. 15)")
 
     # New accounts arrive: the tree grows along single root-leaf paths.
-    before = tree.num_nodes
+    before = db.tree.num_nodes
     newcomers = rng.integers(0, args.namespace, size=500, dtype=np.uint64)
-    tree.insert_many(newcomers)
-    print(f"\ndynamic growth: +500 users -> {tree.num_nodes - before} new "
-          f"nodes ({tree.num_nodes} total), occupancy now "
-          f"{tree.occupancy_fraction:.2%}")
+    db.insert_ids(newcomers)
+    print(f"\ndynamic growth: +500 users -> {db.tree.num_nodes - before} "
+          f"new nodes ({db.tree.num_nodes} total), occupancy now "
+          f"{db.tree.occupancy_fraction:.2%}")
 
 
 if __name__ == "__main__":

@@ -11,18 +11,33 @@ experiment harness that regenerate every table and figure of the paper.
 Quickstart
 ----------
 
+The recommended entry point is the :class:`~repro.api.BloomDB` engine
+facade: one config-driven object that owns the parameter planner, the
+hash family, the tree backend (``"static"``, ``"pruned"`` or
+``"dynamic"``) and the filter store.
+
 >>> import numpy as np
->>> from repro import (plan_tree, family_for_parameters, BloomSampleTree,
-...                    BloomFilter, BSTSampler)
->>> params = plan_tree(namespace_size=100_000, query_set_size=500,
-...                    accuracy=0.9)
->>> family = family_for_parameters(params, "simple", seed=7)
->>> tree = BloomSampleTree.build(params.namespace_size, params.depth, family)
+>>> from repro import BloomDB
+>>> db = BloomDB.plan(namespace_size=100_000, accuracy=0.9, seed=7)
 >>> secret = np.random.default_rng(7).choice(100_000, 500, replace=False)
->>> query = BloomFilter.from_items(secret, family)
->>> sampler = BSTSampler(tree, rng=7)
->>> sampler.sample(query).value in set(secret.tolist())
+>>> result = db.add_set("community", secret).sample("community")
+>>> result.value in set(secret.tolist())
 True
+>>> len(db.sample("community", r=20).values)  # one-pass multi-sample
+20
+>>> db.reconstruct("community", exhaustive=True).size >= 500
+True
+
+Sets persist with ``db.save(path)`` / ``BloomDB.load(path)``; batched
+entry points (:meth:`~repro.api.BloomDB.sample_many`,
+:meth:`~repro.api.BloomDB.reconstruct_all`) serve many sets per call with
+one merged op report.
+
+The flat exports below (``plan_tree``, ``family_for_parameters``,
+``BloomSampleTree.build``, ``BSTSampler``, ...) remain available as the
+*legacy* wiring — every one of them is what the facade composes
+internally — but new code should go through :class:`BloomDB`; see the
+migration table in ``docs/api.md``.
 """
 
 from repro.analysis import (
@@ -32,10 +47,17 @@ from repro.analysis import (
     measured_accuracy,
     recommended_rounds,
 )
+from repro.api import (
+    BackendCapabilityError,
+    BatchReport,
+    BloomDB,
+    EngineConfig,
+)
 from repro.baselines import DictionaryAttack, HashInvert, reservoir_sample
 from repro.core import (
     BSTReconstructor,
     BSTSampler,
+    BackendSpec,
     BitVector,
     BloomFilter,
     BloomSampleTree,
@@ -51,8 +73,12 @@ from repro.core import (
     ReconstructionResult,
     SampleResult,
     SimpleHashFamily,
+    TreeBackend,
     TreeNode,
     TreeParameters,
+    available_backends,
+    backend_for,
+    backend_key_of,
     bloom_size_for_accuracy,
     create_family,
     estimate_cardinality,
@@ -61,6 +87,7 @@ from repro.core import (
     false_set_overlap_probability,
     load_tree,
     plan_tree,
+    register_backend,
     save_tree,
 )
 from repro.core.design import (
@@ -81,13 +108,18 @@ __version__ = "1.0.0"
 __all__ = [
     "BSTReconstructor",
     "BSTSampler",
+    "BackendCapabilityError",
+    "BackendSpec",
+    "BatchReport",
     "BitVector",
+    "BloomDB",
     "BloomFilter",
     "BloomSampleTree",
     "CountingBloomFilter",
     "CountingOverflowError",
     "DictionaryAttack",
     "DynamicBloomSampleTree",
+    "EngineConfig",
     "ExactUniformSampler",
     "FilterStore",
     "HashFamily",
@@ -103,9 +135,13 @@ __all__ = [
     "SimpleHashFamily",
     "SyntheticTwitterDataset",
     "Timer",
+    "TreeBackend",
     "TreeNode",
     "TreeParameters",
     "__version__",
+    "available_backends",
+    "backend_for",
+    "backend_key_of",
     "bloom_size_for_accuracy",
     "chi_squared_uniformity",
     "clustered_query_set",
@@ -121,8 +157,9 @@ __all__ = [
     "measured_accuracy",
     "modelled_cost_ratio",
     "plan_tree",
-    "save_tree",
     "recommended_rounds",
+    "register_backend",
     "reservoir_sample",
+    "save_tree",
     "uniform_query_set",
 ]

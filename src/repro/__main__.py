@@ -12,8 +12,20 @@ Commands
     choices), with the paper's own m values for comparison.
 
 ``demo``
-    A miniature end-to-end run: build a tree, store a random set in a
-    filter, sample from it and reconstruct it.
+    A miniature end-to-end run through the :class:`~repro.api.BloomDB`
+    facade: plan an engine, store a random set, sample from it and
+    reconstruct it.
+
+``sample``
+    Draw ``r`` samples from a stored set.  Either load a saved engine
+    directory (``--db``) or build an ephemeral engine around a random
+    hidden set.
+
+``reconstruct``
+    Recover a stored set's contents, against a saved or ephemeral engine.
+
+All engine-backed commands take ``--tree static|pruned|dynamic`` and
+``--family simple|murmur3|md5`` — the variant is purely a config choice.
 """
 
 from __future__ import annotations
@@ -53,37 +65,167 @@ def _cmd_paper_tables(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import (
-        BloomFilter,
-        BloomSampleTree,
-        BSTReconstructor,
-        BSTSampler,
-        family_for_parameters,
-        plan_tree,
-        uniform_query_set,
+def _open_or_build_db(args: argparse.Namespace):
+    """Load a saved engine, or build an ephemeral one with a hidden set.
+
+    Returns ``(db, set_name, truth)`` where ``truth`` is the hidden set
+    for ephemeral engines (``None`` for loaded ones — the whole point of
+    the paper is that the raw sets are not available).
+    """
+    import pathlib
+
+    from repro.api import BloomDB
+    from repro.workloads.generators import uniform_query_set
+
+    if args.db is not None:
+        if not (pathlib.Path(args.db) / "engine.json").exists():
+            raise SystemExit(f"no saved engine at {args.db} "
+                             f"(expected an engine.json inside)")
+        _warn_ignored_build_args(args)
+        db = BloomDB.load(args.db)
+        name = args.set or (db.names()[0] if db.names() else None)
+        if name is None:
+            raise SystemExit(f"engine at {args.db} holds no sets")
+        if name not in db:
+            raise SystemExit(
+                f"no set named {name!r} in {args.db} "
+                f"(available: {', '.join(db.names())})")
+        return db, name, None
+
+    db = BloomDB.plan(
+        namespace_size=args.namespace,
+        accuracy=args.accuracy,
+        set_size=args.set_size,
+        family=args.family,
+        tree=args.tree,
+        seed=args.seed,
     )
-
-    params = plan_tree(args.namespace, args.set_size, 0.95)
-    family = family_for_parameters(params, "murmur3", seed=args.seed)
-    tree = BloomSampleTree.build(args.namespace, params.depth, family)
     secret = uniform_query_set(args.namespace, args.set_size, rng=args.seed)
-    query = BloomFilter.from_items(secret, family)
-    sampler = BSTSampler(tree, rng=args.seed)
-    truth = set(secret.tolist())
+    name = args.set or "hidden"
+    db.add_set(name, secret)
+    return db, name, set(secret.tolist())
 
-    draws = [sampler.sample(query) for __ in range(10)]
-    values = [d.value for d in draws]
-    hits = sum(v in truth for v in values)
-    print(f"10 samples from the hidden set: {values}")
-    print(f"{hits}/10 are true elements")
-    result = BSTReconstructor(tree).reconstruct(query)
-    recovered = len(truth & set(result.elements.tolist()))
-    print(f"reconstruction: {result.size} elements recovered "
-          f"({recovered}/{len(truth)} of the true set), "
-          f"{result.ops.memberships} membership queries "
-          f"(namespace {args.namespace})")
+
+#: Engine-construction flags (and their defaults) that ``--db`` makes moot:
+#: a loaded engine's configuration comes entirely from its engine.json.
+_BUILD_ARG_DEFAULTS = {
+    "namespace": 50_000,
+    "set_size": 300,
+    "accuracy": 0.95,
+    "tree": "static",
+    "family": "murmur3",
+    "seed": 1,
+}
+
+
+def _warn_ignored_build_args(args: argparse.Namespace) -> None:
+    """Tell the user which build flags a ``--db`` load does not honour."""
+    ignored = [f"--{name.replace('_', '-')}"
+               for name, default in _BUILD_ARG_DEFAULTS.items()
+               if getattr(args, name) != default]
+    if ignored:
+        print(f"warning: {', '.join(ignored)} ignored — the engine at "
+              f"{args.db} keeps the configuration it was saved with",
+              file=sys.stderr)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    db, name, truth = _open_or_build_db(args)
+    print(db)
+
+    batch = db.sample(name, r=10)
+    print(f"10 samples from {name!r}: {batch.values}")
+    cost = (f"({batch.ops.intersections} intersections, "
+            f"{batch.ops.memberships} membership queries)")
+    if truth is not None:
+        hits = sum(v in truth for v in batch.values)
+        print(f"{hits}/{len(batch.values)} are true elements {cost}")
+    else:
+        print(f"cost: {cost}")
+
+    result = db.reconstruct(name)
+    line = (f"reconstruction: {result.size} elements recovered, "
+            f"{result.ops.memberships} membership queries "
+            f"(namespace {db.config.namespace_size})")
+    if truth is not None:
+        recovered = len(truth & set(result.elements.tolist()))
+        line += f" — {recovered}/{len(truth)} of the true set"
+    print(line)
+    if args.save_db:
+        path = db.save(args.save_db)
+        print(f"engine saved to {path}")
     return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    if args.rounds <= 0:
+        raise SystemExit("--rounds must be positive")
+    db, name, truth = _open_or_build_db(args)
+    result = db.sample(name, r=args.rounds, replacement=not args.distinct)
+    print(f"{len(result.values)} samples from {name!r}: {result.values}")
+    if result.shortfall:
+        print(f"shortfall: {result.shortfall} paths ended in "
+              f"false-positive dead ends")
+    if truth is not None:
+        hits = sum(v in truth for v in result.values)
+        print(f"{hits}/{len(result.values)} are true elements of the "
+              f"hidden set")
+    print(f"cost: {result.ops.intersections} intersections + "
+          f"{result.ops.memberships} membership queries "
+          f"({result.ops.nodes_visited} tree nodes)")
+    if args.save_db:
+        path = db.save(args.save_db)
+        print(f"engine saved to {path}")
+    return 0
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    db, name, truth = _open_or_build_db(args)
+    result = db.reconstruct(name, exhaustive=args.exhaustive)
+    mode = "exhaustive" if args.exhaustive else "estimator-guided"
+    print(f"reconstruction of {name!r} ({mode}): "
+          f"{result.size} elements recovered")
+    if truth is not None:
+        recovered = len(truth & set(result.elements.tolist()))
+        print(f"{recovered}/{len(truth)} of the true set recovered")
+    print(f"cost: {result.ops.intersections} intersections + "
+          f"{result.ops.memberships} membership queries")
+    if args.save_db:
+        path = db.save(args.save_db)
+        print(f"engine saved to {path}")
+    return 0
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the engine-backed commands.
+
+    Tree choices come from the live backend registry (backends added via
+    :func:`repro.core.backend.register_backend` are accepted without
+    touching the CLI); family choices come from the one
+    :data:`repro.core.hashing.FAMILY_NAMES` constant.
+    """
+    from repro.api.config import backends_available, families_available
+
+    parser.add_argument("--db", default=None,
+                        help="saved engine directory (BloomDB.save)")
+    parser.add_argument("--set", default=None,
+                        help="stored set name (default: first stored set, "
+                             "or 'hidden' for ephemeral engines)")
+    defaults = _BUILD_ARG_DEFAULTS
+    parser.add_argument("--namespace", "-M", type=int,
+                        default=defaults["namespace"])
+    parser.add_argument("--set-size", "-n", type=int,
+                        default=defaults["set_size"])
+    parser.add_argument("--accuracy", "-a", type=float,
+                        default=defaults["accuracy"])
+    parser.add_argument("--tree", choices=backends_available(),
+                        default=defaults["tree"])
+    parser.add_argument("--family", choices=families_available(),
+                        default=defaults["family"])
+    parser.add_argument("--seed", type=int, default=defaults["seed"])
+    parser.add_argument("--save-db", default=None,
+                        help="persist the engine to this directory after "
+                             "the command")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,10 +250,24 @@ def build_parser() -> argparse.ArgumentParser:
     tables.set_defaults(func=_cmd_paper_tables)
 
     demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
-    demo.add_argument("--namespace", type=int, default=50_000)
-    demo.add_argument("--set-size", type=int, default=300)
-    demo.add_argument("--seed", type=int, default=1)
+    _add_engine_args(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    sample = sub.add_parser(
+        "sample", help="draw samples from a stored set via the engine")
+    _add_engine_args(sample)
+    sample.add_argument("--rounds", "-r", type=int, default=8,
+                        help="samples to draw in one tree pass")
+    sample.add_argument("--distinct", action="store_true",
+                        help="sample without replacement")
+    sample.set_defaults(func=_cmd_sample)
+
+    reconstruct = sub.add_parser(
+        "reconstruct", help="recover a stored set's contents")
+    _add_engine_args(reconstruct)
+    reconstruct.add_argument("--exhaustive", action="store_true",
+                             help="disable estimator pruning (exact recall)")
+    reconstruct.set_defaults(func=_cmd_reconstruct)
     return parser
 
 

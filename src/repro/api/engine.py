@@ -1,0 +1,436 @@
+"""BloomDB: the config-driven engine facade over the whole library.
+
+The paper frames the system as a *database* ``D-bar = {B(X_i)}`` of
+Bloom-filter-encoded sets queried through one shared BloomSampleTree
+(Section 3.2).  :class:`BloomDB` is that database as a single object: it
+owns the parameter planner, the hash family, the tree backend and the
+:class:`~repro.core.store.FilterStore`, wires them consistently from one
+:class:`~repro.api.config.EngineConfig`, and exposes the operations a
+serving layer needs — named-set management, single and batched sampling,
+reconstruction, algebraic (union / intersection) queries, occupancy
+updates and whole-engine persistence.
+
+>>> import numpy as np
+>>> db = BloomDB.plan(namespace_size=10_000, accuracy=0.9, seed=7)
+>>> ids = np.arange(100, 600, 5, dtype=np.uint64)
+>>> db.add_set("community", ids).sample("community").value in set(ids.tolist())
+True
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.api.batch import BatchReport
+from repro.api.config import EngineConfig
+from repro.core.backend import (
+    BackendSpec,
+    TreeBackend,
+    backend_for,
+    backend_key_of,
+)
+from repro.core.bloom import BloomFilter
+from repro.core.design import TreeParameters
+from repro.core.hashing import HashFamily
+from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
+from repro.core.sampling import BSTSampler, MultiSampleResult, SampleResult
+from repro.core.serialization import load_tree, save_tree
+from repro.core.store import FilterStore
+
+#: Name of the config file inside a saved engine directory.
+_ENGINE_FILE = "engine.json"
+_TREE_FILE = "tree.npz"
+_SETS_FILE = "sets.npz"
+_SAVE_FORMAT = 1
+
+
+class BackendCapabilityError(RuntimeError):
+    """An operation the configured tree backend does not support."""
+
+
+class BloomDB:
+    """A database of named Bloom-filter sets behind one BloomSampleTree.
+
+    Build with :meth:`plan` (the one-call entry point) or
+    :meth:`from_config`; attach to pre-built components with the
+    constructor's keyword arguments (used by the experiment harness to
+    share cached trees).  All stored filters share the engine's ``m`` and
+    hash family, which is the compatibility requirement of the paper's
+    Definition 5.1.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        *,
+        params: TreeParameters | None = None,
+        family: HashFamily | None = None,
+        tree: TreeBackend | None = None,
+        store: FilterStore | None = None,
+        occupied=None,
+    ):
+        self.config = config
+        self.params = params if params is not None else config.parameters()
+        self.family = (family if family is not None
+                       else config.build_family(self.params))
+        self._spec: BackendSpec = backend_for(config.tree)
+        if tree is None:
+            if occupied is not None:
+                occupied = self._as_ids(occupied)
+            tree = self._spec.build(
+                config.namespace_size, self.params.depth, self.family,
+                occupied=occupied,
+            )
+        self.tree = tree
+        if store is None:
+            store = FilterStore(
+                self.family,
+                tree=self.tree,
+                rng=config.seed,
+                empty_threshold=config.threshold,
+                descent=config.descent,
+            )
+        self.store = store
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def plan(
+        cls,
+        namespace_size: int,
+        accuracy: float = 0.95,
+        *,
+        set_size: int | None = None,
+        family: str = "murmur3",
+        tree: str = "static",
+        threshold: float | None = None,
+        descent: str = "threshold",
+        seed: int = 0,
+        k: int = 3,
+        cost_ratio: float | None = None,
+        depth: int | None = None,
+        occupied=None,
+    ) -> "BloomDB":
+        """Plan parameters from the Section 5.4 knobs and build the engine.
+
+        This is the single entry point replacing the hand-wired
+        ``plan_tree -> family_for_parameters -> Tree.build -> FilterStore``
+        chain: every component is derived from one config.
+
+        ``occupied`` seeds occupancy-tracking backends with the ids
+        already in use, using the variant's bulk build (much faster than
+        :meth:`insert_ids` after the fact); the static backend, which
+        always covers the full namespace, ignores it.
+        """
+        kwargs = dict(
+            namespace_size=namespace_size,
+            accuracy=accuracy,
+            set_size=set_size,
+            family=family,
+            tree=tree,
+            descent=descent,
+            seed=seed,
+            k=k,
+            cost_ratio=cost_ratio,
+            depth=depth,
+        )
+        if threshold is not None:
+            kwargs["threshold"] = threshold
+        return cls(EngineConfig(**kwargs), occupied=occupied)
+
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "BloomDB":
+        """Build an engine from an existing config."""
+        return cls(config)
+
+    # -- set management -------------------------------------------------------
+
+    def add_set(self, name: str, ids) -> "BloomDB":
+        """Store a new named set; returns ``self`` for chaining.
+
+        For occupancy-tracking backends (``pruned`` / ``dynamic``) the ids
+        are also registered in the tree, keeping its candidate space in
+        sync with the stored data.
+        """
+        ids = self._as_ids(ids)
+        self.store.create(name, ids)
+        self._register_ids(ids)
+        return self
+
+    def extend_set(self, name: str, ids) -> "BloomDB":
+        """Insert additional elements into an existing named set."""
+        ids = self._as_ids(ids)
+        self.store.add(name, ids)
+        self._register_ids(ids)
+        return self
+
+    def drop_set(self, name: str) -> "BloomDB":
+        """Forget a named set (tree occupancy is left untouched: other
+        sets may share the ids, and plain Bloom filters cannot forget)."""
+        self.store.discard(name)
+        return self
+
+    def names(self) -> list[str]:
+        """Stored set names, sorted."""
+        return self.store.names()
+
+    def filter(self, name: str) -> BloomFilter:
+        """The raw Bloom filter of a named set."""
+        return self.store.filter(name)
+
+    def contains(self, name: str, x: int) -> bool:
+        """Membership query against one named set."""
+        return self.store.contains(name, x)
+
+    def sets_containing(self, x: int) -> list[str]:
+        """Names of every stored set whose filter accepts ``x``."""
+        return self.store.sets_containing(x)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.store
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    # -- occupancy updates ----------------------------------------------------
+
+    def insert_ids(self, ids) -> "BloomDB":
+        """Register ids as occupied without storing them in any set.
+
+        Models the paper's dynamic scenario (new accounts coming into
+        use).  Requires an occupancy-tracking backend.
+        """
+        if not self._spec.supports_insert:
+            raise BackendCapabilityError(
+                f"tree backend {self.config.tree!r} does not track "
+                f"occupancy; use tree=\"pruned\" or tree=\"dynamic\""
+            )
+        self.tree.insert_many(self._as_ids(ids))
+        return self
+
+    def retire_ids(self, ids) -> "BloomDB":
+        """Remove ids from the occupied namespace (``dynamic`` trees only).
+
+        Retired ids can no longer be produced by sampling or
+        reconstruction — the tree's candidate space is the live
+        population.  Stored set filters are *not* rewritten (plain Bloom
+        filters cannot forget); they simply stop matching anything.
+        """
+        if not self._spec.supports_remove:
+            raise BackendCapabilityError(
+                f"tree backend {self.config.tree!r} cannot remove ids; "
+                f"use tree=\"dynamic\""
+            )
+        self.tree.remove_many(self._as_ids(ids))
+        return self
+
+    @property
+    def occupied(self) -> np.ndarray | None:
+        """Occupied ids for occupancy-tracking backends, else ``None``."""
+        return getattr(self.tree, "occupied", None)
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(
+        self,
+        name: str,
+        r: int | None = None,
+        replacement: bool = True,
+    ) -> SampleResult | MultiSampleResult:
+        """Draw from a named set: one element, or ``r`` in one tree pass.
+
+        With ``r=None`` runs Algorithm 1 once and returns a
+        :class:`~repro.core.sampling.SampleResult`; with an integer ``r``
+        runs the one-pass multi-sample of Section 5.3 and returns a
+        :class:`~repro.core.sampling.MultiSampleResult`.
+        """
+        if r is None:
+            return self.store.sample(name)
+        return self.store.sample_many(name, r, replacement)
+
+    def sample_union(self, names: Iterable[str]) -> SampleResult:
+        """Sample from the union of named sets (exact, Section 3.1)."""
+        return self.store.sample_union(names)
+
+    def sample_intersection(self, names: Iterable[str]) -> SampleResult:
+        """Sample from the intersection sketch of named sets."""
+        return self.store.sample_intersection(names)
+
+    def sample_many(
+        self,
+        names: "Iterable[str] | Mapping[str, int] | None" = None,
+        r: int = 8,
+        replacement: bool = True,
+    ) -> BatchReport:
+        """Batched sampling across stored sets in one call.
+
+        ``names`` may be a list of set names (each sampled ``r`` times), a
+        mapping ``{name: rounds}`` for per-set demand, or ``None`` for
+        every stored set.  Each set's rounds ride down the tree together
+        via the one-pass multi-sample machinery, so shared-prefix node
+        visits and intersections are paid once per set rather than once
+        per round; the returned :class:`~repro.api.batch.BatchReport`
+        carries every per-set result plus one merged op tally.
+        """
+        requests = self._normalise_requests(names, r)
+        report = BatchReport()
+        start = time.perf_counter()
+        for name, rounds in requests.items():
+            report.add(name, self.store.sample_many(name, rounds, replacement))
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # -- reconstruction -------------------------------------------------------
+
+    def reconstruct(self, name: str,
+                    exhaustive: bool = False) -> ReconstructionResult:
+        """Recover a named set's contents (Section 6)."""
+        return self.store.reconstruct(name, exhaustive=exhaustive)
+
+    def reconstruct_all(
+        self,
+        names: Iterable[str] | None = None,
+        exhaustive: bool = False,
+    ) -> BatchReport:
+        """Reconstruct many stored sets; one merged op/time report.
+
+        ``names=None`` reconstructs every stored set.
+        """
+        if names is None:
+            names = self.names()
+        report = BatchReport()
+        start = time.perf_counter()
+        for name in names:
+            report.add(name, self.store.reconstruct(name,
+                                                    exhaustive=exhaustive))
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # -- component access (experiment harness, advanced callers) --------------
+
+    @property
+    def spec(self) -> BackendSpec:
+        """The registry entry of the configured tree backend."""
+        return self._spec
+
+    def sampler_for(self, rng=None) -> BSTSampler:
+        """A fresh sampler on this engine's tree and thresholds.
+
+        The engine's own sampler draws from one shared random stream;
+        experiments that need per-trial reproducibility pass their own
+        ``rng`` here.
+        """
+        return BSTSampler(
+            self.tree,
+            empty_threshold=self.config.threshold,
+            rng=self.config.seed if rng is None else rng,
+            descent=self.config.descent,
+        )
+
+    def reconstructor_for(self, exhaustive: bool = False) -> BSTReconstructor:
+        """A reconstructor on this engine's tree and thresholds."""
+        return BSTReconstructor(
+            self.tree,
+            empty_threshold=self.config.threshold,
+            exhaustive=exhaustive,
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> pathlib.Path:
+        """Persist the whole engine under directory ``path``.
+
+        Writes three files: ``engine.json`` (the config), ``tree.npz``
+        (the tree backend) and ``sets.npz`` (every named filter).
+        Returns the directory path.
+        """
+        path = pathlib.Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        payload = {"format": _SAVE_FORMAT, "config": self.config.to_dict()}
+        (path / _ENGINE_FILE).write_text(json.dumps(payload, indent=2))
+        save_tree(self.tree, path / _TREE_FILE)
+        self.store.save(path / _SETS_FILE)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "BloomDB":
+        """Rebuild an engine saved with :meth:`save`."""
+        path = pathlib.Path(path)
+        payload = json.loads((path / _ENGINE_FILE).read_text())
+        fmt = int(payload.get("format", -1))
+        if fmt != _SAVE_FORMAT:
+            raise ValueError(f"unsupported engine save format {fmt}")
+        config = EngineConfig.from_dict(payload["config"])
+        tree = load_tree(path / _TREE_FILE)
+        loaded_kind = backend_key_of(tree)
+        if loaded_kind != config.tree:
+            raise ValueError(
+                f"engine save at {path} is inconsistent: engine.json says "
+                f"tree={config.tree!r} but tree.npz holds a "
+                f"{loaded_kind!r} tree")
+        store = FilterStore.load(
+            path / _SETS_FILE,
+            tree=tree,
+            rng=config.seed,
+            empty_threshold=config.threshold,
+            descent=config.descent,
+        )
+        return cls(config, family=tree.family, tree=tree, store=store)
+
+    # -- introspection --------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Summary of the engine: config, resolved parameters, live state."""
+        info = self.config.describe()
+        info.update(
+            sets=len(self.store),
+            set_bytes=self.store.nbytes,
+            tree_nodes=self.tree.num_nodes,
+            tree_bytes=self.tree.memory_bytes,
+        )
+        occupied = self.occupied
+        if occupied is not None:
+            info["occupied"] = int(occupied.size)
+        return info
+
+    def __repr__(self) -> str:
+        return (f"BloomDB(M={self.config.namespace_size}, "
+                f"tree={self.config.tree!r}, family={self.config.family!r}, "
+                f"m={self.family.m}, depth={self.params.depth}, "
+                f"sets={len(self.store)})")
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _as_ids(ids) -> np.ndarray:
+        """Normalise any id collection to a uint64 array."""
+        return np.asarray(ids, dtype=np.uint64)
+
+    def _register_ids(self, ids: np.ndarray) -> None:
+        """Keep occupancy-tracking backends in sync with stored data."""
+        if self._spec.requires_occupied and ids.size:
+            self.tree.insert_many(ids)
+
+    def _normalise_requests(
+        self,
+        names: "Iterable[str] | Mapping[str, int] | None",
+        r: int,
+    ) -> dict[str, int]:
+        """Resolve a ``sample_many`` request spec into ``{name: rounds}``."""
+        if r <= 0:
+            raise ValueError("r must be positive")
+        if names is None:
+            return {name: r for name in self.names()}
+        if isinstance(names, Mapping):
+            requests = {str(k): int(v) for k, v in names.items()}
+            if any(v <= 0 for v in requests.values()):
+                raise ValueError("per-set rounds must be positive")
+            return requests
+        if isinstance(names, str):
+            return {names: r}
+        return {str(name): r for name in names}

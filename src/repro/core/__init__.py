@@ -20,11 +20,23 @@ Submodules
 ``tree`` / ``pruned``
     The BloomSampleTree (Section 5) and its pruned, dynamic variant
     (Section 5.2).
+``backend``
+    The :class:`~repro.core.backend.TreeBackend` protocol and the
+    registry that selects a tree variant by configuration key
+    (``"static"`` / ``"pruned"`` / ``"dynamic"``).
 ``sampling`` / ``reconstruct``
     Algorithm 1 (``BSTSample``, single and one-pass multi-sample) and the
     recursive reconstruction of Section 6.
 """
 
+from repro.core.backend import (
+    BackendSpec,
+    TreeBackend,
+    available_backends,
+    backend_for,
+    backend_key_of,
+    register_backend,
+)
 from repro.core.bitvector import BitVector
 from repro.core.bloom import BloomFilter
 from repro.core.cardinality import (
@@ -62,6 +74,7 @@ from repro.core.tree import BloomSampleTree, TreeNode
 __all__ = [
     "BSTReconstructor",
     "BSTSampler",
+    "BackendSpec",
     "BitVector",
     "BloomFilter",
     "BloomSampleTree",
@@ -79,10 +92,15 @@ __all__ = [
     "ReconstructionResult",
     "SampleResult",
     "SimpleHashFamily",
+    "TreeBackend",
     "TreeNode",
     "TreeParameters",
+    "available_backends",
+    "backend_for",
+    "backend_key_of",
     "bloom_size_for_accuracy",
     "create_family",
+    "register_backend",
     "estimate_cardinality",
     "estimate_intersection_size",
     "false_positive_rate",

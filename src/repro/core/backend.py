@@ -1,0 +1,167 @@
+"""The tree-backend protocol: one uniform surface over all tree variants.
+
+The library ships three BloomSampleTree implementations — the complete
+tree of Section 5 (:class:`~repro.core.tree.BloomSampleTree`), the pruned
+tree of Section 5.2 (:class:`~repro.core.pruned.PrunedBloomSampleTree`)
+and the counting-filter dynamic extension
+(:class:`~repro.core.dynamic.DynamicBloomSampleTree`).  They already share
+the sampler/reconstructor duck interface; this module makes that contract
+explicit as the :class:`TreeBackend` protocol and adds a small registry so
+callers (the :class:`~repro.api.BloomDB` facade, the CLI, serialization)
+select a variant by configuration *key* — ``"static"``, ``"pruned"`` or
+``"dynamic"`` — instead of by class name and isinstance checks.
+
+>>> spec = backend_for("pruned")
+>>> spec.requires_occupied
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.dynamic import DynamicBloomSampleTree
+from repro.core.hashing import HashFamily
+from repro.core.pruned import PrunedBloomSampleTree
+from repro.core.tree import BloomSampleTree, TreeNode
+
+
+@runtime_checkable
+class TreeBackend(Protocol):
+    """What a tree must expose to serve sampling and reconstruction.
+
+    :class:`~repro.core.sampling.BSTSampler` and
+    :class:`~repro.core.reconstruct.BSTReconstructor` are written against
+    exactly this surface; any object satisfying it (including third-party
+    trees registered with :func:`register_backend`) plugs into the whole
+    stack — facade, CLI, experiment harness — unchanged.
+    """
+
+    namespace_size: int
+    depth: int
+    family: HashFamily
+
+    @property
+    def root(self) -> TreeNode | None:
+        """Root node, or ``None`` for an empty (pruned/dynamic) tree."""
+        ...
+
+    def candidate_elements(self, node: TreeNode) -> np.ndarray:
+        """Brute-force candidates at a leaf (namespace range or occupied ids)."""
+        ...
+
+    def is_leaf(self, node: TreeNode) -> bool:
+        """Whether a node sits at maximum depth."""
+        ...
+
+    def check_query(self, query: BloomFilter) -> None:
+        """Reject query filters with a mismatched ``m`` / hash family."""
+        ...
+
+    def iter_nodes(self) -> Iterator[TreeNode]:
+        """Yield every materialised node."""
+        ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Registry entry describing one tree variant.
+
+    ``key``
+        Configuration string selecting the variant (``"static"`` etc.).
+    ``cls``
+        The concrete tree class.
+    ``requires_occupied``
+        Whether the tree tracks an occupied subset of the namespace (and
+        therefore must be told about ids coming into use).
+    ``supports_insert`` / ``supports_remove``
+        Which occupancy updates the variant accepts after construction.
+    """
+
+    key: str
+    cls: type
+    requires_occupied: bool
+    supports_insert: bool
+    supports_remove: bool
+
+    def build(
+        self,
+        namespace_size: int,
+        depth: int,
+        family: HashFamily,
+        occupied: np.ndarray | None = None,
+    ) -> TreeBackend:
+        """Build a tree of this variant with the uniform signature.
+
+        ``occupied`` is the ids currently in use; ignored by the static
+        variant (which always covers the full namespace) and optional for
+        the others (an empty tree grows via ``insert``).
+        """
+        if not self.requires_occupied:
+            return self.cls.build(namespace_size, depth, family)
+        if occupied is None:
+            occupied = np.empty(0, dtype=np.uint64)
+        return self.cls.build(np.asarray(occupied, dtype=np.uint64),
+                              namespace_size, depth, family)
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> None:
+    """Register (or replace) a tree variant under its key."""
+    _REGISTRY[spec.key] = spec
+
+
+def backend_for(key: str) -> BackendSpec:
+    """Look up a variant by configuration key."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown tree backend {key!r} (known: {known})"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Registered backend keys, sorted."""
+    return sorted(_REGISTRY)
+
+
+def backend_key_of(tree: TreeBackend) -> str:
+    """The registry key of a tree instance (most-derived class wins)."""
+    for spec in _REGISTRY.values():
+        if type(tree) is spec.cls:
+            return spec.key
+    for spec in _REGISTRY.values():
+        if isinstance(tree, spec.cls):
+            return spec.key
+    raise TypeError(f"unregistered tree backend {type(tree).__name__}")
+
+
+register_backend(BackendSpec(
+    key="static",
+    cls=BloomSampleTree,
+    requires_occupied=False,
+    supports_insert=False,
+    supports_remove=False,
+))
+register_backend(BackendSpec(
+    key="pruned",
+    cls=PrunedBloomSampleTree,
+    requires_occupied=True,
+    supports_insert=True,
+    supports_remove=False,
+))
+register_backend(BackendSpec(
+    key="dynamic",
+    cls=DynamicBloomSampleTree,
+    requires_occupied=True,
+    supports_insert=True,
+    supports_remove=True,
+))

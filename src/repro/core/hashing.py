@@ -301,6 +301,11 @@ class MD5HashFamily(HashFamily):
         return ("md5", self.seed)
 
 
+#: Names accepted by :func:`create_family` — the single source of truth
+#: consumed by :class:`repro.api.config.EngineConfig` and the CLI.
+FAMILY_NAMES = ("simple", "murmur3", "md5")
+
+
 def create_family(
     name: str,
     k: int,
@@ -322,4 +327,5 @@ def create_family(
         return Murmur3HashFamily(k, m, seed)
     if key == "md5":
         return MD5HashFamily(k, m, seed)
-    raise ValueError(f"unknown hash family {name!r}")
+    raise ValueError(
+        f"unknown hash family {name!r} (known: {FAMILY_NAMES})")

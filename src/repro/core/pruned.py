@@ -98,7 +98,10 @@ class PrunedBloomSampleTree:
         if pos < len(self._occupied) and int(self._occupied[pos]) == x:
             return
         self._occupied = np.insert(self._occupied, pos, np.uint64(x))
+        self._insert_path(x)
 
+    def _insert_path(self, x: int) -> None:
+        """Add ``x`` to every filter on its root-to-leaf path."""
         if self.root is None:
             self.root = TreeNode(0, 0, 0, self.namespace_size,
                                  BloomFilter(self.family))
@@ -121,9 +124,25 @@ class PrunedBloomSampleTree:
             node = child
 
     def insert_many(self, xs: np.ndarray) -> None:
-        """Insert a batch of identifiers (loop over :meth:`insert`)."""
-        for x in np.asarray(xs, dtype=np.uint64).tolist():
-            self.insert(int(x))
+        """Insert a batch of identifiers with one occupied-array merge.
+
+        Equivalent to a loop over :meth:`insert` but pays the sorted
+        occupied-array update once for the whole batch instead of one
+        ``O(|occupied|)`` copy per element.
+        """
+        xs = np.unique(np.asarray(xs, dtype=np.uint64))
+        if xs.size == 0:
+            return
+        if int(xs[-1]) >= self.namespace_size:
+            raise ValueError(
+                f"id {int(xs[-1])} outside namespace "
+                f"[0, {self.namespace_size})")
+        fresh = xs[~np.isin(xs, self._occupied, assume_unique=True)]
+        if fresh.size == 0:
+            return
+        self._occupied = np.union1d(self._occupied, fresh)
+        for x in fresh.tolist():
+            self._insert_path(int(x))
 
     # -- interface used by the sampler / reconstructor -----------------------------
 

@@ -27,10 +27,16 @@ from repro.core.hashing import (
     SimpleHashFamily,
     create_family,
 )
+from repro.core.dynamic import DynamicBloomSampleTree
 from repro.core.pruned import PrunedBloomSampleTree
 from repro.core.tree import BloomSampleTree, TreeNode
 
-_FORMAT_VERSION = 1
+#: Version 1: complete + pruned trees.  Version 2 adds the ``dynamic``
+#: kind (occupancy-only payload; counting filters are rebuilt on load).
+#: Each kind is written at the lowest version able to express it, so
+#: complete/pruned files stay readable by version-1-only readers.
+_KIND_VERSIONS = {"complete": 1, "pruned": 1, "dynamic": 2}
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _family_spec(family: HashFamily) -> tuple[str, int]:
@@ -48,8 +54,18 @@ def _family_spec(family: HashFamily) -> tuple[str, int]:
 
 
 def save_tree(tree, path) -> None:
-    """Serialise a (complete or pruned) BloomSampleTree to ``path``."""
-    if isinstance(tree, BloomSampleTree):
+    """Serialise any BloomSampleTree variant to ``path``.
+
+    Complete and pruned trees store their node filters verbatim.  Dynamic
+    trees store only their occupied ids — every node's counting filter is
+    a deterministic function of the occupancy (each id inserted exactly
+    once), so :func:`load_tree` rebuilds them bit-identically at a
+    fraction of the file size.
+    """
+    if isinstance(tree, DynamicBloomSampleTree):
+        kind = "dynamic"
+        occupied = np.asarray(tree.occupied, dtype=np.uint64)
+    elif isinstance(tree, BloomSampleTree):
         kind = "complete"
         occupied = np.empty(0, dtype=np.uint64)
     elif isinstance(tree, PrunedBloomSampleTree):
@@ -59,7 +75,10 @@ def save_tree(tree, path) -> None:
         raise TypeError(f"not a BloomSampleTree: {type(tree).__name__}")
 
     name, seed = _family_spec(tree.family)
-    nodes = sorted(tree.iter_nodes(), key=lambda n: (n.level, n.index))
+    if kind == "dynamic":
+        nodes = []
+    else:
+        nodes = sorted(tree.iter_nodes(), key=lambda n: (n.level, n.index))
     coords = np.array([(n.level, n.index) for n in nodes], dtype=np.int64)
     if nodes:
         words = np.stack([n.bloom.bits.words for n in nodes])
@@ -67,7 +86,7 @@ def save_tree(tree, path) -> None:
         words = np.empty((0, 0), dtype=np.uint64)
     np.savez_compressed(
         path,
-        version=np.int64(_FORMAT_VERSION),
+        version=np.int64(_KIND_VERSIONS[kind]),
         kind=np.array(kind),
         namespace_size=np.int64(tree.namespace_size),
         depth=np.int64(tree.depth),
@@ -84,14 +103,15 @@ def save_tree(tree, path) -> None:
 def load_tree(path):
     """Load a tree saved by :func:`save_tree`.
 
-    Returns a :class:`BloomSampleTree` or :class:`PrunedBloomSampleTree`,
-    bit-identical to the saved one (insertion counts are informational
-    and reset to zero).
+    Returns a :class:`BloomSampleTree`, :class:`PrunedBloomSampleTree`
+    or :class:`~repro.core.dynamic.DynamicBloomSampleTree`, bit-identical
+    to the saved one (insertion counts are informational and reset to
+    zero; dynamic counting filters are rebuilt from the occupancy).
     """
     path = pathlib.Path(path)
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"])
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported tree format version {version}")
         kind = str(data["kind"])
         namespace_size = int(data["namespace_size"])
@@ -103,6 +123,11 @@ def load_tree(path):
         coords = data["coords"]
         words = data["words"]
         occupied = data["occupied"]
+
+    if kind == "dynamic":
+        return DynamicBloomSampleTree.build(
+            occupied.astype(np.uint64), namespace_size, depth, family
+        )
 
     nodes: dict[tuple[int, int], TreeNode] = {}
     for (level, index), row in zip(coords.tolist(), words):

@@ -45,6 +45,7 @@ class FilterStore:
         tree=None,
         rng: "int | np.random.Generator | None" = None,
         empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
+        descent: str = "threshold",
     ):
         self.family = family
         self.tree = tree
@@ -52,7 +53,7 @@ class FilterStore:
             tree.check_query(BloomFilter(family))
         self._filters: dict[str, BloomFilter] = {}
         self._rng = ensure_rng(rng)
-        self._sampler = (BSTSampler(tree, empty_threshold, self._rng)
+        self._sampler = (BSTSampler(tree, empty_threshold, self._rng, descent)
                          if tree is not None else None)
         self._reconstructor = (BSTReconstructor(tree, empty_threshold)
                                if tree is not None else None)
@@ -204,7 +205,9 @@ class FilterStore:
 
     @classmethod
     def load(cls, path, tree=None,
-             rng: "int | np.random.Generator | None" = None) -> "FilterStore":
+             rng: "int | np.random.Generator | None" = None,
+             empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
+             descent: str = "threshold") -> "FilterStore":
         """Load a store saved by :meth:`save`; optionally attach a tree."""
         path = pathlib.Path(path)
         with np.load(path, allow_pickle=False) as data:
@@ -213,7 +216,8 @@ class FilterStore:
                 namespace_size=int(data["namespace_size"]),
                 seed=int(data["family_seed"]),
             )
-            store = cls(family, tree=tree, rng=rng)
+            store = cls(family, tree=tree, rng=rng,
+                        empty_threshold=empty_threshold, descent=descent)
             from repro.core.bitvector import BitVector
             for name, row in zip(data["set_names"].tolist(), data["words"]):
                 bloom = BloomFilter(family, BitVector(family.m, row.copy()))

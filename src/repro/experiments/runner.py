@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import BloomDB, EngineConfig
 from repro.baselines.dictionary_attack import DictionaryAttack
 from repro.baselines.hashinvert import HashInvert
 from repro.core.bloom import BloomFilter
@@ -20,7 +21,6 @@ from repro.core.design import plan_tree
 from repro.core.hashing import HashFamily, create_family
 from repro.core.ops import OpCounter
 from repro.core.pruned import PrunedBloomSampleTree
-from repro.core.reconstruct import BSTReconstructor
 from repro.core.sampling import BSTSampler
 from repro.core.tree import BloomSampleTree
 from repro.experiments.config import DEFAULT_FAMILY, PAPER_K
@@ -29,16 +29,19 @@ from repro.workloads.generators import clustered_query_set, uniform_query_set
 
 
 class TreeCache:
-    """Build-once cache of BloomSampleTrees across experiment rows.
+    """Build-once cache of BloomSampleTrees and engines across rows.
 
     The paper stresses that the tree is built once and reused for every
     query filter; benchmarks share this cache so row N does not re-pay
-    row N-1's construction.
+    row N-1's construction.  Row producers go through cached
+    :class:`~repro.api.BloomDB` engines (which reuse the cached trees), so
+    the whole harness exercises the same facade the serving layer uses.
     """
 
     def __init__(self):
         self._trees: dict[tuple, BloomSampleTree] = {}
         self._families: dict[tuple, HashFamily] = {}
+        self._engines: dict[tuple, BloomDB] = {}
 
     def family(self, name: str, k: int, m: int, namespace_size: int,
                seed: int = 0) -> HashFamily:
@@ -62,10 +65,36 @@ class TreeCache:
             )
         return self._trees[key]
 
+    def engine(self, namespace_size: int, n: int, accuracy: float,
+               family_name: str = DEFAULT_FAMILY, seed: int = 0) -> BloomDB:
+        """Get or build a static-tree :class:`~repro.api.BloomDB`.
+
+        The engine shares the cached tree for its resolved parameters, so
+        mixing engine-based and tree-based rows never double-builds.
+        """
+        key = (namespace_size, n, accuracy, family_name, seed)
+        if key not in self._engines:
+            config = EngineConfig(
+                namespace_size=namespace_size,
+                accuracy=accuracy,
+                set_size=n,
+                family=family_name,
+                seed=seed,
+                k=PAPER_K,
+            )
+            params = config.parameters()
+            tree = self.tree(namespace_size, params.m, params.depth,
+                             family_name, PAPER_K, seed)
+            self._engines[key] = BloomDB(
+                config, params=params, family=tree.family, tree=tree
+            )
+        return self._engines[key]
+
     def clear(self) -> None:
         """Drop all cached trees (memory relief between benchmarks)."""
         self._trees.clear()
         self._families.clear()
+        self._engines.clear()
 
 
 def make_query_set(
@@ -213,18 +242,16 @@ def bst_sampling_row(
     family_name: str = DEFAULT_FAMILY,
     seed: int = 0,
 ) -> dict:
-    """One BST cell of Figs. 3-6: plan, build/cache tree, run rounds."""
-    params = plan_tree(namespace_size, n, accuracy, PAPER_K)
-    tree = cache.tree(namespace_size, params.m, params.depth,
-                      family_name, PAPER_K, seed)
+    """One BST cell of Figs. 3-6: plan/cache an engine, run rounds."""
+    db = cache.engine(namespace_size, n, accuracy, family_name, seed)
     rng = ensure_rng(seed)
     secret = make_query_set(namespace_size, n, kind, rng)
-    query = BloomFilter.from_items(secret, tree.family)
-    sampler = BSTSampler(tree, rng=rng)
+    query = BloomFilter.from_items(secret, db.family)
+    sampler = db.sampler_for(rng)
     trial = sampling_trial(sampler, query, secret, rounds, "BST")
     row = trial.as_row()
     row.update(M=namespace_size, n=n, target_accuracy=accuracy, kind=kind,
-               m=params.m, depth=params.depth)
+               m=db.params.m, depth=db.params.depth)
     return row
 
 
@@ -280,9 +307,9 @@ def reconstruction_rows(
     rows = []
     for method in methods:
         if method == "BST":
-            tree = cache.tree(namespace_size, params.m, params.depth,
-                              family_name, PAPER_K, seed)
-            reconstructor = BSTReconstructor(tree)
+            db = cache.engine(namespace_size, n, accuracy, family_name,
+                              seed)
+            reconstructor = db.reconstructor_for()
 
             def fn(q, _r=reconstructor):
                 result = _r.reconstruct(q)

@@ -1,0 +1,97 @@
+"""EngineConfig validation, resolution and persistence."""
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.core.design import plan_tree
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = EngineConfig(namespace_size=10_000)
+        assert config.tree == "static"
+        assert config.family == "murmur3"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"namespace_size": 1},
+        {"namespace_size": 10_000, "accuracy": 0.0},
+        {"namespace_size": 10_000, "accuracy": 1.5},
+        {"namespace_size": 10_000, "set_size": 0},
+        {"namespace_size": 10_000, "set_size": 10_000},
+        {"namespace_size": 10_000, "family": "sha256"},
+        {"namespace_size": 10_000, "tree": "btree"},
+        {"namespace_size": 10_000, "threshold": -0.1},
+        {"namespace_size": 10_000, "descent": "random"},
+        {"namespace_size": 10_000, "k": 0},
+        {"namespace_size": 10_000, "depth": -1},
+        {"namespace_size": 16, "depth": 5},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_frozen(self):
+        config = EngineConfig(namespace_size=10_000)
+        with pytest.raises(Exception):
+            config.accuracy = 0.5
+
+
+class TestResolution:
+    def test_matches_planner(self):
+        config = EngineConfig(namespace_size=100_000, accuracy=0.9,
+                              set_size=500)
+        params = config.parameters()
+        direct = plan_tree(100_000, 500, 0.9, k=3)
+        assert params == direct
+
+    def test_default_set_size(self):
+        config = EngineConfig(namespace_size=100_000)
+        assert config.planned_set_size == 1_000
+        tiny = EngineConfig(namespace_size=100)
+        assert tiny.planned_set_size == 50
+
+    def test_depth_override(self):
+        base = EngineConfig(namespace_size=100_000, set_size=500)
+        override = EngineConfig(namespace_size=100_000, set_size=500,
+                                depth=3)
+        assert base.parameters().depth != 3
+        params = override.parameters()
+        assert params.depth == 3
+        assert params.m == base.parameters().m  # m untouched by depth
+        assert params.leaf_capacity >= 100_000 // (1 << 3)
+
+    def test_build_family(self):
+        config = EngineConfig(namespace_size=10_000, family="simple",
+                              seed=11)
+        family = config.build_family()
+        assert family.name == "simple"
+        assert family.seed == 11
+        assert family.m == config.parameters().m
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        config = EngineConfig(namespace_size=50_000, accuracy=0.8,
+                              set_size=200, family="md5", tree="dynamic",
+                              threshold=0.75, descent="floored", seed=9,
+                              depth=4)
+        clone = EngineConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_dict_is_json_friendly(self):
+        import json
+
+        config = EngineConfig(namespace_size=50_000, tree="pruned")
+        text = json.dumps(config.to_dict())
+        assert EngineConfig.from_dict(json.loads(text)) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown EngineConfig keys"):
+            EngineConfig.from_dict({"namespace_size": 10_000,
+                                    "shards": 4})
+
+    def test_describe_includes_resolved(self):
+        info = EngineConfig(namespace_size=50_000).describe()
+        assert info["m"] > 0
+        assert info["tree_nodes"] >= 1
+        assert info["namespace_size"] == 50_000

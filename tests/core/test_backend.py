@@ -1,0 +1,168 @@
+"""TreeBackend protocol conformance and registry behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BloomFilter,
+    BloomSampleTree,
+    BSTReconstructor,
+    BSTSampler,
+    DynamicBloomSampleTree,
+    PrunedBloomSampleTree,
+    TreeBackend,
+    available_backends,
+    backend_for,
+    backend_key_of,
+    create_family,
+    load_tree,
+    register_backend,
+    save_tree,
+)
+from repro.core.backend import BackendSpec
+
+M = 4_096
+DEPTH = 4
+VARIANTS = ("static", "pruned", "dynamic")
+
+
+@pytest.fixture(scope="module")
+def family():
+    return create_family("murmur3", 3, 16_384, namespace_size=M, seed=5)
+
+
+@pytest.fixture(scope="module")
+def occupied():
+    rng = np.random.default_rng(5)
+    return np.sort(rng.choice(M, size=300, replace=False)).astype(np.uint64)
+
+
+class TestRegistry:
+    def test_all_variants_registered(self):
+        assert set(available_backends()) >= set(VARIANTS)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown tree backend"):
+            backend_for("btree")
+
+    def test_spec_classes(self):
+        assert backend_for("static").cls is BloomSampleTree
+        assert backend_for("pruned").cls is PrunedBloomSampleTree
+        assert backend_for("dynamic").cls is DynamicBloomSampleTree
+
+    def test_capability_flags(self):
+        static, pruned, dynamic = (backend_for(k) for k in VARIANTS)
+        assert not static.requires_occupied
+        assert pruned.requires_occupied and dynamic.requires_occupied
+        assert not static.supports_insert
+        assert pruned.supports_insert and dynamic.supports_insert
+        assert dynamic.supports_remove and not pruned.supports_remove
+
+    def test_key_of_instances(self, family, occupied):
+        for key in VARIANTS:
+            tree = backend_for(key).build(M, DEPTH, family, occupied)
+            assert backend_key_of(tree) == key
+
+    def test_key_of_unregistered_type(self):
+        with pytest.raises(TypeError):
+            backend_key_of(object())
+
+    def test_register_custom_backend(self, family):
+        class MiniTree(BloomSampleTree):
+            """A subclass stands in for a third-party backend."""
+
+        register_backend(BackendSpec(
+            key="mini", cls=MiniTree, requires_occupied=False,
+            supports_insert=False, supports_remove=False,
+        ))
+        try:
+            spec = backend_for("mini")
+            tree = spec.build(M, 2, family)
+            assert backend_key_of(tree) == "mini"
+            assert isinstance(tree, TreeBackend)
+        finally:
+            from repro.core.backend import _REGISTRY
+            _REGISTRY.pop("mini", None)
+
+
+class TestConformance:
+    """Every registered variant satisfies the protocol and the samplers."""
+
+    @pytest.mark.parametrize("key", VARIANTS)
+    def test_protocol_instance(self, key, family, occupied):
+        tree = backend_for(key).build(M, DEPTH, family, occupied)
+        assert isinstance(tree, TreeBackend)
+
+    @pytest.mark.parametrize("key", VARIANTS)
+    def test_sampler_and_reconstructor_work(self, key, family, occupied):
+        tree = backend_for(key).build(M, DEPTH, family, occupied)
+        secret = occupied[::3]
+        query = BloomFilter.from_items(secret, family)
+        truth = set(int(x) for x in secret)
+
+        result = BSTSampler(tree, rng=9).sample(query)
+        assert result.value is not None
+        assert result.value in truth or key == "static"
+
+        recovered = BSTReconstructor(tree, exhaustive=True).reconstruct(query)
+        assert truth <= set(int(x) for x in recovered.elements)
+
+    @pytest.mark.parametrize("key", VARIANTS)
+    def test_uniform_introspection(self, key, family, occupied):
+        tree = backend_for(key).build(M, DEPTH, family, occupied)
+        nodes = list(tree.iter_nodes())
+        assert tree.num_nodes == len(nodes)
+        assert tree.memory_bytes > 0
+        leaves = list(tree.leaves())
+        assert all(tree.is_leaf(leaf) for leaf in leaves)
+
+    def test_static_ignores_occupied(self, family, occupied):
+        spec = backend_for("static")
+        a = spec.build(M, DEPTH, family, occupied)
+        b = spec.build(M, DEPTH, family, None)
+        assert a.num_nodes == b.num_nodes == (1 << (DEPTH + 1)) - 1
+
+    @pytest.mark.parametrize("key", ("pruned", "dynamic"))
+    def test_empty_occupancy_builds(self, key, family):
+        tree = backend_for(key).build(M, DEPTH, family, None)
+        assert tree.root is None
+        query = BloomFilter.from_items(np.array([1, 2], dtype=np.uint64),
+                                       family)
+        assert BSTSampler(tree, rng=0).sample(query).value is None
+
+
+class TestSerializationAllVariants:
+    """save_tree / load_tree round-trips every backend kind."""
+
+    @pytest.mark.parametrize("key", VARIANTS)
+    def test_roundtrip(self, key, family, occupied, tmp_path):
+        tree = backend_for(key).build(M, DEPTH, family, occupied)
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert backend_key_of(loaded) == key
+        assert loaded.namespace_size == M
+        assert loaded.depth == DEPTH
+
+        # Bit-identical node filters, node for node.
+        original = {(n.level, n.index): n.bloom.bits.words
+                    for n in tree.iter_nodes()}
+        restored = {(n.level, n.index): n.bloom.bits.words
+                    for n in loaded.iter_nodes()}
+        assert original.keys() == restored.keys()
+        for coord, words in original.items():
+            assert np.array_equal(words, restored[coord]), coord
+
+    def test_dynamic_roundtrip_preserves_removability(
+            self, family, occupied, tmp_path):
+        tree = backend_for("dynamic").build(M, DEPTH, family, occupied)
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        victim = int(occupied[0])
+        loaded.remove(victim)
+        assert victim not in set(loaded.occupied.tolist())
+        # The removed id can no longer be sampled.
+        query = BloomFilter.from_items(occupied[:1], family)
+        result = BSTSampler(loaded, rng=3).sample(query)
+        assert result.value != victim

@@ -15,7 +15,7 @@ from repro.core.hashing import SimpleHashFamily, create_family
 from repro.core.pruned import PrunedBloomSampleTree
 from repro.core.reconstruct import BSTReconstructor
 from repro.core.sampling import BSTSampler, ExactUniformSampler
-from repro.core.serialization import save_tree
+from repro.core.serialization import load_tree, save_tree
 from repro.core.tree import BloomSampleTree
 
 
@@ -101,11 +101,17 @@ class TestDegenerateQueries:
 
 
 class TestSerializationGuards:
-    def test_dynamic_tree_rejected(self, small_family, tmp_path):
+    def test_non_tree_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_tree(object(), tmp_path / "junk.npz")
+
+    def test_dynamic_tree_round_trips(self, small_family, tmp_path):
         tree = DynamicBloomSampleTree(1_024, 3, small_family)
         tree.insert(5)
-        with pytest.raises(TypeError):
-            save_tree(tree, tmp_path / "dyn.npz")
+        save_tree(tree, tmp_path / "dyn.npz")
+        loaded = load_tree(tmp_path / "dyn.npz")
+        assert isinstance(loaded, DynamicBloomSampleTree)
+        assert loaded.occupied.tolist() == [5]
 
 
 class TestPrunedSingletons:

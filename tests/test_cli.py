@@ -42,6 +42,54 @@ class TestDemo:
         assert "reconstruction" in out
 
 
+class TestDemoVariants:
+    def test_tree_flag_selects_backend(self, capsys):
+        assert main(["demo", "--namespace", "5000", "--set-size", "100",
+                     "--tree", "pruned"]) == 0
+        out = capsys.readouterr().out
+        assert "tree='pruned'" in out
+
+
+class TestSample:
+    def test_ephemeral_engine(self, capsys):
+        assert main(["sample", "-M", "5000", "-n", "100", "-r", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "samples from 'hidden'" in out
+        assert "true elements" in out
+        assert "intersections" in out
+
+    def test_save_and_reload_db(self, tmp_path, capsys):
+        db_dir = str(tmp_path / "engine")
+        assert main(["sample", "-M", "5000", "-n", "100", "--tree",
+                     "dynamic", "--save-db", db_dir]) == 0
+        capsys.readouterr()
+        assert main(["sample", "--db", db_dir, "-r", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 samples from 'hidden'" in out
+
+    def test_unknown_set_in_db(self, tmp_path, capsys):
+        db_dir = str(tmp_path / "engine")
+        main(["sample", "-M", "5000", "-n", "100", "--save-db", db_dir])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["sample", "--db", db_dir, "--set", "nope"])
+
+
+class TestReconstruct:
+    def test_ephemeral_engine(self, capsys):
+        assert main(["reconstruct", "-M", "5000", "-n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "reconstruction of 'hidden'" in out
+        assert "of the true set recovered" in out
+
+    def test_exhaustive_flag(self, capsys):
+        assert main(["reconstruct", "-M", "5000", "-n", "100",
+                     "--exhaustive"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out
+        assert "100/100 of the true set recovered" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
