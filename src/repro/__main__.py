@@ -24,6 +24,11 @@ Commands
 ``reconstruct``
     Recover a stored set's contents, against a saved or ephemeral engine.
 
+``bench``
+    Run the benchmark harness (:mod:`repro.bench`): cached, scenario-based
+    timing of the vectorized sampling/reconstruction kernels, emitting
+    ``BENCH_sampling.json`` and ``BENCH_reconstruction.json``.
+
 All engine-backed commands take ``--tree static|pruned|dynamic`` and
 ``--family simple|murmur3|md5`` — the variant is purely a config choice.
 """
@@ -196,6 +201,48 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BENCH_FILES, SCENARIOS, BenchRunner
+    from repro.bench.scenarios import scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            print(f"{name:26s} [{scenario.kind}] {scenario.title}")
+            print(f"{'':26s} maps to: {scenario.maps_to}")
+        return 0
+
+    names = args.scenario or None
+    runner = BenchRunner(
+        cache_dir=args.cache_dir,
+        output_dir=args.output_dir,
+        quick=args.quick,
+        force=args.force,
+    )
+    try:
+        payloads = runner.run(names)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    for kind, payload in sorted(payloads.items()):
+        print(f"== {kind} ({payload['mode']}) ==")
+        for name, entry in payload["scenarios"].items():
+            status = "cached" if entry["cached"] else \
+                f"ran in {entry['elapsed_s']:.2f}s"
+            line = f"  {name:26s} {status}"
+            result = entry["result"]
+            for key in ("speedup_batch_vs_scalar_loop",
+                        "speedup_batch_vs_vector_loop"):
+                if key in result:
+                    against = key.removeprefix("speedup_batch_vs_")
+                    line += f"  batch {result[key]}x vs {against}"
+                    break
+            print(line)
+        path = runner.output_dir / BENCH_FILES[kind]
+        print(f"  -> {path}")
+    return 0
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by the engine-backed commands.
 
@@ -268,6 +315,24 @@ def build_parser() -> argparse.ArgumentParser:
     reconstruct.add_argument("--exhaustive", action="store_true",
                              help="disable estimator pruning (exact recall)")
     reconstruct.set_defaults(func=_cmd_reconstruct)
+
+    bench = sub.add_parser(
+        "bench", help="run the cached benchmark harness (repro.bench)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke scale: seconds instead of minutes")
+    bench.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this scenario (repeatable; "
+                            "default: all)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    bench.add_argument("--force", action="store_true",
+                       help="ignore cached results and re-measure")
+    bench.add_argument("--cache-dir", default=".bench_cache",
+                       help="result cache directory (default: .bench_cache)")
+    bench.add_argument("--output-dir", default=".",
+                       help="where BENCH_*.json are written (default: .)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

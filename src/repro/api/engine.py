@@ -37,6 +37,7 @@ from repro.core.backend import (
 from repro.core.bloom import BloomFilter
 from repro.core.design import TreeParameters
 from repro.core.hashing import HashFamily
+from repro.core.kernels import PositionCache
 from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
 from repro.core.sampling import BSTSampler, MultiSampleResult, SampleResult
 from repro.core.serialization import load_tree, save_tree
@@ -280,8 +281,12 @@ class BloomDB:
         requests = self._normalise_requests(names, r)
         report = BatchReport()
         start = time.perf_counter()
+        # One shared position cache: every set's paths hash each leaf's
+        # candidates at most once for the whole batch.
+        cache = PositionCache(self.tree)
         for name, rounds in requests.items():
-            report.add(name, self.store.sample_many(name, rounds, replacement))
+            report.add(name, self.store.sample_many(name, rounds, replacement,
+                                                    position_cache=cache))
         report.elapsed_s = time.perf_counter() - start
         return report
 
@@ -303,11 +308,15 @@ class BloomDB:
         """
         if names is None:
             names = self.names()
+        names = list(names)
         report = BatchReport()
         start = time.perf_counter()
-        for name in names:
-            report.add(name, self.store.reconstruct(name,
-                                                    exhaustive=exhaustive))
+        # Batched kernel: one pass over the tree serves every query filter
+        # (identical per-set results to sequential reconstruction).
+        for name, result in zip(
+                names, self.store.reconstruct_many(names,
+                                                   exhaustive=exhaustive)):
+            report.add(name, result)
         report.elapsed_s = time.perf_counter() - start
         return report
 

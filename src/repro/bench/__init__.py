@@ -1,0 +1,34 @@
+"""First-class benchmark harness for the vectorized kernels.
+
+The paper's headline results are throughput numbers (sampling and
+reconstruction time vs. brute force, Figs. 3-15); this package turns them
+into numbers CI can watch.  It drives the scenarios the ``benchmarks/``
+suite explores — but through the :class:`~repro.api.BloomDB` facade and
+the :mod:`repro.core.kernels` fast paths — and emits machine-readable
+``BENCH_sampling.json`` / ``BENCH_reconstruction.json`` files at the repo
+root, with a JSON result cache so re-runs are free (the cached
+``ExperimentEngine`` pattern of trolando/rtl-experiments).
+
+Entry points: the ``repro bench`` CLI subcommand, or::
+
+    from repro.bench import BenchRunner
+    payloads = BenchRunner(quick=True).run()
+"""
+
+from repro.bench.runner import (
+    BENCH_FILES,
+    SCHEMA_VERSION,
+    BenchRunner,
+    validate_payload,
+)
+from repro.bench.scenarios import SCENARIOS, Scenario, get_scenario
+
+__all__ = [
+    "BENCH_FILES",
+    "SCHEMA_VERSION",
+    "BenchRunner",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "validate_payload",
+]

@@ -1,0 +1,245 @@
+"""Benchmark collectors: timing + op-count measurement per scenario kind.
+
+Two collectors, one per emitted ``BENCH_*.json`` file:
+
+* :func:`run_sampling` — measures the batched sampling path
+  (:meth:`repro.api.BloomDB.sample_many`, one shared pass over the tree)
+  against the per-query loop, with the loop measured both under the
+  vectorized kernels and under the legacy scalar kernels
+  (:func:`repro.core.kernels.scalar_kernels`).
+* :func:`run_reconstruction` — measures the one-pass batched
+  reconstruction (:meth:`repro.api.BloomDB.reconstruct_all`) against the
+  sequential per-set loop, verifying along the way that both recover
+  identical elements.
+
+Collectors return plain JSON-able dicts; the runner owns caching and
+file emission.  Every engine is built through the BloomDB facade so the
+numbers measure exactly what the serving surface ships.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api import BloomDB
+from repro.core import kernels
+
+#: Scalar hashing microbenchmarks are capped at this many elements so the
+#: legacy per-element loops stay affordable even at full scale.
+_SCALAR_HASH_CAP = 3_000
+
+
+def _timed(fn):
+    """Run ``fn`` once; return (elapsed seconds, return value)."""
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def build_engine(params: dict, family: str | None = None):
+    """Build a BloomDB and its stored sets from scenario parameters.
+
+    Returns ``(db, names)``.  For occupancy-tracking trees the stored
+    sets are drawn from the ``occupied`` ids, mirroring the paper's
+    sparse-namespace workloads.
+    """
+    family = family or params.get("family", "murmur3")
+    namespace = int(params["namespace"])
+    rng = np.random.default_rng(int(params.get("workload_seed", 42)))
+    occupied = None
+    universe = namespace
+    if params.get("occupied"):
+        occupied = rng.choice(namespace, size=int(params["occupied"]),
+                              replace=False).astype(np.uint64)
+        universe = occupied
+    db = BloomDB.plan(
+        namespace_size=namespace,
+        accuracy=float(params.get("accuracy", 0.9)),
+        set_size=int(params["set_size"]),
+        family=family,
+        tree=params.get("tree", "static"),
+        seed=int(params.get("seed", 0)),
+        occupied=occupied,
+    )
+    names = []
+    for i in range(int(params["num_sets"])):
+        if isinstance(universe, np.ndarray):
+            ids = rng.choice(universe, size=int(params["set_size"]),
+                             replace=False)
+        else:
+            ids = rng.choice(universe, size=int(params["set_size"]),
+                             replace=False).astype(np.uint64)
+        name = f"set{i:02d}"
+        db.add_set(name, ids)
+        names.append(name)
+    return db, names
+
+
+def _per_query_us(seconds: float, queries: int) -> float:
+    return round(seconds / queries * 1e6, 3) if queries else 0.0
+
+
+def _loop_sample(db, names, queries: int) -> float:
+    """Per-query loop: one full descent per draw (the legacy shape)."""
+    sampler = db.sampler_for(rng=1)
+    filters = [db.filter(name) for name in names]
+    start = time.perf_counter()
+    for i in range(queries):
+        sampler.sample(filters[i % len(filters)])
+    return time.perf_counter() - start
+
+
+def run_sampling(params: dict) -> dict:
+    """Measure batched vs. looped sampling; returns a JSON-able result."""
+    if "families" in params:
+        return _run_sampling_families(params)
+    db, names = build_engine(params)
+    queries = int(params["queries"])
+    per_set, extra = divmod(queries, len(names))
+    requests = {name: per_set + (1 if i < extra else 0)
+                for i, name in enumerate(names)}
+    requests = {n: r for n, r in requests.items() if r > 0}
+
+    batch_s, report = _timed(lambda: db.sample_many(requests))
+    result = {
+        "queries": queries,
+        "engine": db.describe(),
+        "batch": {
+            "seconds": round(batch_s, 6),
+            "queries": queries,
+            "per_query_us": _per_query_us(batch_s, queries),
+            "produced": report.produced,
+            "shortfall": report.shortfall,
+            "ops": report.as_row(),
+        },
+    }
+
+    loop_queries = int(params.get("loop_queries", 0))
+    if loop_queries:
+        loop_s = _loop_sample(db, names, loop_queries)
+        result["vector_loop"] = {
+            "seconds": round(loop_s, 6),
+            "queries": loop_queries,
+            "per_query_us": _per_query_us(loop_s, loop_queries),
+        }
+        result["speedup_batch_vs_vector_loop"] = round(
+            (loop_s / loop_queries) / (batch_s / queries), 2)
+
+    scalar_queries = int(params.get("scalar_loop_queries", 0))
+    if scalar_queries:
+        with kernels.scalar_kernels():
+            scalar_s = _loop_sample(db, names, scalar_queries)
+        result["scalar_loop"] = {
+            "seconds": round(scalar_s, 6),
+            "queries": scalar_queries,
+            "per_query_us": _per_query_us(scalar_s, scalar_queries),
+        }
+        result["speedup_batch_vs_scalar_loop"] = round(
+            (scalar_s / scalar_queries) / (batch_s / queries), 2)
+    return result
+
+
+def _run_sampling_families(params: dict) -> dict:
+    """Per-hash-family kernels: batched hashing + batched sampling."""
+    hash_batch = int(params["hash_batch"])
+    queries = int(params["queries"])
+    xs = np.arange(hash_batch, dtype=np.uint64)
+    scalar_xs = xs[:_SCALAR_HASH_CAP]
+    families = {}
+    for family_name in params["families"]:
+        db, names = build_engine(params, family=family_name)
+        vec_s, _ = _timed(lambda: db.family.positions_many(xs))
+        with kernels.scalar_kernels():
+            scal_s, _ = _timed(lambda: db.family.positions_many(scalar_xs))
+        batch_s, report = _timed(
+            lambda: db.sample_many({names[0]: queries}))
+        per_elem_vec = vec_s / hash_batch * 1e6
+        per_elem_scal = scal_s / len(scalar_xs) * 1e6
+        families[family_name] = {
+            "hash_batch": hash_batch,
+            "hash_vectorized_us_per_element": round(per_elem_vec, 4),
+            "hash_scalar_us_per_element": round(per_elem_scal, 4),
+            "hash_kernel_speedup": round(per_elem_scal / per_elem_vec, 2),
+            "batch_sampling": {
+                "queries": queries,
+                "seconds": round(batch_s, 6),
+                "per_query_us": _per_query_us(batch_s, queries),
+                "produced": report.produced,
+            },
+        }
+    return {"queries": queries, "families": families}
+
+
+def run_reconstruction(params: dict) -> dict:
+    """Measure batched vs. looped reconstruction; verify identical output."""
+    db, names = build_engine(params)
+    repeats = max(1, int(params.get("repeats", 1)))
+    scalar_repeats = max(0, int(params.get("scalar_repeats", 0)))
+
+    batch_times = []
+    batch_report = None
+    for _ in range(repeats):
+        seconds, batch_report = _timed(lambda: db.reconstruct_all(names))
+        batch_times.append(seconds)
+
+    loop_times = []
+    loop_results = None
+    for _ in range(repeats):
+        seconds, loop_results = _timed(
+            lambda: [db.store.reconstruct(name) for name in names])
+        loop_times.append(seconds)
+
+    identical = all(
+        np.array_equal(batch_report[name].elements, loop.elements)
+        for name, loop in zip(names, loop_results)
+    )
+
+    batch_s = min(batch_times)
+    loop_s = min(loop_times)
+    result = {
+        "sets": len(names),
+        "engine": db.describe(),
+        "repeats": repeats,
+        "identical_to_sequential": bool(identical),
+        "batch": {
+            "seconds": round(batch_s, 6),
+            "per_set_ms": round(batch_s / len(names) * 1e3, 4),
+            "recovered": batch_report.produced,
+            "ops": batch_report.as_row(),
+        },
+        "vector_loop": {
+            "seconds": round(loop_s, 6),
+            "per_set_ms": round(loop_s / len(names) * 1e3, 4),
+        },
+        "speedup_batch_vs_vector_loop": round(loop_s / batch_s, 2),
+    }
+
+    if scalar_repeats:
+        # The legacy element-at-a-time loop is orders of magnitude slower;
+        # measure it on a capped subset of sets and compare per set.
+        scalar_names = names[:int(params.get("scalar_sets", len(names)))]
+        scalar_times = []
+        for _ in range(scalar_repeats):
+            with kernels.scalar_kernels():
+                seconds, _ = _timed(
+                    lambda: [db.store.reconstruct(name)
+                             for name in scalar_names])
+            scalar_times.append(seconds)
+        scalar_per_set = min(scalar_times) / len(scalar_names)
+        result["scalar_loop"] = {
+            "seconds": round(min(scalar_times), 6),
+            "sets": len(scalar_names),
+            "per_set_ms": round(scalar_per_set * 1e3, 4),
+        }
+        result["speedup_batch_vs_scalar_loop"] = round(
+            scalar_per_set / (batch_s / len(names)), 2)
+    return result
+
+
+#: Collector dispatch by scenario kind.
+COLLECTORS = {
+    "sampling": run_sampling,
+    "reconstruction": run_reconstruction,
+}

@@ -1,0 +1,188 @@
+"""The benchmark runner: cached execution + BENCH_*.json emission.
+
+Modeled on the cached ``ExperimentEngine`` of trolando/rtl-experiments:
+each (scenario, scale) pair owns one JSON file in the cache directory,
+keyed by a fingerprint of the scenario's parameters.  A run first
+consults the cache — a hit is served instantly, a miss (or ``--force``,
+or a parameter edit, which changes the fingerprint) executes the
+collector and stores the result.  Aggregated payloads are then written to
+``BENCH_sampling.json`` and ``BENCH_reconstruction.json`` in the output
+directory (the repo root, by default), which is what CI uploads and what
+later PRs are judged against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+
+import repro
+from repro.bench.collectors import COLLECTORS
+from repro.bench.scenarios import KINDS, SCENARIOS, Scenario, get_scenario
+
+#: Version of the emitted BENCH_*.json schema.
+SCHEMA_VERSION = 1
+
+#: Output file per collector kind.
+BENCH_FILES = {kind: f"BENCH_{kind}.json" for kind in KINDS}
+
+#: Default cache directory (git-ignored).
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+def _fingerprint(scenario: Scenario, quick: bool) -> str:
+    """Cache key: parameters + schema + library version, order-independent.
+
+    The library version is included so a release that changes the kernels
+    invalidates cached measurements — the emitted files are the perf
+    baseline later PRs are judged against, and must never silently carry
+    numbers from older code.
+    """
+    blob = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "version": repro.__version__,
+            "kind": scenario.kind,
+            "params": scenario.params(quick),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class BenchRunner:
+    """Runs benchmark scenarios with a JSON result cache.
+
+    ``quick`` selects the smoke-scale parameters; ``force`` ignores (and
+    overwrites) cached results.
+    """
+
+    def __init__(
+        self,
+        cache_dir=DEFAULT_CACHE_DIR,
+        output_dir=".",
+        quick: bool = False,
+        force: bool = False,
+    ):
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.output_dir = pathlib.Path(output_dir)
+        self.quick = bool(quick)
+        self.force = bool(force)
+
+    @property
+    def mode(self) -> str:
+        """Scale label recorded in every payload."""
+        return "quick" if self.quick else "full"
+
+    # -- cache ----------------------------------------------------------------
+
+    def _cache_path(self, scenario: Scenario) -> pathlib.Path:
+        return self.cache_dir / f"{scenario.name}__{self.mode}.json"
+
+    def _load_cached(self, scenario: Scenario) -> dict | None:
+        """A cached entry, or ``None`` on miss / fingerprint mismatch."""
+        path = self._cache_path(scenario)
+        if self.force or not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return None
+        if entry.get("fingerprint") != _fingerprint(scenario, self.quick):
+            return None
+        return entry
+
+    # -- execution ------------------------------------------------------------
+
+    def run_scenario(self, scenario: Scenario) -> dict:
+        """Run (or load) one scenario; returns its payload entry."""
+        cached = self._load_cached(scenario)
+        if cached is not None:
+            entry = dict(cached)
+            entry["cached"] = True
+            return entry
+        collector = COLLECTORS[scenario.kind]
+        start = time.perf_counter()
+        result = collector(scenario.params(self.quick))
+        elapsed = time.perf_counter() - start
+        entry = {
+            "fingerprint": _fingerprint(scenario, self.quick),
+            "title": scenario.title,
+            "maps_to": scenario.maps_to,
+            "params": scenario.params(self.quick),
+            "elapsed_s": round(elapsed, 3),
+            "cached": False,
+            "result": result,
+        }
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._cache_path(scenario).write_text(json.dumps(entry, indent=2))
+        return entry
+
+    def run(self, names: list[str] | None = None) -> dict[str, dict]:
+        """Run scenarios and write the aggregated ``BENCH_*.json`` files.
+
+        ``names=None`` runs every registered scenario.  Returns the
+        payloads keyed by kind; only kinds with at least one scenario in
+        the selection get (re)written.
+        """
+        if names is None:
+            names = sorted(SCENARIOS)
+        selected = [get_scenario(name) for name in names]
+
+        by_kind: dict[str, dict] = {}
+        for scenario in selected:
+            entry = self.run_scenario(scenario)
+            payload = by_kind.setdefault(scenario.kind, {
+                "schema": SCHEMA_VERSION,
+                "kind": scenario.kind,
+                "mode": self.mode,
+                "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "scenarios": {},
+            })
+            payload["scenarios"][scenario.name] = entry
+
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        for kind, payload in by_kind.items():
+            errors = validate_payload(payload)
+            if errors:  # defence in depth: never emit a malformed file
+                raise RuntimeError(
+                    f"internal error: invalid {kind} payload: {errors}")
+            path = self.output_dir / BENCH_FILES[kind]
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+        return by_kind
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema check for a BENCH_*.json payload; returns a list of errors.
+
+    Used by the harness before writing, by the test suite on the emitted
+    files, and available to CI as a gate.
+    """
+    errors = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA_VERSION:
+        errors.append(f"schema must be {SCHEMA_VERSION}")
+    if payload.get("kind") not in KINDS:
+        errors.append(f"kind must be one of {KINDS}")
+    if payload.get("mode") not in ("quick", "full"):
+        errors.append("mode must be 'quick' or 'full'")
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        return errors + ["scenarios must be a non-empty object"]
+    for name, entry in scenarios.items():
+        where = f"scenarios[{name!r}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in ("fingerprint", "title", "maps_to", "params",
+                    "elapsed_s", "cached", "result"):
+            if key not in entry:
+                errors.append(f"{where} missing {key!r}")
+        if not isinstance(entry.get("result"), dict):
+            errors.append(f"{where}.result is not an object")
+        if not isinstance(entry.get("cached"), bool):
+            errors.append(f"{where}.cached is not a bool")
+    return errors

@@ -1,0 +1,144 @@
+"""The benchmark scenario registry.
+
+A scenario is a named, parameterised workload over one
+:class:`~repro.api.BloomDB` engine, tagged with the paper artefact it
+corresponds to (the same territory the ``benchmarks/bench_*.py`` suite
+covers interactively).  Every scenario carries two parameter sets:
+``quick`` (seconds — the CI smoke scale selected by ``repro bench
+--quick``) and ``full`` (the real measurement).
+
+Scenario parameters are plain JSON-able dicts; their fingerprint keys the
+result cache, so editing a scenario automatically invalidates its cached
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Collector kinds — each kind aggregates into its own BENCH_*.json file.
+KINDS = ("sampling", "reconstruction")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark workload.
+
+    ``kind``
+        Which collector runs it (``"sampling"`` or ``"reconstruction"``)
+        and therefore which ``BENCH_*.json`` file carries its results.
+    ``maps_to``
+        The paper figure/table family the measurement corresponds to.
+    ``quick`` / ``full``
+        Parameter dicts for the two scales; see the collectors for the
+        recognised keys.
+    """
+
+    name: str
+    kind: str
+    title: str
+    maps_to: str
+    quick: dict
+    full: dict
+
+    def params(self, quick: bool) -> dict:
+        """The parameter dict for the requested scale."""
+        return dict(self.quick if quick else self.full)
+
+
+_COMMON = dict(accuracy=0.9, seed=7, workload_seed=42)
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> None:
+    if scenario.kind not in KINDS:
+        raise ValueError(f"unknown scenario kind {scenario.kind!r}")
+    SCENARIOS[scenario.name] = scenario
+
+
+_register(Scenario(
+    name="sampling_10k",
+    kind="sampling",
+    title="10k sampling queries: vectorized batch vs. the scalar loop",
+    maps_to="Figs. 5/6 (average sampling time)",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=4,
+               family="murmur3", tree="static", queries=10_000,
+               loop_queries=400, scalar_loop_queries=150),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=8,
+              family="murmur3", tree="static", queries=10_000,
+              loop_queries=4_000, scalar_loop_queries=1_000),
+))
+
+_register(Scenario(
+    name="sampling_pruned_sparse",
+    kind="sampling",
+    title="Sampling over a sparse namespace (pruned tree)",
+    maps_to="Figs. 13/14 (pruned-namespace sampling)",
+    quick=dict(_COMMON, namespace=200_000, set_size=200, num_sets=4,
+               family="murmur3", tree="pruned", occupied=4_000,
+               queries=4_000, loop_queries=200, scalar_loop_queries=80),
+    full=dict(_COMMON, namespace=2_000_000, set_size=1_000, num_sets=8,
+              family="murmur3", tree="pruned", occupied=40_000,
+              queries=10_000, loop_queries=2_000, scalar_loop_queries=400),
+))
+
+_register(Scenario(
+    name="sampling_hash_families",
+    kind="sampling",
+    title="Per-family batched hashing throughput (kernel microbenchmark)",
+    maps_to="Fig. 7 (hash-family trade-offs)",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=2,
+               families=["simple", "murmur3", "md5"], tree="static",
+               hash_batch=20_000, queries=1_000, loop_queries=0,
+               scalar_loop_queries=0),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=4,
+              families=["simple", "murmur3", "md5"], tree="static",
+              hash_batch=100_000, queries=10_000, loop_queries=0,
+              scalar_loop_queries=0),
+))
+
+_register(Scenario(
+    name="reconstruction_sweep",
+    kind="reconstruction",
+    title="Reconstructing every stored set: one-pass batch vs. per-set loop",
+    maps_to="Figs. 11/12 (reconstruction time)",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=8,
+               family="murmur3", tree="static", repeats=3,
+               scalar_repeats=1, scalar_sets=2),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=16,
+              family="murmur3", tree="static", repeats=5,
+              scalar_repeats=1, scalar_sets=2),
+))
+
+_register(Scenario(
+    name="reconstruction_md5",
+    kind="reconstruction",
+    title="Reconstruction under the expensive MD5 family (shared hashing)",
+    maps_to="Figs. 8-10 (reconstruction ops / slow-family cost model)",
+    quick=dict(_COMMON, namespace=8_000, set_size=200, num_sets=6,
+               family="md5", tree="static", repeats=2, scalar_repeats=1,
+               scalar_sets=3),
+    full=dict(_COMMON, namespace=50_000, set_size=500, num_sets=12,
+              family="md5", tree="static", repeats=3, scalar_repeats=1,
+              scalar_sets=3),
+))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown benchmark scenario {name!r} (known: {known})"
+        ) from None
+
+
+def scenario_names(kind: str | None = None) -> list[str]:
+    """Registered scenario names, optionally filtered by kind."""
+    return sorted(
+        name for name, sc in SCENARIOS.items()
+        if kind is None or sc.kind == kind
+    )

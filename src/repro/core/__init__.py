@@ -27,6 +27,11 @@ Submodules
 ``sampling`` / ``reconstruct``
     Algorithm 1 (``BSTSample``, single and one-pass multi-sample) and the
     recursive reconstruction of Section 6.
+``kernels``
+    The vectorized hot-path kernels (batched MD5 / Simple / Murmur3
+    hashing, shared-leaf membership, one-pass multi-query descent) plus
+    the legacy scalar paths behind the :func:`~repro.core.kernels.scalar_kernels`
+    switch used for golden-equivalence testing and benchmarking.
 """
 
 from repro.core.backend import (
@@ -59,6 +64,12 @@ from repro.core.hashing import (
     SimpleHashFamily,
     create_family,
 )
+from repro.core.kernels import (
+    PositionCache,
+    kernel_mode,
+    scalar_kernels,
+    set_kernel_mode,
+)
 from repro.core.pruned import PrunedBloomSampleTree
 from repro.core.serialization import load_tree, save_tree
 from repro.core.store import FilterStore
@@ -88,6 +99,7 @@ __all__ = [
     "NotStoredError",
     "MD5HashFamily",
     "Murmur3HashFamily",
+    "PositionCache",
     "PrunedBloomSampleTree",
     "ReconstructionResult",
     "SampleResult",
@@ -105,7 +117,10 @@ __all__ = [
     "estimate_intersection_size",
     "false_positive_rate",
     "false_set_overlap_probability",
+    "kernel_mode",
     "load_tree",
     "plan_tree",
     "save_tree",
+    "scalar_kernels",
+    "set_kernel_mode",
 ]

@@ -71,9 +71,7 @@ class BitVector:
         shape.  Used by the Bloom filter's batched membership query, where a
         row of ``k`` positions must *all* be set.
         """
-        pos = np.asarray(positions, dtype=np.uint64)
-        words = self.words[pos >> np.uint64(6)]
-        return ((words >> (pos & np.uint64(63))) & np.uint64(1)).astype(bool)
+        return bits_at(self.words, positions)
 
     # -- whole-vector operations ----------------------------------------------
 
@@ -151,6 +149,19 @@ class BitVector:
 
     def __repr__(self) -> str:
         return f"BitVector(num_bits={self.num_bits}, ones={self.count_ones()})"
+
+
+def bits_at(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Bit values of a uint64 word array at the given positions.
+
+    The single home of the word-packing layout (64-bit little words);
+    shared by :meth:`BitVector.test_many` and the batched membership
+    kernels in :mod:`repro.core.kernels`.  ``positions`` may be
+    multi-dimensional; the result has the same shape.
+    """
+    pos = np.asarray(positions, dtype=np.uint64)
+    w = words[pos >> np.uint64(6)]
+    return ((w >> (pos & np.uint64(63))) & np.uint64(1)).astype(bool)
 
 
 def _expand_words(words: np.ndarray, num_bits: int, want_set: bool) -> np.ndarray:

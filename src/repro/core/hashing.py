@@ -14,15 +14,19 @@ baseline.  Murmur3 and MD5 are not invertible; asking them to invert raises
 All families provide both scalar (``positions``) and vectorised
 (``positions_many``) evaluation; the vectorised paths are what make
 Dictionary Attack and leaf brute-force searches tractable in pure Python.
+The batch kernels themselves live in :mod:`repro.core.kernels` (which
+also keeps the legacy element-at-a-time loops for golden-equivalence
+testing); families dispatch according to the active kernel mode.
 """
 
 from __future__ import annotations
 
-import hashlib
 from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core import kernels
+from repro.core.kernels import murmur3_32  # noqa: F401  (re-export)
 from repro.utils.primes import mod_inverse, next_prime
 from repro.utils.rng import ensure_rng
 
@@ -131,27 +135,15 @@ class SimpleHashFamily(HashFamily):
 
     def positions_many(self, xs: np.ndarray) -> np.ndarray:
         xs = np.asarray(xs, dtype=np.uint64)
-        # object dtype would be exact but slow; stay in uint64 with care:
-        # a*x can overflow 64 bits for large p, so compute in python ints
-        # only when p is large.  For p < 2**32 the product fits in uint64.
-        if self.p < (1 << 32):
-            x64 = xs.astype(np.uint64)
-            out = np.empty((len(xs), self.k), dtype=np.uint64)
-            p64 = np.uint64(self.p)
-            m64 = np.uint64(self.m)
-            for i in range(self.k):
-                out[:, i] = ((np.uint64(self._a[i]) * x64 + np.uint64(self._b[i])) % p64) % m64
-            return out
-        return self._positions_many_bigint(xs)
+        if kernels.kernel_mode() == kernels.SCALAR:
+            return kernels.simple_positions_scalar(
+                xs, self._a, self._b, self.p, self.m)
+        return kernels.simple_positions(xs, self._a, self._b, self.p, self.m)
 
     def _positions_many_bigint(self, xs: np.ndarray) -> np.ndarray:
-        """Exact fallback for namespaces so large that a*x overflows uint64."""
-        out = np.empty((len(xs), self.k), dtype=np.uint64)
-        a, b, p, m = self._a, self._b, self.p, self.m
-        for j, x in enumerate(xs.tolist()):
-            for i in range(self.k):
-                out[j, i] = ((int(a[i]) * x + int(b[i])) % p) % m
-        return out
+        """Exact element-at-a-time fallback (legacy scalar reference)."""
+        return kernels.simple_positions_scalar(
+            np.asarray(xs, dtype=np.uint64), self._a, self._b, self.p, self.m)
 
     @property
     def invertible(self) -> bool:
@@ -193,48 +185,6 @@ class SimpleHashFamily(HashFamily):
         return ("simple", self.p, tuple(self._a.tolist()), tuple(self._b.tolist()))
 
 
-# Murmur3 32-bit constants.
-_C1 = np.uint32(0xCC9E2D51)
-_C2 = np.uint32(0x1B873593)
-
-
-def _rotl32(x: np.ndarray, r: int) -> np.ndarray:
-    r32 = np.uint32(r)
-    return (x << r32) | (x >> np.uint32(32 - r))
-
-
-def _fmix32(h: np.ndarray) -> np.ndarray:
-    h ^= h >> np.uint32(16)
-    h *= np.uint32(0x85EBCA6B)
-    h ^= h >> np.uint32(13)
-    h *= np.uint32(0xC2B2AE35)
-    h ^= h >> np.uint32(16)
-    return h
-
-
-def murmur3_32(xs: np.ndarray, seed: int) -> np.ndarray:
-    """Vectorised MurmurHash3 (x86, 32-bit) of 8-byte little-endian keys.
-
-    Matches the reference implementation digest for
-    ``int(x).to_bytes(8, "little")`` with the given seed.
-    """
-    xs = np.asarray(xs, dtype=np.uint64)
-    with np.errstate(over="ignore"):
-        k1 = (xs & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        k2 = (xs >> np.uint64(32)).astype(np.uint32)
-        h = np.full(xs.shape, np.uint32(seed & 0xFFFFFFFF), dtype=np.uint32)
-        for block in (k1, k2):
-            kb = block * _C1
-            kb = _rotl32(kb, 15)
-            kb = kb * _C2
-            h ^= kb
-            h = _rotl32(h, 13)
-            h = h * np.uint32(5) + np.uint32(0xE6546B64)
-        h ^= np.uint32(8)  # total key length in bytes
-        h = _fmix32(h)
-    return h
-
-
 class Murmur3HashFamily(HashFamily):
     """``k`` MurmurHash3_x86_32 functions with distinct seeds.
 
@@ -252,10 +202,9 @@ class Murmur3HashFamily(HashFamily):
 
     def positions_many(self, xs: np.ndarray) -> np.ndarray:
         xs = np.asarray(xs, dtype=np.uint64)
-        out = np.empty((len(xs), self.k), dtype=np.uint64)
-        for i in range(self.k):
-            out[:, i] = murmur3_32(xs, int(self._seeds[i])).astype(np.uint64) % np.uint64(self.m)
-        return out
+        if kernels.kernel_mode() == kernels.SCALAR:
+            return kernels.murmur3_positions_scalar(xs, self._seeds, self.m)
+        return kernels.murmur3_positions(xs, self._seeds, self.m)
 
     def with_range(self, m: int) -> "Murmur3HashFamily":
         return Murmur3HashFamily(self.k, m, self.seed)
@@ -285,14 +234,9 @@ class MD5HashFamily(HashFamily):
 
     def positions_many(self, xs: np.ndarray) -> np.ndarray:
         xs = np.asarray(xs, dtype=np.uint64)
-        out = np.empty((len(xs), self.k), dtype=np.uint64)
-        m = self.m
-        for j, x in enumerate(xs.tolist()):
-            key = int(x).to_bytes(8, "little")
-            for i, salt in enumerate(self._salts):
-                digest = hashlib.md5(salt + key).digest()
-                out[j, i] = int.from_bytes(digest[:4], "little") % m
-        return out
+        if kernels.kernel_mode() == kernels.SCALAR:
+            return kernels.md5_positions_scalar(xs, self._salts, self.m)
+        return kernels.md5_positions(xs, self._salts, self.m)
 
     def with_range(self, m: int) -> "MD5HashFamily":
         return MD5HashFamily(self.k, m, self.seed)

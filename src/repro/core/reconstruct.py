@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.bloom import BloomFilter
+from repro.core.kernels import PositionCache, reconstruct_frontier
 from repro.core.ops import OpCounter
 from repro.core.sampling import DEFAULT_EMPTY_THRESHOLD
 from repro.core.tree import TreeNode
@@ -66,6 +67,35 @@ class BSTReconstructor:
         else:
             elements = np.empty(0, dtype=np.uint64)
         return ReconstructionResult(elements, ops)
+
+    def reconstruct_many(
+        self,
+        queries: "list[BloomFilter]",
+        position_cache: PositionCache | None = None,
+    ) -> list[ReconstructionResult]:
+        """Reconstruct a batch of query filters in one pass over the tree.
+
+        Per query the recovered elements and op counts are identical to
+        calling :meth:`reconstruct` sequentially; the batched kernel
+        shares the per-node intersection popcounts (one vectorised pass
+        over the stacked query words) and hashes each surviving leaf's
+        candidates once for the whole batch instead of once per query.
+        """
+        for query in queries:
+            self.tree.check_query(query)
+        parts, ops = reconstruct_frontier(
+            self.tree, queries, self.empty_threshold,
+            exhaustive=self.exhaustive, cache=position_cache,
+        )
+        results = []
+        for query_parts, query_ops in zip(parts, ops):
+            if query_parts:
+                elements = np.concatenate(query_parts)
+                elements.sort()
+            else:
+                elements = np.empty(0, dtype=np.uint64)
+            results.append(ReconstructionResult(elements, query_ops))
+        return results
 
     def _visit(self, node: TreeNode, query: BloomFilter, ops: OpCounter,
                parts: list) -> None:

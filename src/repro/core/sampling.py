@@ -28,7 +28,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.bloom import BloomFilter
+from repro.core.kernels import PositionCache
 from repro.core.ops import OpCounter
 from repro.core.tree import TreeNode
 from repro.utils.rng import ensure_rng
@@ -104,58 +106,77 @@ class BSTSampler:
 
     # -- single sample ------------------------------------------------------
 
-    def sample(self, query: BloomFilter) -> SampleResult:
-        """Draw one (near-uniform) element of the set stored in ``query``."""
+    def sample(self, query: BloomFilter,
+               position_cache: PositionCache | None = None) -> SampleResult:
+        """Draw one (near-uniform) element of the set stored in ``query``.
+
+        ``position_cache`` shares hashed leaf candidates and node
+        popcounts across a batch of calls on the same (unmutated) tree;
+        omitted, a per-call cache still deduplicates backtracking
+        revisits.
+        """
         self.tree.check_query(query)
         ops = OpCounter()
         root = self.tree.root
         if root is None:  # pruned tree over an empty namespace
             return SampleResult(None, ops)
-        value = self._sample_node(root, query, ops)
+        cache = position_cache if position_cache is not None \
+            else PositionCache(self.tree)
+        t1 = query.bits.count_ones()
+        value = self._sample_node(root, query, ops, cache, t1)
         return SampleResult(value, ops)
 
     def _sample_node(self, node: TreeNode, query: BloomFilter,
-                     ops: OpCounter) -> int | None:
+                     ops: OpCounter, cache: PositionCache,
+                     t1: int) -> int | None:
         ops.nodes_visited += 1
         if self.tree.is_leaf(node):
-            positives = self._leaf_positives(node, query, ops)
+            positives = self._leaf_positives(node, query, ops, cache)
             if positives.size == 0:
                 return None  # reached via a (string of) false set overlaps
             return int(positives[self.rng.integers(0, positives.size)])
 
-        left_est = self._child_estimate(node.left, query, ops)
-        right_est = self._child_estimate(node.right, query, ops)
+        left_est = self._child_estimate(node.left, query, ops, cache, t1)
+        right_est = self._child_estimate(node.right, query, ops, cache, t1)
         if left_est <= 0.0 and right_est <= 0.0:
             return None
         if right_est <= 0.0:
-            return self._sample_node(node.left, query, ops)
+            return self._sample_node(node.left, query, ops, cache, t1)
         if left_est <= 0.0:
-            return self._sample_node(node.right, query, ops)
+            return self._sample_node(node.right, query, ops, cache, t1)
 
         # Both children intersect: descend proportionally, backtrack on NULL.
         go_left = self.rng.random() < left_est / (left_est + right_est)
         first, second = (
             (node.left, node.right) if go_left else (node.right, node.left)
         )
-        value = self._sample_node(first, query, ops)
+        value = self._sample_node(first, query, ops, cache, t1)
         if value is None:
             ops.backtracks += 1
-            value = self._sample_node(second, query, ops)
+            value = self._sample_node(second, query, ops, cache, t1)
         return value
 
     def _child_estimate(self, child: TreeNode | None, query: BloomFilter,
-                        ops: OpCounter) -> float:
+                        ops: OpCounter, cache: PositionCache,
+                        t1: int) -> float:
         """Thresholded intersection-size estimate; missing child = empty.
 
         Saturated node filters (upper tree levels store so much of the
         namespace that every bit is set) make the estimator return ``inf``;
         the child's range size is the natural finite cap — the true
         intersection can never exceed it.
+
+        The popcount inputs come from the batch cache (query popcount
+        computed once per sample, node popcounts once per batch); the
+        estimate itself is bit-identical to
+        :meth:`~repro.core.bloom.BloomFilter.estimate_intersection`.
         """
         if child is None:
             return 0.0
         ops.intersections += 1
-        estimate = query.estimate_intersection(child.bloom)
+        t_and = query.bits.intersection_count(child.bloom.bits)
+        estimate = kernels.intersection_estimate(
+            t1, cache.ones(child), t_and, query.m, query.k)
         if estimate < self.empty_threshold:
             if self.descent == "floored":
                 return self.empty_threshold
@@ -163,13 +184,19 @@ class BSTSampler:
         return min(estimate, float(child.range_size))
 
     def _leaf_positives(self, node: TreeNode, query: BloomFilter,
-                        ops: OpCounter) -> np.ndarray:
-        """Brute-force membership over the leaf's candidate elements."""
-        candidates = self.tree.candidate_elements(node)
+                        ops: OpCounter, cache: PositionCache) -> np.ndarray:
+        """Brute-force membership over the leaf's candidates.
+
+        The candidates' hashed positions come from the shared cache, so a
+        batch of queries (or a backtracking revisit) pays the hashing pass
+        once and each query only tests bits.
+        """
+        candidates = cache.candidates(node)
         ops.memberships += int(candidates.size)
         if candidates.size == 0:
             return candidates
-        return candidates[query.contains_many(candidates)]
+        hits = kernels.membership(query.bits.words, cache.positions(node))
+        return candidates[hits]
 
     # -- one-pass multi-sample ----------------------------------------------------
 
@@ -178,6 +205,7 @@ class BSTSampler:
         query: BloomFilter,
         r: int,
         replacement: bool = True,
+        position_cache: PositionCache | None = None,
     ) -> MultiSampleResult:
         """Send ``r`` independent sample paths down the tree in one pass.
 
@@ -187,6 +215,9 @@ class BSTSampler:
         With ``replacement=False`` a leaf serves each positive at most once
         (leaves cover disjoint ranges, so cross-leaf duplicates cannot
         occur).
+
+        ``position_cache`` shares the leaf-hashing work across a batch of
+        query filters (see :meth:`repro.api.BloomDB.sample_many`).
         """
         if r <= 0:
             raise ValueError("r must be positive")
@@ -195,10 +226,14 @@ class BSTSampler:
         root = self.tree.root
         if root is None:
             return MultiSampleResult([], r, ops)
+        cache = position_cache if position_cache is not None \
+            else PositionCache(self.tree)
+        t1 = query.bits.count_ones()
         # Per-leaf positive cache so repeated visits (backtracking, many
         # paths) pay brute force once and can honour no-replacement.
         leaf_cache: dict[int, _LeafServer] = {}
-        values = self._multi_node(root, query, r, replacement, leaf_cache, ops)
+        values = self._multi_node(root, query, r, replacement, leaf_cache,
+                                  ops, cache, t1)
         return MultiSampleResult(values, r, ops)
 
     def _multi_node(
@@ -209,6 +244,8 @@ class BSTSampler:
         replacement: bool,
         leaf_cache: dict,
         ops: OpCounter,
+        cache: PositionCache,
+        t1: int,
     ) -> list[int]:
         if count <= 0:
             return []
@@ -216,39 +253,40 @@ class BSTSampler:
         if self.tree.is_leaf(node):
             server = leaf_cache.get(id(node))
             if server is None:
-                positives = self._leaf_positives(node, query, ops)
+                positives = self._leaf_positives(node, query, ops, cache)
                 server = _LeafServer(positives, self.rng)
                 leaf_cache[id(node)] = server
             return server.serve(count, replacement)
 
-        left_est = self._child_estimate(node.left, query, ops)
-        right_est = self._child_estimate(node.right, query, ops)
+        left_est = self._child_estimate(node.left, query, ops, cache, t1)
+        right_est = self._child_estimate(node.right, query, ops, cache, t1)
         if left_est <= 0.0 and right_est <= 0.0:
             return []
         if right_est <= 0.0:
             return self._multi_node(node.left, query, count, replacement,
-                                    leaf_cache, ops)
+                                    leaf_cache, ops, cache, t1)
         if left_est <= 0.0:
             return self._multi_node(node.right, query, count, replacement,
-                                    leaf_cache, ops)
+                                    leaf_cache, ops, cache, t1)
 
         p_left = left_est / (left_est + right_est)
         n_left = int(self.rng.binomial(count, p_left))
         got_left = self._multi_node(node.left, query, n_left, replacement,
-                                    leaf_cache, ops)
+                                    leaf_cache, ops, cache, t1)
         if len(got_left) < n_left:
             ops.backtracks += 1
         # Unmet left demand reroutes to the right alongside its own share.
         want_right = count - len(got_left)
         got_right = self._multi_node(node.right, query, want_right,
-                                     replacement, leaf_cache, ops)
+                                     replacement, leaf_cache, ops, cache, t1)
         deficit = count - len(got_left) - len(got_right)
         if deficit > 0 and len(got_left) == n_left and n_left > 0:
             # The right fell short; give the (previously productive) left
             # one more chance — mirrors single-path sibling backtracking.
             ops.backtracks += 1
             got_left += self._multi_node(node.left, query, deficit,
-                                         replacement, leaf_cache, ops)
+                                         replacement, leaf_cache, ops,
+                                         cache, t1)
         return got_left + got_right
 
 

@@ -133,10 +133,17 @@ class FilterStore:
         self._require_tree()
         return self._sampler.sample(self._get(name))
 
-    def sample_many(self, name: str, r: int, replacement: bool = True):
-        """One-pass multi-sample from a named set."""
+    def sample_many(self, name: str, r: int, replacement: bool = True,
+                    position_cache=None):
+        """One-pass multi-sample from a named set.
+
+        ``position_cache`` (a :class:`~repro.core.kernels.PositionCache`)
+        lets a batch of calls over different sets share the leaf-hashing
+        work — see :meth:`repro.api.BloomDB.sample_many`.
+        """
         self._require_tree()
-        return self._sampler.sample_many(self._get(name), r, replacement)
+        return self._sampler.sample_many(self._get(name), r, replacement,
+                                         position_cache=position_cache)
 
     def reconstruct(self, name: str,
                     exhaustive: bool = False) -> ReconstructionResult:
@@ -146,6 +153,22 @@ class FilterStore:
             return BSTReconstructor(self.tree, exhaustive=True).reconstruct(
                 self._get(name))
         return self._reconstructor.reconstruct(self._get(name))
+
+    def reconstruct_many(self, names: Iterable[str],
+                         exhaustive: bool = False,
+                         ) -> list[ReconstructionResult]:
+        """Reconstruct several named sets in one pass over the tree.
+
+        Per set the result is identical to calling :meth:`reconstruct`
+        sequentially; the batched kernel shares the per-node intersection
+        popcounts and each leaf's candidate hashing across the batch.
+        """
+        self._require_tree()
+        queries = [self._get(name) for name in names]
+        if exhaustive:
+            return BSTReconstructor(
+                self.tree, exhaustive=True).reconstruct_many(queries)
+        return self._reconstructor.reconstruct_many(queries)
 
     def union_filter(self, names: Iterable[str]) -> BloomFilter:
         """Exact filter of the union of named sets (Section 3.1)."""

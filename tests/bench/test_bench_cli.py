@@ -1,0 +1,237 @@
+"""Tests for the ``repro bench`` CLI and the repro.bench harness.
+
+Covers the satellite checklist: a smoke run on a tiny scenario, a
+cache-hit on the second invocation, and schema validity of the emitted
+``BENCH_*.json`` files.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import (
+    BENCH_FILES,
+    SCHEMA_VERSION,
+    SCENARIOS,
+    BenchRunner,
+    validate_payload,
+)
+from repro.bench.scenarios import Scenario
+from repro.bench.runner import _fingerprint
+
+#: A scenario small enough for unit tests (sub-second end to end).
+TINY = Scenario(
+    name="tiny_smoke",
+    kind="sampling",
+    title="tiny smoke scenario (tests only)",
+    maps_to="n/a",
+    quick=dict(namespace=2_000, set_size=50, num_sets=2, family="murmur3",
+               tree="static", accuracy=0.9, seed=1, workload_seed=2,
+               queries=200, loop_queries=40, scalar_loop_queries=20),
+    full=dict(namespace=4_000, set_size=100, num_sets=2, family="murmur3",
+              tree="static", accuracy=0.9, seed=1, workload_seed=2,
+              queries=400, loop_queries=80, scalar_loop_queries=40),
+)
+
+TINY_RECON = Scenario(
+    name="tiny_recon",
+    kind="reconstruction",
+    title="tiny reconstruction scenario (tests only)",
+    maps_to="n/a",
+    quick=dict(namespace=2_000, set_size=50, num_sets=2, family="murmur3",
+               tree="static", accuracy=0.9, seed=1, workload_seed=2,
+               repeats=1, scalar_repeats=1, scalar_sets=1),
+    full=dict(namespace=4_000, set_size=100, num_sets=3, family="murmur3",
+              tree="static", accuracy=0.9, seed=1, workload_seed=2,
+              repeats=1, scalar_repeats=1, scalar_sets=1),
+)
+
+
+@pytest.fixture()
+def tiny_registry(monkeypatch):
+    """Swap the scenario registry for the two tiny test scenarios."""
+    registry = {TINY.name: TINY, TINY_RECON.name: TINY_RECON}
+    monkeypatch.setattr("repro.bench.runner.SCENARIOS", registry)
+    monkeypatch.setattr("repro.bench.scenarios.SCENARIOS", registry)
+    return registry
+
+
+class TestBenchRunner:
+    def test_smoke_emits_both_files(self, tiny_registry, tmp_path):
+        runner = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True)
+        payloads = runner.run()
+        assert set(payloads) == {"sampling", "reconstruction"}
+        for kind, filename in BENCH_FILES.items():
+            path = tmp_path / filename
+            assert path.exists(), filename
+            payload = json.loads(path.read_text())
+            assert validate_payload(payload) == []
+            assert payload["schema"] == SCHEMA_VERSION
+            assert payload["mode"] == "quick"
+
+    def test_second_run_hits_cache(self, tiny_registry, tmp_path):
+        runner = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True)
+        first = runner.run()
+        assert not any(
+            entry["cached"]
+            for payload in first.values()
+            for entry in payload["scenarios"].values()
+        )
+        second = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True).run()
+        assert all(
+            entry["cached"]
+            for payload in second.values()
+            for entry in payload["scenarios"].values()
+        )
+        # Cached results carry the same measurements.
+        for kind in first:
+            for name in first[kind]["scenarios"]:
+                assert (first[kind]["scenarios"][name]["result"]
+                        == second[kind]["scenarios"][name]["result"])
+
+    def test_force_reruns(self, tiny_registry, tmp_path):
+        BenchRunner(cache_dir=tmp_path / "cache", output_dir=tmp_path,
+                    quick=True).run()
+        forced = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True,
+                             force=True).run()
+        assert not any(
+            entry["cached"]
+            for payload in forced.values()
+            for entry in payload["scenarios"].values()
+        )
+
+    def test_parameter_edit_invalidates_cache(self, tiny_registry, tmp_path,
+                                              monkeypatch):
+        runner = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True)
+        runner.run(["tiny_smoke"])
+        edited = Scenario(
+            name=TINY.name, kind=TINY.kind, title=TINY.title,
+            maps_to=TINY.maps_to,
+            quick=dict(TINY.quick, queries=300), full=TINY.full,
+        )
+        tiny_registry[TINY.name] = edited
+        entry = BenchRunner(cache_dir=tmp_path / "cache",
+                            output_dir=tmp_path,
+                            quick=True).run(["tiny_smoke"])
+        assert not entry["sampling"]["scenarios"]["tiny_smoke"]["cached"]
+
+    def test_unknown_scenario_raises(self, tiny_registry, tmp_path):
+        runner = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True)
+        with pytest.raises(ValueError, match="unknown benchmark scenario"):
+            runner.run(["no_such_scenario"])
+
+    def test_quick_and_full_cache_separately(self, tiny_registry, tmp_path):
+        quick = BenchRunner(cache_dir=tmp_path / "cache",
+                            output_dir=tmp_path, quick=True)
+        quick.run(["tiny_smoke"])
+        full = BenchRunner(cache_dir=tmp_path / "cache",
+                           output_dir=tmp_path, quick=False)
+        entry = full.run(["tiny_smoke"])
+        assert not entry["sampling"]["scenarios"]["tiny_smoke"]["cached"]
+
+    def test_result_fields(self, tiny_registry, tmp_path):
+        payloads = BenchRunner(cache_dir=tmp_path / "cache",
+                               output_dir=tmp_path, quick=True).run()
+        sampling = payloads["sampling"]["scenarios"]["tiny_smoke"]["result"]
+        assert sampling["queries"] == 200
+        assert sampling["batch"]["per_query_us"] > 0
+        assert "speedup_batch_vs_scalar_loop" in sampling
+        recon = (payloads["reconstruction"]["scenarios"]["tiny_recon"]
+                 ["result"])
+        assert recon["identical_to_sequential"] is True
+        assert recon["batch"]["recovered"] > 0
+
+
+class TestBenchCLI:
+    def test_smoke_run_writes_files(self, tiny_registry, tmp_path, capsys):
+        rc = main(["bench", "--quick",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--output-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tiny_smoke" in out
+        assert "BENCH_sampling.json" in out
+        for filename in BENCH_FILES.values():
+            assert (tmp_path / filename).exists()
+
+    def test_cache_hit_reported(self, tiny_registry, tmp_path, capsys):
+        args = ["bench", "--quick", "--scenario", "tiny_smoke",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output-dir", str(tmp_path)]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        assert "cached" in capsys.readouterr().out
+
+    def test_scenario_filter_writes_only_that_kind(self, tiny_registry,
+                                                   tmp_path):
+        main(["bench", "--quick", "--scenario", "tiny_recon",
+              "--cache-dir", str(tmp_path / "cache"),
+              "--output-dir", str(tmp_path)])
+        assert (tmp_path / BENCH_FILES["reconstruction"]).exists()
+        assert not (tmp_path / BENCH_FILES["sampling"]).exists()
+
+    def test_list_prints_registry(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario_exits_with_error(self, tiny_registry,
+                                               tmp_path):
+        with pytest.raises(SystemExit, match="unknown benchmark scenario"):
+            main(["bench", "--quick", "--scenario", "nope",
+                  "--cache-dir", str(tmp_path / "cache"),
+                  "--output-dir", str(tmp_path)])
+
+
+class TestSchemaValidation:
+    def test_rejects_non_dict(self):
+        assert validate_payload([]) == ["payload is not an object"]
+
+    def test_rejects_wrong_schema_and_kind(self):
+        errors = validate_payload(
+            {"schema": 99, "kind": "nope", "mode": "quick",
+             "scenarios": {"x": {}}})
+        assert any("schema" in e for e in errors)
+        assert any("kind" in e for e in errors)
+
+    def test_rejects_missing_entry_fields(self):
+        payload = {
+            "schema": SCHEMA_VERSION, "kind": "sampling", "mode": "quick",
+            "scenarios": {"x": {"result": {}, "cached": False}},
+        }
+        errors = validate_payload(payload)
+        assert any("fingerprint" in e for e in errors)
+
+    def test_fingerprint_changes_with_params(self):
+        edited = Scenario(
+            name=TINY.name, kind=TINY.kind, title=TINY.title,
+            maps_to=TINY.maps_to,
+            quick=dict(TINY.quick, queries=999), full=TINY.full,
+        )
+        assert (_fingerprint(TINY, True) != _fingerprint(edited, True))
+        assert (_fingerprint(TINY, True) != _fingerprint(TINY, False))
+
+
+class TestRegisteredScenarios:
+    def test_registry_is_well_formed(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.kind in BENCH_FILES
+            # Params must be JSON-able (they are fingerprinted).
+            json.dumps(scenario.quick)
+            json.dumps(scenario.full)
+
+    def test_acceptance_scenario_present(self):
+        """The 10k-query scenario the acceptance criteria point at."""
+        scenario = SCENARIOS["sampling_10k"]
+        assert scenario.quick["queries"] == 10_000
+        assert scenario.full["queries"] == 10_000

@@ -1,0 +1,177 @@
+"""Unit tests for the vectorized kernels (repro.core.kernels)."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import create_family
+from repro.core.tree import BloomSampleTree
+
+
+class TestMD5Kernel:
+    def test_matches_hashlib_first_word(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 1 << 64, size=300, dtype=np.uint64)
+        salt = (9 + (1 << 8)).to_bytes(8, "little")
+        got = kernels.md5_first_word(xs, salt)
+        expected = np.array([
+            int.from_bytes(
+                hashlib.md5(salt + int(x).to_bytes(8, "little")).digest()[:4],
+                "little")
+            for x in xs
+        ], dtype=np.uint32)
+        assert np.array_equal(got, expected)
+
+    def test_positions_vectorized_equals_scalar(self):
+        salts = [(3 + (i << 8)).to_bytes(8, "little") for i in range(4)]
+        # Straddle the vector/scalar cutover in both directions.
+        for n in (5, kernels._MD5_VECTOR_MIN + 7):
+            xs = np.arange(n, dtype=np.uint64) * np.uint64(2654435761)
+            vec = kernels.md5_positions(xs, salts, 997)
+            scal = kernels.md5_positions_scalar(xs, salts, 997)
+            assert np.array_equal(vec, scal)
+
+    def test_rejects_bad_salt_length(self):
+        with pytest.raises(ValueError):
+            kernels.md5_first_word(np.arange(3, dtype=np.uint64), b"short")
+
+
+class TestSimpleKernel:
+    def test_mulmod_shift_add_exact(self):
+        p = (1 << 62) + 135
+        rng = np.random.default_rng(1)
+        xs = rng.integers(0, p, size=200, dtype=np.uint64)
+        for a in (1, 3, 12345678901234567, p - 1):
+            got = kernels._mulmod_shift_add(a, xs, p)
+            expected = np.array([(a * int(x)) % p for x in xs],
+                                dtype=np.uint64)
+            assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("p", [
+        101,                # small-prime uint64 regime
+        (1 << 32) + 15,     # shift-and-add mulmod regime
+        (1 << 63) + 29,     # object-dtype (Python int) regime
+    ])
+    def test_all_regimes_match_scalar(self, p):
+        rng = np.random.default_rng(2)
+        a = np.array([5, p - 2, 123], dtype=object)
+        b = np.array([0, 17, p - 1], dtype=object)
+        xs = rng.integers(0, min(p, 1 << 63), size=200, dtype=np.uint64)
+        got = kernels.simple_positions(xs, a, b, p, 97)
+        expected = kernels.simple_positions_scalar(xs, a, b, p, 97)
+        assert np.array_equal(got, expected)
+
+
+class TestMurmur3Kernel:
+    def test_vectorized_equals_scalar_loop(self):
+        seeds = np.array([0, 1, 0xDEADBEEF], dtype=np.uint64)
+        xs = np.arange(100, dtype=np.uint64) * np.uint64(97)
+        vec = kernels.murmur3_positions(xs, seeds, 4096)
+        scal = kernels.murmur3_positions_scalar(xs, seeds, 4096)
+        assert np.array_equal(vec, scal)
+
+
+class TestKernelMode:
+    def test_default_is_vectorized(self):
+        assert kernels.kernel_mode() == kernels.VECTORIZED
+
+    def test_context_manager_restores(self):
+        with kernels.scalar_kernels():
+            assert kernels.kernel_mode() == kernels.SCALAR
+            with kernels.scalar_kernels():
+                assert kernels.kernel_mode() == kernels.SCALAR
+            assert kernels.kernel_mode() == kernels.SCALAR
+        assert kernels.kernel_mode() == kernels.VECTORIZED
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with kernels.scalar_kernels():
+                raise RuntimeError("boom")
+        assert kernels.kernel_mode() == kernels.VECTORIZED
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            kernels.set_kernel_mode("simd")
+
+
+class TestMembershipKernels:
+    @pytest.fixture()
+    def family(self):
+        return create_family("murmur3", 3, 2048, seed=5)
+
+    def test_membership_matches_contains_many(self, family):
+        items = np.arange(0, 100, 3, dtype=np.uint64)
+        bloom = BloomFilter.from_items(items, family)
+        candidates = np.arange(120, dtype=np.uint64)
+        positions = family.positions_many(candidates)
+        got = kernels.membership(bloom.bits.words, positions)
+        assert np.array_equal(got, bloom.contains_many(candidates))
+
+    def test_membership_many_rows_match_per_filter(self, family):
+        rng = np.random.default_rng(3)
+        blooms = [
+            BloomFilter.from_items(
+                rng.choice(500, size=40, replace=False).astype(np.uint64),
+                family)
+            for _ in range(5)
+        ]
+        candidates = np.arange(500, dtype=np.uint64)
+        positions = family.positions_many(candidates)
+        stack = np.stack([bloom.bits.words for bloom in blooms])
+        matrix = kernels.membership_many(stack, positions)
+        assert matrix.shape == (5, 500)
+        for row, bloom in zip(matrix, blooms):
+            assert np.array_equal(row, bloom.contains_many(candidates))
+
+    def test_empty_candidates(self, family):
+        bloom = BloomFilter(family)
+        empty = np.empty((0, family.k), dtype=np.uint64)
+        assert kernels.membership(bloom.bits.words, empty).shape == (0,)
+        stack = bloom.bits.words[None, :]
+        assert kernels.membership_many(stack, empty).shape == (1, 0)
+
+    def test_intersection_counts(self, family):
+        rng = np.random.default_rng(4)
+        other = BloomFilter.from_items(
+            rng.choice(500, size=60, replace=False).astype(np.uint64), family)
+        blooms = [
+            BloomFilter.from_items(
+                rng.choice(500, size=30, replace=False).astype(np.uint64),
+                family)
+            for _ in range(4)
+        ]
+        stack = np.stack([bloom.bits.words for bloom in blooms])
+        counts = kernels.intersection_counts(stack, other.bits.words)
+        expected = [bloom.bits.intersection_count(other.bits)
+                    for bloom in blooms]
+        assert counts.tolist() == expected
+
+
+class TestPositionCache:
+    def test_positions_computed_once_per_node(self, monkeypatch):
+        family = create_family("murmur3", 3, 2048, seed=1)
+        tree = BloomSampleTree.build(256, 3, family)
+        cache = kernels.PositionCache(tree)
+        calls = {"n": 0}
+        original = family.positions_many
+
+        def counting(xs):
+            calls["n"] += 1
+            return original(xs)
+
+        monkeypatch.setattr(family, "positions_many", counting)
+        leaf = next(iter(tree.leaves()))
+        first = cache.positions(leaf)
+        second = cache.positions(leaf)
+        assert first is second
+        assert calls["n"] == 1
+
+    def test_ones_matches_filter_popcount(self):
+        family = create_family("murmur3", 3, 2048, seed=1)
+        tree = BloomSampleTree.build(256, 3, family)
+        cache = kernels.PositionCache(tree)
+        for node in tree.iter_nodes():
+            assert cache.ones(node) == node.bloom.count_ones()

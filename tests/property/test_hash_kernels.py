@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the hash-family kernels.
+
+Three families of properties:
+
+* batch/scalar consistency — for every family, ``positions_many`` under
+  the vectorized kernels equals both the legacy scalar kernels and the
+  one-element ``positions`` path, element for element;
+* invert -> hash round trips — ``SimpleHashFamily.invert`` returns
+  exactly the preimage of a bit position (soundness and completeness);
+* overflow boundaries — the large-prime regimes of the Simple family
+  (``p`` at and beyond ``2^32`` / ``2^63``, where naive ``uint64``
+  products overflow) agree with exact Python-int arithmetic.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.hashing import SimpleHashFamily, create_family
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+M_BITS = 1_024
+NAMESPACE = 600
+
+families = st.sampled_from(["simple", "murmur3", "md5"])
+seeds = st.integers(0, 2**16)
+
+
+def _family(name: str, seed: int, namespace: int = NAMESPACE):
+    return create_family(name, 3, M_BITS, namespace_size=namespace,
+                         seed=seed)
+
+
+class TestBatchScalarConsistency:
+    @COMMON
+    @given(name=families, seed=seeds,
+           xs=st.lists(st.integers(0, NAMESPACE - 1), min_size=1,
+                       max_size=40))
+    def test_vectorized_equals_scalar_kernels(self, name, seed, xs):
+        family = _family(name, seed)
+        batch = np.asarray(xs, dtype=np.uint64)
+        vectorized = family.positions_many(batch)
+        with kernels.scalar_kernels():
+            scalar = family.positions_many(batch)
+        assert np.array_equal(vectorized, scalar)
+
+    @COMMON
+    @given(name=families, seed=seeds, x=st.integers(0, NAMESPACE - 1))
+    def test_single_equals_batch_row(self, name, seed, x):
+        family = _family(name, seed)
+        batch = family.positions_many(
+            np.asarray([x, x, x], dtype=np.uint64))
+        single = family.positions(x)
+        assert np.array_equal(batch[0], single)
+        assert np.array_equal(batch[1], single)
+        assert (single < M_BITS).all()
+
+
+class TestSimpleInvertRoundTrip:
+    @COMMON
+    @given(seed=seeds, func_index=st.integers(0, 2),
+           x=st.integers(0, NAMESPACE - 1))
+    def test_hash_then_invert_contains_x(self, seed, func_index, x):
+        family = SimpleHashFamily(3, M_BITS, NAMESPACE, seed=seed)
+        position = int(family.positions(x)[func_index])
+        preimage = family.invert(func_index, position, NAMESPACE)
+        assert x in preimage.tolist()
+
+    @COMMON
+    @given(seed=seeds, func_index=st.integers(0, 2),
+           position=st.integers(0, M_BITS - 1))
+    def test_invert_is_exact_preimage(self, seed, func_index, position):
+        family = SimpleHashFamily(3, M_BITS, NAMESPACE, seed=seed)
+        preimage = set(
+            family.invert(func_index, position, NAMESPACE).tolist())
+        all_xs = np.arange(NAMESPACE, dtype=np.uint64)
+        hashed = family.positions_many(all_xs)[:, func_index]
+        brute = set(np.flatnonzero(hashed == position).tolist())
+        assert preimage == brute  # sound AND complete
+
+
+class TestOverflowBoundaries:
+    """The uint64-overflow regimes of the Simple family's prime modulus."""
+
+    @COMMON
+    @given(offset=st.integers(-3, 3), seed=st.integers(0, 2**8),
+           xs=st.lists(st.integers(0, 2**40), min_size=1, max_size=12))
+    def test_near_2_32_boundary(self, offset, seed, xs):
+        namespace = (1 << 32) + offset * 7
+        family = SimpleHashFamily(2, M_BITS, namespace, seed=seed)
+        batch = np.asarray(xs, dtype=np.uint64)
+        got = family.positions_many(batch)
+        expected = kernels.simple_positions_scalar(
+            batch, family._a, family._b, family.p, family.m)
+        assert np.array_equal(got, expected)
+
+    @COMMON
+    @given(seed=st.integers(0, 2**8),
+           xs=st.lists(st.integers(0, 2**62), min_size=1, max_size=8))
+    def test_beyond_2_62_namespace(self, seed, xs):
+        family = SimpleHashFamily(2, M_BITS, (1 << 62) + 11, seed=seed)
+        assert family.p >= (1 << 62)
+        batch = np.asarray(xs, dtype=np.uint64)
+        got = family.positions_many(batch)
+        expected = np.empty_like(got)
+        for j, x in enumerate(batch.tolist()):
+            for i in range(family.k):
+                expected[j, i] = ((int(family._a[i]) * x
+                                   + int(family._b[i]))
+                                  % family.p) % family.m
+        assert np.array_equal(got, expected)
+
+    def test_mulmod_maximal_operands(self):
+        """Largest mulmod regime operands: no silent uint64 wraparound."""
+        p = (1 << 63) - 25  # 2^63 - 25 is prime; the regime's ceiling
+        xs = np.array([p - 1, p - 2, 1, 0], dtype=np.uint64)
+        got = kernels._mulmod_shift_add(p - 1, xs, p)
+        expected = np.array([((p - 1) * int(x)) % p for x in xs],
+                            dtype=np.uint64)
+        assert np.array_equal(got, expected)
