@@ -52,6 +52,7 @@ from repro.api import (
     BatchReport,
     BloomDB,
     EngineConfig,
+    SampleSpec,
 )
 from repro.baselines import DictionaryAttack, HashInvert, reservoir_sample
 from repro.core import (
@@ -103,7 +104,7 @@ from repro.workloads import (
     uniform_query_set,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BSTReconstructor",
@@ -132,6 +133,7 @@ __all__ = [
     "PrunedBloomSampleTree",
     "ReconstructionResult",
     "SampleResult",
+    "SampleSpec",
     "SimpleHashFamily",
     "SyntheticTwitterDataset",
     "Timer",

@@ -27,7 +27,16 @@ Commands
 ``bench``
     Run the benchmark harness (:mod:`repro.bench`): cached, scenario-based
     timing of the vectorized sampling/reconstruction kernels, emitting
-    ``BENCH_sampling.json`` and ``BENCH_reconstruction.json``.
+    ``BENCH_sampling.json``, ``BENCH_reconstruction.json`` and
+    ``BENCH_serving.json`` (plus a ``BENCH_history.json`` trajectory
+    entry per run).
+
+``serve``
+    Boot the serving subsystem (:mod:`repro.service`): a sharded engine
+    pool behind a micro-batching scheduler, exposed over a stdlib
+    HTTP/JSON endpoint.  ``--smoke`` boots on a free port, fires a mixed
+    request load through the in-process client and exits non-zero on any
+    error — the CI liveness check.
 
 All engine-backed commands take ``--tree static|pruned|dynamic`` and
 ``--family simple|murmur3|md5`` — the variant is purely a config choice.
@@ -232,14 +241,134 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             line = f"  {name:26s} {status}"
             result = entry["result"]
             for key in ("speedup_batch_vs_scalar_loop",
-                        "speedup_batch_vs_vector_loop"):
+                        "speedup_batch_vs_vector_loop",
+                        "speedup_coalesced_vs_naive"):
                 if key in result:
-                    against = key.removeprefix("speedup_batch_vs_")
-                    line += f"  batch {result[key]}x vs {against}"
+                    what, against = key.removeprefix("speedup_").split("_vs_")
+                    line += f"  {what} {result[key]}x vs {against}"
                     break
             print(line)
         path = runner.output_dir / BENCH_FILES[kind]
         print(f"  -> {path}")
+    print(f"  history -> {runner.output_dir / 'BENCH_history.json'}")
+    return 0
+
+
+def _build_service(args):
+    """Construct the BloomService the ``serve`` command runs.
+
+    ``--db`` re-shards a saved engine; otherwise an ephemeral engine is
+    built with ``--num-sets`` synthetic sets (named ``set00``, ...).
+    """
+    from repro.api import BloomDB
+    from repro.service import BloomService, ServiceConfig
+    from repro.workloads.generators import uniform_query_set
+
+    config = ServiceConfig(
+        shards=args.shards,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_depth=args.queue_depth,
+    )
+    if args.db is not None:
+        _warn_ignored_build_args(args)
+        service = BloomService.from_engine(BloomDB.load(args.db), config)
+        if not service.names():
+            raise SystemExit(f"engine at {args.db} holds no sets")
+        return service
+    service = BloomService.plan(
+        namespace_size=args.namespace,
+        shards=config.shards,
+        max_batch=config.max_batch,
+        max_delay_ms=config.max_delay_ms,
+        queue_depth=config.queue_depth,
+        accuracy=args.accuracy,
+        set_size=args.set_size,
+        family=args.family,
+        tree=args.tree,
+        seed=args.seed,
+    )
+    for i in range(args.num_sets):
+        ids = uniform_query_set(args.namespace, args.set_size,
+                                rng=args.seed + i)
+        service.add_set(f"set{i:02d}", ids)
+    return service
+
+
+def _run_smoke(service, args) -> int:
+    """Boot on a free port, fire a mixed load, fail on any error."""
+    import random
+    import threading
+
+    from repro.service import HTTPServiceClient, ReproServer, ServiceClient
+
+    with ReproServer(service, host=args.host, port=0) as server:
+        print(f"smoke: serving on {server.url} "
+              f"({service.pool.num_shards} shards)")
+        client = ServiceClient(service)
+        names = service.names()
+        # The op mix is pre-drawn so worker threads never share the RNG.
+        plan = [random.Random(args.seed + i).random()
+                for i in range(args.requests)]
+        failures = []
+
+        def one_request(i: int) -> None:
+            name = names[i % len(names)]
+            roll = plan[i]
+            try:
+                if roll < 0.70:
+                    client.sample(name, r=1 + i % 8, seed=i)
+                elif roll < 0.90:
+                    client.contains(name, i % args.namespace)
+                elif roll < 0.98:
+                    client.reconstruct(name)
+                else:
+                    client.sample_union([name, names[(i + 1) % len(names)]],
+                                        seed=i)
+            except Exception as exc:  # noqa: BLE001 - smoke must report all
+                failures.append(f"request {i}: {type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=one_request, args=(i,))
+                   for i in range(args.requests)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        stats = HTTPServiceClient(server.url).stats()
+        counters = stats["counters"]
+        served = counters.get("served_total", 0)
+        errors = counters.get("errors_total", 0)
+        batch = stats["histograms"].get("batch_size", {})
+        print(f"smoke: {served} served, {errors} errors, "
+              f"mean batch {batch.get('mean')}, "
+              f"max batch {batch.get('max')}")
+        for line in failures[:5]:
+            print(f"smoke failure: {line}", file=sys.stderr)
+        if failures or errors or served < args.requests:
+            print("smoke: FAILED", file=sys.stderr)
+            return 1
+        if not counters or not stats["histograms"]:
+            print("smoke: FAILED (empty /stats)", file=sys.stderr)
+            return 1
+        print("smoke: OK")
+        return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReproServer
+
+    service = _build_service(args)
+    if args.smoke:
+        return _run_smoke(service, args)
+    server = ReproServer(service, host=args.host, port=args.port)
+    print(f"serving {len(service.names())} sets on {server.url} "
+          f"({service.pool.num_shards} shards, "
+          f"max_batch={service.config.max_batch}, "
+          f"max_delay_ms={service.config.max_delay_ms})")
+    print("endpoints: GET /healthz /stats; POST /sample /reconstruct "
+          "/contains /sample-union /sample-intersection /add-set")
+    server.serve_forever()
     return 0
 
 
@@ -315,6 +444,45 @@ def build_parser() -> argparse.ArgumentParser:
     reconstruct.add_argument("--exhaustive", action="store_true",
                              help="disable estimator pruning (exact recall)")
     reconstruct.set_defaults(func=_cmd_reconstruct)
+
+    serve = sub.add_parser(
+        "serve", help="serve sampling/reconstruction over HTTP "
+                      "(sharded pool + micro-batching scheduler)")
+    from repro.api.config import backends_available, families_available
+    defaults = _BUILD_ARG_DEFAULTS
+    serve.add_argument("--db", default=None,
+                       help="saved engine directory to re-shard and serve")
+    serve.add_argument("--namespace", "-M", type=int,
+                       default=defaults["namespace"])
+    serve.add_argument("--set-size", "-n", type=int,
+                       default=defaults["set_size"])
+    serve.add_argument("--accuracy", "-a", type=float,
+                       default=defaults["accuracy"])
+    serve.add_argument("--tree", choices=backends_available(),
+                       default=defaults["tree"])
+    serve.add_argument("--family", choices=families_available(),
+                       default=defaults["family"])
+    serve.add_argument("--seed", type=int, default=defaults["seed"])
+    serve.add_argument("--num-sets", type=int, default=8,
+                       help="synthetic sets for ephemeral engines "
+                            "(default: 8)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="engine shards / worker threads (default: 4)")
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="dispatch when this many requests coalesce")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="max wait for a batch to fill (default: 2ms)")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="per-shard admission-control bound")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8650,
+                       help="HTTP port (0 picks a free one)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="boot on a free port, fire --requests mixed "
+                            "requests, exit non-zero on any error")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="smoke-mode request count (default: 200)")
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench", help="run the cached benchmark harness (repro.bench)")

@@ -19,7 +19,7 @@ registry; batched entry points (:meth:`BloomDB.sample_many`,
 merged :class:`~repro.core.ops.OpCounter` per batch.
 """
 
-from repro.api.batch import BatchReport
+from repro.api.batch import BatchReport, SampleSpec
 from repro.api.config import DEFAULT_SET_SIZE, EngineConfig
 from repro.api.engine import BackendCapabilityError, BloomDB
 
@@ -29,4 +29,5 @@ __all__ = [
     "BloomDB",
     "DEFAULT_SET_SIZE",
     "EngineConfig",
+    "SampleSpec",
 ]

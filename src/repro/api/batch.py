@@ -18,6 +18,36 @@ from repro.core.reconstruct import ReconstructionResult
 from repro.core.sampling import MultiSampleResult
 
 
+@dataclass(frozen=True)
+class SampleSpec:
+    """One fully-specified sampling request inside a batch.
+
+    :meth:`repro.api.BloomDB.sample_many` accepts a sequence of these in
+    place of a name list / rounds mapping.  The extra knob over those
+    forms is ``seed``: a non-``None`` seed makes the request's draws come
+    from its *own* random stream (derived only from the seed), so the
+    result is a pure function of (engine, spec) — independent of batch
+    composition, request ordering, and whatever else shares the engine's
+    default stream.  That independence is what lets the serving layer's
+    micro-batching scheduler coalesce concurrent requests while staying
+    bit-identical to direct calls (see :mod:`repro.service`).
+
+    ``key`` names the request inside the :class:`BatchReport` (default:
+    ``"<index>:<name>"``); :meth:`BatchReport.ordered` returns results in
+    request order regardless.
+    """
+
+    name: str
+    rounds: int = 1
+    replacement: bool = True
+    seed: int | None = None
+    key: str | None = None
+
+    def __post_init__(self):
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+
+
 @dataclass
 class BatchReport:
     """Outcome of one batched engine call.
@@ -51,6 +81,10 @@ class BatchReport:
 
     def __len__(self) -> int:
         return len(self.results)
+
+    def ordered(self) -> list:
+        """Per-request results in submission order (dicts preserve it)."""
+        return list(self.results.values())
 
     @property
     def values(self) -> dict[str, list[int]]:

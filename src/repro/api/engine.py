@@ -26,7 +26,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.api.batch import BatchReport
+from repro.api.batch import BatchReport, SampleSpec
 from repro.api.config import EngineConfig
 from repro.core.backend import (
     BackendSpec,
@@ -264,29 +264,35 @@ class BloomDB:
 
     def sample_many(
         self,
-        names: "Iterable[str] | Mapping[str, int] | None" = None,
+        names: "Iterable[str | SampleSpec] | Mapping[str, int] | None" = None,
         r: int = 8,
         replacement: bool = True,
     ) -> BatchReport:
         """Batched sampling across stored sets in one call.
 
         ``names`` may be a list of set names (each sampled ``r`` times), a
-        mapping ``{name: rounds}`` for per-set demand, or ``None`` for
-        every stored set.  Each set's rounds ride down the tree together
-        via the one-pass multi-sample machinery, so shared-prefix node
-        visits and intersections are paid once per set rather than once
-        per round; the returned :class:`~repro.api.batch.BatchReport`
-        carries every per-set result plus one merged op tally.
+        mapping ``{name: rounds}`` for per-set demand, ``None`` for every
+        stored set, or a sequence of
+        :class:`~repro.api.batch.SampleSpec` objects for full per-request
+        control (rounds, replacement and — crucially for the serving
+        layer — a per-request ``seed`` that makes the request's result
+        independent of batch composition).  Each request's rounds ride
+        down the tree together via the one-pass multi-sample machinery,
+        so shared-prefix node visits and intersections are paid once per
+        set rather than once per round; the returned
+        :class:`~repro.api.batch.BatchReport` carries every per-request
+        result plus one merged op tally.
         """
-        requests = self._normalise_requests(names, r)
+        specs = self._normalise_requests(names, r, replacement)
         report = BatchReport()
         start = time.perf_counter()
-        # One shared position cache: every set's paths hash each leaf's
-        # candidates at most once for the whole batch.
+        # One shared position cache: every request's paths hash each
+        # leaf's candidates at most once for the whole batch.
         cache = PositionCache(self.tree)
-        for name, rounds in requests.items():
-            report.add(name, self.store.sample_many(name, rounds, replacement,
-                                                    position_cache=cache))
+        for key, spec in specs:
+            report.add(key, self.store.sample_many(
+                spec.name, spec.rounds, spec.replacement,
+                position_cache=cache, rng=spec.seed))
         report.elapsed_s = time.perf_counter() - start
         return report
 
@@ -427,19 +433,39 @@ class BloomDB:
 
     def _normalise_requests(
         self,
-        names: "Iterable[str] | Mapping[str, int] | None",
+        names: "Iterable[str | SampleSpec] | Mapping[str, int] | None",
         r: int,
-    ) -> dict[str, int]:
-        """Resolve a ``sample_many`` request spec into ``{name: rounds}``."""
+        replacement: bool = True,
+    ) -> list[tuple[str, SampleSpec]]:
+        """Resolve a ``sample_many`` request into ``[(key, spec), ...]``.
+
+        Name/mapping forms keep one entry per set name (their report keys
+        are the names); spec sequences may repeat a name, so their keys
+        default to ``"<index>:<name>"`` unless the spec carries its own.
+        """
         if r <= 0:
             raise ValueError("r must be positive")
         if names is None:
-            return {name: r for name in self.names()}
+            return [(name, SampleSpec(name, r, replacement))
+                    for name in self.names()]
         if isinstance(names, Mapping):
-            requests = {str(k): int(v) for k, v in names.items()}
-            if any(v <= 0 for v in requests.values()):
+            if any(int(v) <= 0 for v in names.values()):
                 raise ValueError("per-set rounds must be positive")
-            return requests
+            return [(str(k), SampleSpec(str(k), int(v), replacement))
+                    for k, v in names.items()]
         if isinstance(names, str):
-            return {names: r}
-        return {str(name): r for name in names}
+            return [(names, SampleSpec(names, r, replacement))]
+        names = list(names)
+        if any(isinstance(name, SampleSpec) for name in names):
+            specs = []
+            for i, spec in enumerate(names):
+                if not isinstance(spec, SampleSpec):
+                    raise TypeError(
+                        "cannot mix SampleSpec and name entries in one "
+                        "sample_many call")
+                specs.append((spec.key or f"{i}:{spec.name}", spec))
+            if len({key for key, _ in specs}) != len(specs):
+                raise ValueError("duplicate SampleSpec keys in batch")
+            return specs
+        return [(str(name), SampleSpec(str(name), r, replacement))
+                for name in names]

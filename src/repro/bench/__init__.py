@@ -5,9 +5,11 @@ reconstruction time vs. brute force, Figs. 3-15); this package turns them
 into numbers CI can watch.  It drives the scenarios the ``benchmarks/``
 suite explores — but through the :class:`~repro.api.BloomDB` facade and
 the :mod:`repro.core.kernels` fast paths — and emits machine-readable
-``BENCH_sampling.json`` / ``BENCH_reconstruction.json`` files at the repo
-root, with a JSON result cache so re-runs are free (the cached
-``ExperimentEngine`` pattern of trolando/rtl-experiments).
+``BENCH_sampling.json`` / ``BENCH_reconstruction.json`` /
+``BENCH_serving.json`` files at the repo root, with a JSON result cache
+so re-runs are free (the cached ``ExperimentEngine`` pattern of
+trolando/rtl-experiments).  Every run also appends a compact entry to
+``BENCH_history.json``, the cross-PR perf trajectory.
 
 Entry points: the ``repro bench`` CLI subcommand, or::
 
@@ -17,18 +19,24 @@ Entry points: the ``repro bench`` CLI subcommand, or::
 
 from repro.bench.runner import (
     BENCH_FILES,
+    HISTORY_FILE,
+    HISTORY_SCHEMA,
     SCHEMA_VERSION,
     BenchRunner,
+    load_history,
     validate_payload,
 )
 from repro.bench.scenarios import SCENARIOS, Scenario, get_scenario
 
 __all__ = [
     "BENCH_FILES",
+    "HISTORY_FILE",
+    "HISTORY_SCHEMA",
     "SCHEMA_VERSION",
     "BenchRunner",
     "SCENARIOS",
     "Scenario",
     "get_scenario",
+    "load_history",
     "validate_payload",
 ]

@@ -38,14 +38,14 @@ def _timed(fn):
     return time.perf_counter() - start, value
 
 
-def build_engine(params: dict, family: str | None = None):
-    """Build a BloomDB and its stored sets from scenario parameters.
+def build_workload(params: dict):
+    """Deterministic scenario data: ``(occupied, [(name, ids), ...])``.
 
-    Returns ``(db, names)``.  For occupancy-tracking trees the stored
-    sets are drawn from the ``occupied`` ids, mirroring the paper's
-    sparse-namespace workloads.
+    One draw sequence shared by every consumer, so an engine and a
+    service built from the same parameters hold identical sets.  For
+    occupancy-tracking trees the stored sets are drawn from the
+    ``occupied`` ids, mirroring the paper's sparse-namespace workloads.
     """
-    family = family or params.get("family", "murmur3")
     namespace = int(params["namespace"])
     rng = np.random.default_rng(int(params.get("workload_seed", 42)))
     occupied = None
@@ -54,27 +54,34 @@ def build_engine(params: dict, family: str | None = None):
         occupied = rng.choice(namespace, size=int(params["occupied"]),
                               replace=False).astype(np.uint64)
         universe = occupied
+    sets = []
+    for i in range(int(params["num_sets"])):
+        ids = rng.choice(universe, size=int(params["set_size"]),
+                         replace=False)
+        sets.append((f"set{i:02d}", np.asarray(ids, dtype=np.uint64)))
+    return occupied, sets
+
+
+def build_engine(params: dict, family: str | None = None):
+    """Build a BloomDB and its stored sets from scenario parameters.
+
+    Returns ``(db, names)``; the data comes from :func:`build_workload`.
+    """
+    family = family or params.get("family", "murmur3")
+    occupied, sets = build_workload(params)
     db = BloomDB.plan(
-        namespace_size=namespace,
+        namespace_size=int(params["namespace"]),
         accuracy=float(params.get("accuracy", 0.9)),
         set_size=int(params["set_size"]),
         family=family,
         tree=params.get("tree", "static"),
         seed=int(params.get("seed", 0)),
+        depth=params.get("depth"),
         occupied=occupied,
     )
-    names = []
-    for i in range(int(params["num_sets"])):
-        if isinstance(universe, np.ndarray):
-            ids = rng.choice(universe, size=int(params["set_size"]),
-                             replace=False)
-        else:
-            ids = rng.choice(universe, size=int(params["set_size"]),
-                             replace=False).astype(np.uint64)
-        name = f"set{i:02d}"
+    for name, ids in sets:
         db.add_set(name, ids)
-        names.append(name)
-    return db, names
+    return db, [name for name, _ in sets]
 
 
 def _per_query_us(seconds: float, queries: int) -> float:
@@ -238,8 +245,129 @@ def run_reconstruction(params: dict) -> dict:
     return result
 
 
+def _serving_requests(params: dict, names: list[str]) -> list[tuple]:
+    """The deterministic mixed request plan: (op, name, seed) per slot.
+
+    8/10 sampling, 1/10 membership, 1/10 reconstruction — every
+    stochastic request carries its slot index as seed, so the coalesced
+    and naive paths are comparable element-for-element.
+    """
+    plan = []
+    for i in range(int(params["requests"])):
+        name = names[i % len(names)]
+        slot = i % 10
+        if slot < 8:
+            plan.append(("sample", name, i))
+        elif slot == 8:
+            plan.append(("contains", name, i))
+        else:
+            plan.append(("reconstruct", name, i))
+    return plan
+
+
+def run_serving(params: dict) -> dict:
+    """Coalesced service throughput vs. the naive per-request loop.
+
+    Both paths execute the *same* deterministic mixed request plan; the
+    naive loop issues one direct engine call per request (fresh
+    position cache every time — the shape of un-batched traffic), the
+    service path submits everything to the micro-batching scheduler and
+    waits for the futures.  Per-request results are verified
+    bit-identical between the two.
+    """
+    from repro.service import BloomService
+
+    db, names = build_engine(params)
+    plan = _serving_requests(params, names)
+    rounds = int(params.get("rounds", 8))
+    namespace = int(params["namespace"])
+
+    # Naive baseline: one engine call per request, no shared state.
+    naive_results = {}
+    start = time.perf_counter()
+    for i, (op, name, seed) in enumerate(plan):
+        if op == "sample":
+            naive_results[i] = db.store.sample_many(name, rounds, rng=seed)
+        elif op == "contains":
+            naive_results[i] = db.contains(name, seed % namespace)
+        else:
+            naive_results[i] = db.reconstruct(name)
+    naive_s = time.perf_counter() - start
+
+    # Coalesced path: same plan, submitted open-loop to the scheduler.
+    occupied, sets = build_workload(params)
+    service = BloomService.plan(
+        namespace_size=namespace,
+        shards=int(params.get("shards", 4)),
+        max_batch=int(params.get("max_batch", 256)),
+        max_delay_ms=float(params.get("max_delay_ms", 2.0)),
+        queue_depth=len(plan),
+        occupied=occupied,
+        accuracy=float(params.get("accuracy", 0.9)),
+        set_size=int(params["set_size"]),
+        family=params.get("family", "murmur3"),
+        tree=params.get("tree", "static"),
+        seed=int(params.get("seed", 0)),
+        depth=params.get("depth"),
+    )
+    for name, ids in sets:
+        service.add_set(name, ids)
+    with service:
+        start = time.perf_counter()
+        futures = []
+        for op, name, seed in plan:
+            if op == "sample":
+                futures.append(service.submit_sample(name, rounds, seed=seed))
+            elif op == "contains":
+                futures.append(service.submit_contains(
+                    name, seed % namespace))
+            else:
+                futures.append(service.submit_reconstruct(name))
+        coalesced_results = [future.result(120) for future in futures]
+        coalesced_s = time.perf_counter() - start
+        stats = service.stats()
+
+    identical = True
+    for i, (op, name, seed) in enumerate(plan):
+        got, want = coalesced_results[i], naive_results[i]
+        if op == "sample":
+            identical &= got.values == want.values
+        elif op == "contains":
+            identical &= got == want
+        else:
+            identical &= np.array_equal(got.elements, want.elements)
+
+    requests = len(plan)
+    batch_hist = stats["histograms"].get("batch_size", {})
+    sample_latency = stats["histograms"].get("sample.latency_s", {})
+    return {
+        "requests": requests,
+        "engine": db.describe(),
+        "shards": int(params.get("shards", 4)),
+        "identical_to_naive": bool(identical),
+        "naive": {
+            "seconds": round(naive_s, 6),
+            "per_request_us": _per_query_us(naive_s, requests),
+            "throughput_rps": round(requests / naive_s, 1),
+        },
+        "coalesced": {
+            "seconds": round(coalesced_s, 6),
+            "per_request_us": _per_query_us(coalesced_s, requests),
+            "throughput_rps": round(requests / coalesced_s, 1),
+            "mean_batch": batch_hist.get("mean"),
+            "max_batch": batch_hist.get("max"),
+            "sample_latency_p50_s": sample_latency.get("p50"),
+            "sample_latency_p99_s": sample_latency.get("p99"),
+            "served": stats["counters"].get("served_total", 0),
+            "errors": stats["counters"].get("errors_total", 0),
+        },
+        "speedup_coalesced_vs_naive": round(naive_s / coalesced_s, 2),
+    }
+
+
 #: Collector dispatch by scenario kind.
 COLLECTORS = {
     "sampling": run_sampling,
     "reconstruction": run_reconstruction,
+    "serving": run_serving,
 }

@@ -31,6 +31,16 @@ BENCH_FILES = {kind: f"BENCH_{kind}.json" for kind in KINDS}
 #: Default cache directory (git-ignored).
 DEFAULT_CACHE_DIR = ".bench_cache"
 
+#: The cross-PR perf trajectory file appended to by every ``run()``.
+HISTORY_FILE = "BENCH_history.json"
+
+#: Schema of the history file.
+HISTORY_SCHEMA = 1
+
+#: Top-level result keys copied into each history entry (the headline
+#: numbers a later PR compares against).
+_HISTORY_KEY_PREFIXES = ("speedup_", "throughput_")
+
 
 def _fingerprint(scenario: Scenario, quick: bool) -> str:
     """Cache key: parameters + schema + library version, order-independent.
@@ -151,7 +161,56 @@ class BenchRunner:
                     f"internal error: invalid {kind} payload: {errors}")
             path = self.output_dir / BENCH_FILES[kind]
             path.write_text(json.dumps(payload, indent=2) + "\n")
+        self._append_history(by_kind)
         return by_kind
+
+    # -- perf trajectory ---------------------------------------------------------
+
+    def _append_history(self, by_kind: dict[str, dict]) -> None:
+        """Append one run entry to the ``BENCH_history.json`` trajectory.
+
+        The history is the regression trail across PRs: every run adds
+        a compact entry (version, mode, per-scenario headline speedups /
+        throughputs and elapsed times), so a perf regression shows up as
+        a visible drop between consecutive entries instead of silently
+        overwriting the only copy of the previous numbers.
+        """
+        entry = {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "version": repro.__version__,
+            "mode": self.mode,
+            "scenarios": {},
+        }
+        for kind, payload in sorted(by_kind.items()):
+            for name, scenario_entry in payload["scenarios"].items():
+                summary = {
+                    "kind": kind,
+                    "cached": scenario_entry["cached"],
+                    "elapsed_s": scenario_entry["elapsed_s"],
+                }
+                for key, value in scenario_entry["result"].items():
+                    if key.startswith(_HISTORY_KEY_PREFIXES):
+                        summary[key] = value
+                entry["scenarios"][name] = summary
+        path = self.output_dir / HISTORY_FILE
+        history = load_history(path)
+        history["runs"].append(entry)
+        path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def load_history(path) -> dict:
+    """Read a ``BENCH_history.json`` (an empty skeleton if absent/corrupt)."""
+    path = pathlib.Path(path)
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except ValueError:
+            history = None
+        if (isinstance(history, dict)
+                and history.get("schema") == HISTORY_SCHEMA
+                and isinstance(history.get("runs"), list)):
+            return history
+    return {"schema": HISTORY_SCHEMA, "runs": []}
 
 
 def validate_payload(payload: dict) -> list[str]:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: Collector kinds — each kind aggregates into its own BENCH_*.json file.
-KINDS = ("sampling", "reconstruction")
+KINDS = ("sampling", "reconstruction", "serving")
 
 
 @dataclass(frozen=True)
@@ -122,6 +122,40 @@ _register(Scenario(
     full=dict(_COMMON, namespace=50_000, set_size=500, num_sets=12,
               family="md5", tree="static", repeats=3, scalar_repeats=1,
               scalar_sets=3),
+))
+
+
+# The gated serving scenario uses the MD5 family and a shallow tree:
+# big leaves make per-request candidate hashing the dominant cost, which
+# is precisely the work the micro-batching scheduler amortises across a
+# coalesced batch (one PositionCache pass per dispatch).  The cheap-hash
+# companion scenario below reports the honest murmur3 number, where the
+# irreducible per-request descent bounds the win.
+_register(Scenario(
+    name="serving_mixed_4shards",
+    kind="serving",
+    title="Micro-batched serving vs. the naive one-request-per-call loop "
+          "(MD5 family, shallow tree)",
+    maps_to="ROADMAP north star (serving heavy concurrent traffic)",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=16,
+               family="md5", tree="static", depth=4, shards=4,
+               requests=1_000, rounds=8, max_batch=256, max_delay_ms=2.0),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=32,
+              family="md5", tree="static", depth=6, shards=4,
+              requests=5_000, rounds=8, max_batch=256, max_delay_ms=2.0),
+))
+
+_register(Scenario(
+    name="serving_cheap_hash",
+    kind="serving",
+    title="Micro-batched serving with cheap hashing (murmur3, planner depth)",
+    maps_to="ROADMAP north star (serving heavy concurrent traffic)",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=16,
+               family="murmur3", tree="static", shards=4, requests=1_000,
+               rounds=8, max_batch=256, max_delay_ms=2.0),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=32,
+              family="murmur3", tree="static", shards=4, requests=5_000,
+              rounds=8, max_batch=256, max_delay_ms=2.0),
 ))
 
 

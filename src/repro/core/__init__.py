@@ -72,7 +72,7 @@ from repro.core.kernels import (
 )
 from repro.core.pruned import PrunedBloomSampleTree
 from repro.core.serialization import load_tree, save_tree
-from repro.core.store import FilterStore
+from repro.core.store import DuplicateSetError, FilterStore
 from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
 from repro.core.sampling import (
     BSTSampler,
@@ -93,6 +93,7 @@ __all__ = [
     "CountingOverflowError",
     "DynamicBloomSampleTree",
     "ExactUniformSampler",
+    "DuplicateSetError",
     "FilterStore",
     "HashFamily",
     "MultiSampleResult",

@@ -36,6 +36,7 @@ describes.
 from __future__ import annotations
 
 import hashlib
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -403,6 +404,12 @@ class PositionCache:
     identical for every query.  One ``PositionCache`` shared across the
     batch pays it once per leaf.  The cache is ephemeral — create one per
     batched call; do not reuse across tree mutations.
+
+    Concurrent readers (shard workers that happen to share one cache)
+    are safe: each get-or-compute holds an internal lock, so an entry is
+    computed once and a partially-written dict is never observed.  The
+    cached values themselves are deterministic, so even a racy duplicate
+    computation could only ever produce the identical array.
     """
 
     def __init__(self, tree):
@@ -410,33 +417,56 @@ class PositionCache:
         self._candidates: dict[int, np.ndarray] = {}
         self._positions: dict[int, np.ndarray] = {}
         self._ones: dict[int, int] = {}
+        self._estimates: dict[tuple[int, int], float] = {}
+        # Re-entrant: positions() computes via candidates() under the lock.
+        self._lock = threading.RLock()
 
     def candidates(self, node) -> np.ndarray:
         """The leaf's candidate elements (cached)."""
         key = id(node)
-        cached = self._candidates.get(key)
-        if cached is None:
-            cached = self.tree.candidate_elements(node)
-            self._candidates[key] = cached
-        return cached
+        with self._lock:
+            cached = self._candidates.get(key)
+            if cached is None:
+                cached = self.tree.candidate_elements(node)
+                self._candidates[key] = cached
+            return cached
 
     def positions(self, node) -> np.ndarray:
         """Hashed bit positions of the leaf's candidates (cached)."""
         key = id(node)
-        cached = self._positions.get(key)
-        if cached is None:
-            cached = self.tree.family.positions_many(self.candidates(node))
-            self._positions[key] = cached
-        return cached
+        with self._lock:
+            cached = self._positions.get(key)
+            if cached is None:
+                cached = self.tree.family.positions_many(
+                    self.candidates(node))
+                self._positions[key] = cached
+            return cached
 
     def ones(self, node) -> int:
         """Popcount of the node's Bloom filter (cached)."""
         key = id(node)
-        cached = self._ones.get(key)
-        if cached is None:
-            cached = node.bloom.bits.count_ones()
-            self._ones[key] = cached
-        return cached
+        with self._lock:
+            cached = self._ones.get(key)
+            if cached is None:
+                cached = node.bloom.bits.count_ones()
+                self._ones[key] = cached
+            return cached
+
+    def child_estimate(self, query, node) -> float | None:
+        """A cached raw intersection estimate for (query, node), if any.
+
+        The estimate is a pure function of the two filters, so requests
+        that share a query filter (a serving batch holds many per set)
+        can reuse it; thresholding/flooring policy is applied by the
+        caller, per sampler.
+        """
+        with self._lock:
+            return self._estimates.get((id(query), id(node)))
+
+    def set_child_estimate(self, query, node, estimate: float) -> None:
+        """Store a raw intersection estimate for (query, node)."""
+        with self._lock:
+            self._estimates[(id(query), id(node))] = float(estimate)
 
 
 # --------------------------------------------------------------------------

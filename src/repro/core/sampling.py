@@ -174,9 +174,12 @@ class BSTSampler:
         if child is None:
             return 0.0
         ops.intersections += 1
-        t_and = query.bits.intersection_count(child.bloom.bits)
-        estimate = kernels.intersection_estimate(
-            t1, cache.ones(child), t_and, query.m, query.k)
+        estimate = cache.child_estimate(query, child)
+        if estimate is None:
+            t_and = query.bits.intersection_count(child.bloom.bits)
+            estimate = kernels.intersection_estimate(
+                t1, cache.ones(child), t_and, query.m, query.k)
+            cache.set_child_estimate(query, child, estimate)
         if estimate < self.empty_threshold:
             if self.descent == "floored":
                 return self.empty_threshold

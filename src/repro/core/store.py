@@ -15,11 +15,20 @@ on top of it:
 
 All filters share the store's hash family, which is the compatibility
 requirement of Definition 5.1.
+
+Thread safety: every entry point that touches the name->filter mapping
+or the shared sampler stream takes an internal re-entrant lock, so the
+serving layer's shard workers (:mod:`repro.service`) can read sets while
+another thread creates or extends them.  Per-request determinism under
+concurrency comes from the ``rng`` argument of :meth:`FilterStore.sample_many`
+— a seeded call uses its own transient sampler instead of the shared
+stream, making the result a pure function of (tree, filter, seed).
 """
 
 from __future__ import annotations
 
 import pathlib
+import threading
 from typing import Iterable
 
 import numpy as np
@@ -30,6 +39,10 @@ from repro.core.sampling import DEFAULT_EMPTY_THRESHOLD, BSTSampler, SampleResul
 from repro.core.serialization import _family_spec
 from repro.core.hashing import create_family
 from repro.utils.rng import ensure_rng
+
+
+class DuplicateSetError(KeyError):
+    """A set name is already stored (kept a ``KeyError`` for compat)."""
 
 
 class FilterStore:
@@ -53,57 +66,95 @@ class FilterStore:
             tree.check_query(BloomFilter(family))
         self._filters: dict[str, BloomFilter] = {}
         self._rng = ensure_rng(rng)
+        self._empty_threshold = float(empty_threshold)
+        self._descent = descent
         self._sampler = (BSTSampler(tree, empty_threshold, self._rng, descent)
                          if tree is not None else None)
         self._reconstructor = (BSTReconstructor(tree, empty_threshold)
                                if tree is not None else None)
+        # Guards _filters and the shared sampler stream; re-entrant so
+        # compound operations (union_filter inside sample_union) can nest.
+        self._lock = threading.RLock()
 
     # -- set management --------------------------------------------------------
 
     def create(self, name: str, items: np.ndarray | None = None) -> BloomFilter:
         """Create a named set (optionally pre-populated); returns its filter."""
-        if name in self._filters:
-            raise KeyError(f"set {name!r} already exists")
         bloom = BloomFilter(self.family)
         if items is not None:
             bloom.add_many(np.asarray(items, dtype=np.uint64))
-        self._filters[name] = bloom
+        self.install(name, bloom)
         return bloom
+
+    def install(self, name: str, bloom: BloomFilter) -> None:
+        """Adopt an existing compatible filter as a named set.
+
+        The supported path for moving filters between stores (e.g. the
+        pool re-sharding a loaded engine) without reaching into private
+        state; enforces the same duplicate and Definition 5.1
+        compatibility checks as :meth:`create`.
+        """
+        if bloom.family.m != self.family.m or bloom.family.k != self.family.k:
+            raise ValueError(
+                f"incompatible filter (m={bloom.family.m}, "
+                f"k={bloom.family.k}) for store with m={self.family.m}, "
+                f"k={self.family.k}")
+        with self._lock:
+            if name in self._filters:
+                raise DuplicateSetError(f"set {name!r} already exists")
+            self._filters[name] = bloom
 
     def add(self, name: str, items: np.ndarray) -> None:
         """Insert elements into an existing named set."""
-        self._get(name).add_many(np.asarray(items, dtype=np.uint64))
+        with self._lock:
+            self._get(name).add_many(np.asarray(items, dtype=np.uint64))
 
     def discard(self, name: str) -> None:
         """Drop a named set."""
-        if name not in self._filters:
-            raise KeyError(name)
-        del self._filters[name]
+        with self._lock:
+            if name not in self._filters:
+                raise KeyError(name)
+            del self._filters[name]
 
     def filter(self, name: str) -> BloomFilter:
         """The raw Bloom filter of a named set."""
         return self._get(name)
 
+    def copy_filter(self, name: str) -> BloomFilter:
+        """A consistent copy of a named filter, taken under the lock.
+
+        Cross-store readers (the pool's cross-shard union/intersection)
+        use this instead of :meth:`filter` so a concurrent ``add_many``
+        on the owning store can never be observed half-applied.
+        """
+        with self._lock:
+            return self._get(name).copy()
+
     def _get(self, name: str) -> BloomFilter:
-        try:
-            return self._filters[name]
-        except KeyError:
-            raise KeyError(f"no set named {name!r}") from None
+        with self._lock:
+            try:
+                return self._filters[name]
+            except KeyError:
+                raise KeyError(f"no set named {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
-        return name in self._filters
+        with self._lock:
+            return name in self._filters
 
     def __len__(self) -> int:
-        return len(self._filters)
+        with self._lock:
+            return len(self._filters)
 
     def names(self) -> list[str]:
         """Stored set names, sorted."""
-        return sorted(self._filters)
+        with self._lock:
+            return sorted(self._filters)
 
     @property
     def nbytes(self) -> int:
         """Bytes of filter storage (excluding the shared tree)."""
-        return sum(f.nbytes for f in self._filters.values())
+        with self._lock:
+            return sum(f.nbytes for f in self._filters.values())
 
     # -- membership --------------------------------------------------------------
 
@@ -117,7 +168,9 @@ class FilterStore:
         This is the multiset-membership query of Bloofi / Yoon et al.
         (Section 2), answered by brute force over the stored filters.
         """
-        return [name for name in self.names() if x in self._filters[name]]
+        with self._lock:
+            return [name for name in self.names()
+                    if x in self._filters[name]]
 
     # -- sampling and reconstruction ------------------------------------------------
 
@@ -131,19 +184,33 @@ class FilterStore:
     def sample(self, name: str) -> SampleResult:
         """Near-uniform sample from a named set (Algorithm 1)."""
         self._require_tree()
-        return self._sampler.sample(self._get(name))
+        with self._lock:  # the shared rng stream is not thread-safe
+            return self._sampler.sample(self._get(name))
 
     def sample_many(self, name: str, r: int, replacement: bool = True,
-                    position_cache=None):
+                    position_cache=None, rng=None):
         """One-pass multi-sample from a named set.
 
         ``position_cache`` (a :class:`~repro.core.kernels.PositionCache`)
         lets a batch of calls over different sets share the leaf-hashing
         work — see :meth:`repro.api.BloomDB.sample_many`.
+
+        ``rng`` (a seed or generator) draws from a transient sampler
+        instead of the store's shared stream, making the result
+        deterministic per request and safe to run concurrently with other
+        seeded calls (the shared-stream path serialises on the store
+        lock).
         """
         self._require_tree()
-        return self._sampler.sample_many(self._get(name), r, replacement,
-                                         position_cache=position_cache)
+        if rng is None:
+            with self._lock:
+                return self._sampler.sample_many(
+                    self._get(name), r, replacement,
+                    position_cache=position_cache)
+        sampler = BSTSampler(self.tree, self._empty_threshold,
+                             ensure_rng(rng), self._descent)
+        return sampler.sample_many(self._get(name), r, replacement,
+                                   position_cache=position_cache)
 
     def reconstruct(self, name: str,
                     exhaustive: bool = False) -> ReconstructionResult:
@@ -175,9 +242,10 @@ class FilterStore:
         names = list(names)
         if not names:
             raise ValueError("need at least one set name")
-        merged = self._get(names[0]).copy()
-        for name in names[1:]:
-            merged.union_update(self._get(name))
+        with self._lock:  # one consistent snapshot of every named filter
+            merged = self._get(names[0]).copy()
+            for name in names[1:]:
+                merged.union_update(self._get(name))
         return merged
 
     def intersection_filter(self, names: Iterable[str]) -> BloomFilter:
@@ -189,31 +257,48 @@ class FilterStore:
         names = list(names)
         if not names:
             raise ValueError("need at least one set name")
-        merged = self._get(names[0])
-        for name in names[1:]:
-            merged = merged.intersection(self._get(name))
+        with self._lock:
+            merged = self._get(names[0])
+            for name in names[1:]:
+                merged = merged.intersection(self._get(name))
         return merged
 
-    def sample_union(self, names: Iterable[str]) -> SampleResult:
-        """Sample from the union of named sets (e.g. allied communities)."""
-        self._require_tree()
-        return self._sampler.sample(self.union_filter(names))
+    def sample_filter(self, query: BloomFilter, rng=None) -> SampleResult:
+        """Sample from an ad-hoc query filter (union/intersection merges).
 
-    def sample_intersection(self, names: Iterable[str]) -> SampleResult:
-        """Sample from the intersection sketch of named sets."""
+        ``rng=None`` draws from the store's shared stream (serialised on
+        the store lock); a seed or generator draws from a transient
+        sampler — the deterministic path the serving layer uses.
+        """
         self._require_tree()
-        return self._sampler.sample(self.intersection_filter(names))
+        if rng is None:
+            with self._lock:
+                return self._sampler.sample(query)
+        sampler = BSTSampler(self.tree, self._empty_threshold,
+                             ensure_rng(rng), self._descent)
+        return sampler.sample(query)
+
+    def sample_union(self, names: Iterable[str], rng=None) -> SampleResult:
+        """Sample from the union of named sets (e.g. allied communities)."""
+        return self.sample_filter(self.union_filter(names), rng=rng)
+
+    def sample_intersection(self, names: Iterable[str],
+                            rng=None) -> SampleResult:
+        """Sample from the intersection sketch of named sets."""
+        return self.sample_filter(self.intersection_filter(names), rng=rng)
 
     # -- persistence -------------------------------------------------------------------
 
     def save(self, path) -> None:
         """Serialise all named filters (not the tree) to one ``.npz``."""
         name, seed = _family_spec(self.family)
-        names = self.names()
-        if names:
-            words = np.stack([self._filters[n].bits.words for n in names])
-        else:
-            words = np.empty((0, 0), dtype=np.uint64)
+        with self._lock:
+            names = self.names()
+            if names:
+                words = np.stack([self._filters[n].bits.words
+                                  for n in names])
+            else:
+                words = np.empty((0, 0), dtype=np.uint64)
         namespace = getattr(self.family, "namespace_size", self.family.m)
         np.savez_compressed(
             path,

@@ -1,0 +1,68 @@
+"""The serving subsystem: sharded engines behind a micro-batching scheduler.
+
+The paper frames the BloomSampleTree as the shared index of a *database*
+of Bloom-filter-encoded sets answering sampling and reconstruction
+queries online; PR 2 made the batched kernels fast.  This package is the
+layer between those kernels and real traffic — it turns a stream of
+independent requests into kernel-sized batches:
+
+* :class:`ShardedEnginePool` — N identically-configured
+  :class:`~repro.api.BloomDB` shards; set names are partitioned by
+  consistent hash, the tree index is replicated (shared outright for the
+  immutable ``static`` backend), so any shard can serve any query and
+  cross-shard union/intersection queries just merge filters.
+* :class:`MicroBatchScheduler` / :class:`ShardWorker` — per-shard worker
+  threads that coalesce queued requests under a max-delay/max-batch
+  policy and dispatch them through the batched engine entry points.
+  Results are bit-identical to direct engine calls because every
+  stochastic request carries its own seed
+  (:func:`~repro.service.requests.derive_seed`).
+* admission control + :class:`~repro.service.metrics.Metrics` — bounded
+  shard queues rejecting with :class:`ServiceOverloadedError`, and
+  latency / batch-size / outcome instrumentation snapshotted by
+  ``/stats``.
+* front ends — :class:`BloomService` (the facade), the in-process
+  :class:`ServiceClient`, and the stdlib HTTP/JSON server behind the
+  ``repro serve`` CLI (:class:`ReproServer`, :class:`HTTPServiceClient`).
+
+>>> import numpy as np
+>>> svc = BloomService.plan(namespace_size=10_000, accuracy=0.9, seed=7,
+...                         shards=2)
+>>> svc.add_set("community", np.arange(0, 1_000, 3, dtype=np.uint64))
+>>> with svc:
+...     values = svc.sample("community", r=5, seed=11).values
+>>> all(v % 3 == 0 for v in values)
+True
+"""
+
+from repro.service.client import HTTPServiceClient, ServiceClient
+from repro.service.hashring import ConsistentHashRing
+from repro.service.metrics import Histogram, Metrics
+from repro.service.pool import ShardedEnginePool
+from repro.service.requests import ServiceRequest, derive_seed
+from repro.service.scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    ServiceOverloadedError,
+    ShardWorker,
+)
+from repro.service.http import ReproServer
+from repro.service.service import BloomService, ServiceConfig
+
+__all__ = [
+    "BatchPolicy",
+    "BloomService",
+    "ConsistentHashRing",
+    "HTTPServiceClient",
+    "Histogram",
+    "Metrics",
+    "MicroBatchScheduler",
+    "ReproServer",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+    "ServiceRequest",
+    "ShardWorker",
+    "ShardedEnginePool",
+    "derive_seed",
+]

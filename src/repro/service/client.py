@@ -1,0 +1,191 @@
+"""Service clients: in-process and HTTP, one JSON response shape.
+
+:class:`ServiceClient` talks to a :class:`~repro.service.service.BloomService`
+directly (tests, examples, benchmarks — no sockets involved);
+:class:`HTTPServiceClient` speaks the same JSON protocol over the wire
+to a :mod:`repro.service.http` server.  Both return the same plain-dict
+responses, produced by the ``encode_*`` helpers here, which the HTTP
+handler also uses — so what a test asserts against the in-process client
+is byte-for-byte what the HTTP endpoint serialises.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Iterable
+
+from repro.core.ops import OpCounter
+from repro.core.reconstruct import ReconstructionResult
+from repro.core.sampling import MultiSampleResult, SampleResult
+from repro.service.service import DEFAULT_TIMEOUT_S, BloomService
+
+
+def encode_ops(ops: OpCounter) -> dict:
+    """An :class:`~repro.core.ops.OpCounter` as a plain dict."""
+    return {
+        "intersections": ops.intersections,
+        "memberships": ops.memberships,
+        "nodes_visited": ops.nodes_visited,
+        "backtracks": ops.backtracks,
+    }
+
+
+def encode_result(result) -> dict:
+    """Any engine result object as the wire-format response dict."""
+    if isinstance(result, MultiSampleResult):
+        return {
+            "values": [int(v) for v in result.values],
+            "requested": result.requested,
+            "shortfall": result.shortfall,
+            "ops": encode_ops(result.ops),
+        }
+    if isinstance(result, SampleResult):
+        return {
+            "value": None if result.value is None else int(result.value),
+            "ops": encode_ops(result.ops),
+        }
+    if isinstance(result, ReconstructionResult):
+        return {
+            "elements": [int(v) for v in result.elements],
+            "size": result.size,
+            "ops": encode_ops(result.ops),
+        }
+    if isinstance(result, bool):
+        return {"ok": result}
+    raise TypeError(f"cannot encode {type(result).__name__}")
+
+
+class ServiceClient:
+    """In-process client: the scheduler path without any network.
+
+    Used by the test suite, the examples and the ``--smoke`` mode of
+    ``repro serve``; responses are the same dicts the HTTP endpoint
+    returns as JSON.
+    """
+
+    def __init__(self, service: BloomService,
+                 timeout: float = DEFAULT_TIMEOUT_S):
+        self.service = service
+        self.timeout = timeout
+
+    def sample(self, name: str, r: int = 1, replacement: bool = True,
+               seed: int | None = None) -> dict:
+        """Draw ``r`` samples from a named set."""
+        return encode_result(self.service.sample(
+            name, r, replacement, seed, timeout=self.timeout))
+
+    def reconstruct(self, name: str, exhaustive: bool = False) -> dict:
+        """Recover a named set's contents."""
+        return encode_result(self.service.reconstruct(
+            name, exhaustive, timeout=self.timeout))
+
+    def contains(self, name: str, x: int) -> dict:
+        """Membership query against one named set."""
+        return {"contains": self.service.contains(name, x,
+                                                  timeout=self.timeout)}
+
+    def sample_union(self, names: Iterable[str],
+                     seed: int | None = None) -> dict:
+        """Sample from the union of named sets."""
+        return encode_result(self.service.sample_union(
+            names, seed, timeout=self.timeout))
+
+    def sample_intersection(self, names: Iterable[str],
+                            seed: int | None = None) -> dict:
+        """Sample from the intersection sketch of named sets."""
+        return encode_result(self.service.sample_intersection(
+            names, seed, timeout=self.timeout))
+
+    def add_set(self, name: str, ids) -> dict:
+        """Store a new named set."""
+        self.service.add_set(name, ids, timeout=self.timeout)
+        return {"ok": True, "set": str(name)}
+
+    def stats(self) -> dict:
+        """The service's metrics snapshot."""
+        return self.service.stats()
+
+
+class HTTPError(RuntimeError):
+    """A non-2xx response from the HTTP endpoint."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class HTTPServiceClient:
+    """Minimal stdlib client for the ``repro serve`` JSON protocol.
+
+    >>> client = HTTPServiceClient("http://127.0.0.1:8650")  # doctest: +SKIP
+    >>> client.sample("community", r=8)                       # doctest: +SKIP
+    """
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT_S):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": exc.reason}
+            raise HTTPError(exc.code, payload) from None
+
+    def healthz(self) -> dict:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """The server's ``/stats`` snapshot."""
+        return self._request("GET", "/stats")
+
+    def sample(self, name: str, r: int = 1, replacement: bool = True,
+               seed: int | None = None) -> dict:
+        """Draw ``r`` samples from a named set."""
+        body = {"set": name, "r": r, "replacement": replacement}
+        if seed is not None:
+            body["seed"] = seed
+        return self._request("POST", "/sample", body)
+
+    def reconstruct(self, name: str, exhaustive: bool = False) -> dict:
+        """Recover a named set's contents."""
+        return self._request("POST", "/reconstruct",
+                             {"set": name, "exhaustive": exhaustive})
+
+    def contains(self, name: str, x: int) -> dict:
+        """Membership query against one named set."""
+        return self._request("POST", "/contains", {"set": name, "x": x})
+
+    def sample_union(self, names: Iterable[str],
+                     seed: int | None = None) -> dict:
+        """Sample from the union of named sets."""
+        body = {"sets": list(names)}
+        if seed is not None:
+            body["seed"] = seed
+        return self._request("POST", "/sample-union", body)
+
+    def sample_intersection(self, names: Iterable[str],
+                            seed: int | None = None) -> dict:
+        """Sample from the intersection sketch of named sets."""
+        body = {"sets": list(names)}
+        if seed is not None:
+            body["seed"] = seed
+        return self._request("POST", "/sample-intersection", body)
+
+    def add_set(self, name: str, ids) -> dict:
+        """Store a new named set."""
+        return self._request("POST", "/add-set",
+                             {"set": name, "ids": [int(v) for v in ids]})

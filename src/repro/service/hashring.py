@@ -1,0 +1,65 @@
+"""Consistent-hash routing of set names onto engine shards.
+
+The sharded pool partitions the *data* (named Bloom-filter sets) across
+engines while every shard indexes the same namespace, so any shard can
+answer any query over the filters it holds.  Names are placed on a
+classic consistent-hash ring (MD5 points, ``replicas`` virtual nodes per
+shard): routing is stable under renumbering-free shard-count changes —
+growing from N to N+1 shards moves only ~1/(N+1) of the names — which is
+what lets a saved engine be re-sharded into a differently-sized pool
+without rewriting every placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of a string.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so
+    routing built on it would differ between a server and its clients;
+    MD5 gives the same placement everywhere.
+    """
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class ConsistentHashRing:
+    """An MD5-based consistent-hash ring over ``num_shards`` shards.
+
+    >>> ring = ConsistentHashRing(4)
+    >>> 0 <= ring.shard_for("community_7") < 4
+    True
+    >>> ring.shard_for("community_7") == ring.shard_for("community_7")
+    True
+    """
+
+    def __init__(self, num_shards: int, replicas: int = 64):
+        if num_shards <= 0:
+            raise ValueError("need at least one shard")
+        if replicas <= 0:
+            raise ValueError("need at least one virtual node per shard")
+        self.num_shards = int(num_shards)
+        self.replicas = int(replicas)
+        points = []
+        for shard in range(self.num_shards):
+            for vnode in range(self.replicas):
+                points.append((stable_hash(f"shard:{shard}:vnode:{vnode}"),
+                               shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, name: str) -> int:
+        """The shard owning ``name`` (first ring point at or after it)."""
+        idx = bisect.bisect_right(self._points, stable_hash(name))
+        if idx == len(self._points):
+            idx = 0  # wrap around the ring
+        return self._shards[idx]
+
+    def __repr__(self) -> str:
+        return (f"ConsistentHashRing(shards={self.num_shards}, "
+                f"replicas={self.replicas})")

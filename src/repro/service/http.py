@@ -1,0 +1,223 @@
+"""The stdlib HTTP/JSON front end of ``repro serve``.
+
+A :class:`http.server.ThreadingHTTPServer` whose handler threads do no
+engine work themselves: each request is parsed, submitted to the
+service's micro-batching scheduler, and the handler blocks on the future
+— so HTTP concurrency is exactly what feeds the coalescing batches.
+
+Routes (all bodies and responses are JSON):
+
+====================  ====  ==========================================
+``/healthz``          GET   liveness probe
+``/stats``            GET   metrics + pool + policy snapshot
+``/sample``           POST  ``{"set", "r", "replacement", "seed"?}``
+``/reconstruct``      POST  ``{"set", "exhaustive"?}``
+``/contains``         POST  ``{"set", "x"}``
+``/sample-union``     POST  ``{"sets": [...], "seed"?}``
+``/sample-intersection``  POST  ``{"sets": [...], "seed"?}``
+``/add-set``          POST  ``{"set", "ids": [...]}``
+====================  ====  ==========================================
+
+Error mapping: 400 for malformed requests, 404 for unknown sets, 409
+for duplicate set creation, 503 when admission control rejects (shard
+queue full), 500 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.store import DuplicateSetError
+from repro.service.client import ServiceClient
+from repro.service.scheduler import ServiceOverloadedError
+from repro.service.service import BloomService
+
+#: Request bodies above this size are rejected (sanity bound).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP request into the service (see module docs)."""
+
+    # Set by make_handler:
+    client: ServiceClient
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stdlib logging
+        pass
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # The body cannot be located, let alone drained: the
+            # connection is desynced for keep-alive — close it.
+            self.close_connection = True
+            raise ValueError("invalid Content-Length") from None
+        if length > _MAX_BODY_BYTES:
+            # Rejecting without reading leaves unread body bytes on a
+            # persistent connection; closing keeps the protocol sane.
+            self.close_connection = True
+            raise ValueError("request body too large")
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        """GET routes: liveness and stats."""
+        if self.path == "/healthz":
+            self._send(200, {"ok": True})
+        elif self.path == "/stats":
+            self._send(200, self.client.stats())
+        else:
+            self._send(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        """POST routes: the query and mutation operations."""
+        try:
+            body = self._body()
+            result = self._dispatch(body)
+        except (ValueError, TypeError) as exc:
+            self._send(400, {"error": str(exc)})
+        except DuplicateSetError as exc:
+            self._send(409, {"error": str(exc.args[0] if exc.args else exc)})
+        except KeyError as exc:
+            self._send(404, {"error": str(exc.args[0] if exc.args else exc)})
+        except ServiceOverloadedError as exc:
+            self._send(503, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send(200, result)
+
+    def _dispatch(self, body: dict) -> dict:
+        if self.path == "/sample":
+            return self.client.sample(
+                _required(body, "set"), int(body.get("r", 1)),
+                bool(body.get("replacement", True)), _seed(body))
+        if self.path == "/reconstruct":
+            return self.client.reconstruct(
+                _required(body, "set"), bool(body.get("exhaustive", False)))
+        if self.path == "/contains":
+            return self.client.contains(_required(body, "set"),
+                                        int(_required(body, "x")))
+        if self.path == "/sample-union":
+            return self.client.sample_union(_names(body), _seed(body))
+        if self.path == "/sample-intersection":
+            return self.client.sample_intersection(_names(body), _seed(body))
+        if self.path == "/add-set":
+            ids = _required(body, "ids")
+            if not isinstance(ids, list):
+                raise ValueError("'ids' must be a list of integers")
+            return self.client.add_set(_required(body, "set"),
+                                       [int(v) for v in ids])
+        raise ValueError(f"no route {self.path}")
+
+
+def _required(body: dict, key: str):
+    if key not in body:
+        raise ValueError(f"missing required field {key!r}")
+    return body[key]
+
+
+def _names(body: dict) -> list[str]:
+    names = _required(body, "sets")
+    if not isinstance(names, list) or not names:
+        raise ValueError("'sets' must be a non-empty list of set names")
+    return [str(n) for n in names]
+
+
+def _seed(body: dict) -> int | None:
+    seed = body.get("seed")
+    return None if seed is None else int(seed)
+
+
+def make_handler(service: BloomService) -> type:
+    """A handler class bound to one service (stdlib handler factory)."""
+    client = ServiceClient(service)
+    return type("BoundHandler", (_Handler,), {"client": client})
+
+
+class ReproServer:
+    """The serving process object: HTTP server + service lifecycle.
+
+    >>> svc = BloomService.plan(namespace_size=4_000, seed=3,
+    ...                         shards=2)  # doctest: +SKIP
+    >>> server = ReproServer(svc, port=0).start()  # doctest: +SKIP
+    >>> server.url  # doctest: +SKIP
+    'http://127.0.0.1:49213'
+    """
+
+    def __init__(self, service: BloomService, host: str = "127.0.0.1",
+                 port: int = 8650):
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), make_handler(service))
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolved, so ``port=0`` reports the real one)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Start the shard workers and the HTTP accept loop (background)."""
+        self.service.start()
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="repro-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the HTTP server, then the shard workers."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Run in the foreground (the CLI path); Ctrl-C stops cleanly."""
+        self.service.start()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.httpd.server_close()
+            self.service.stop()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

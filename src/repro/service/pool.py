@@ -1,0 +1,201 @@
+"""ShardedEnginePool: N BloomDB shards behind one consistent-hash ring.
+
+Sharding model (replicated index, partitioned data): every shard is a
+:class:`~repro.api.BloomDB` built from the *same*
+:class:`~repro.api.EngineConfig`, so all shards carry an identical
+BloomSampleTree and hash family; the named Bloom-filter sets — the data —
+are partitioned across shards by consistent hash of the set name.  The
+tree is a function of the namespace, not of the stored sets, so
+replicating it costs memory but buys two properties the serving layer
+leans on:
+
+* any shard can evaluate any query filter, including a union or
+  intersection merged from filters that live on *different* shards
+  (Definition 5.1 compatibility holds pool-wide);
+* a request's result is independent of which shard served it, which is
+  half of the serving layer's bit-identity guarantee (the other half is
+  per-request seeding, see :mod:`repro.service.requests`).
+
+For the ``static`` backend the tree is immutable at serve time, so one
+tree object is physically shared by every shard instead of copied.
+Occupancy-tracking backends (``pruned`` / ``dynamic``) get per-shard
+copies, and every occupancy mutation must be broadcast to all shards to
+keep them identical — :meth:`ShardedEnginePool.register_ids` does this
+directly (load phase); the scheduler routes serve-time mutations through
+each shard's worker so they never race a query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.api.config import EngineConfig
+from repro.api.engine import BloomDB
+from repro.core.bloom import BloomFilter
+from repro.service.hashring import ConsistentHashRing
+
+
+class ShardedEnginePool:
+    """A fixed-size pool of identically-configured BloomDB shards.
+
+    >>> import numpy as np
+    >>> pool = ShardedEnginePool(EngineConfig(namespace_size=10_000,
+    ...                                       accuracy=0.9, seed=7), shards=2)
+    >>> pool.add_set("a", np.arange(100, 200, dtype=np.uint64))
+    >>> pool.contains("a", 150)
+    True
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        shards: int = 4,
+        *,
+        replicas: int = 64,
+        occupied=None,
+    ):
+        if shards <= 0:
+            raise ValueError("need at least one shard")
+        self.config = config
+        self.ring = ConsistentHashRing(shards, replicas=replicas)
+        first = BloomDB(config, occupied=occupied)
+        engines = [first]
+        for _ in range(1, shards):
+            if first.spec.requires_occupied:
+                # Occupancy-tracking trees are mutable: per-shard copies,
+                # kept identical by broadcasting every occupancy change.
+                engines.append(BloomDB(config, occupied=occupied))
+            else:
+                # Static tree: immutable at serve time, share one object.
+                engines.append(BloomDB(
+                    config, params=first.params, family=first.family,
+                    tree=first.tree))
+        self.engines: list[BloomDB] = engines
+
+    @classmethod
+    def from_engine(cls, db: BloomDB, shards: int = 4,
+                    *, replicas: int = 64) -> "ShardedEnginePool":
+        """Re-shard an existing engine (e.g. one loaded from disk).
+
+        Builds a pool with the engine's config and occupancy, then
+        copies every stored filter onto its owning shard.  The source
+        engine is left untouched.
+        """
+        pool = cls(db.config, shards, replicas=replicas,
+                   occupied=db.occupied)
+        for name in db.names():
+            pool.engine_for(name).store.install(name, db.filter(name).copy())
+        return pool
+
+    # -- routing ---------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of engine shards in the pool."""
+        return len(self.engines)
+
+    def shard_of(self, name: str) -> int:
+        """The shard index owning a set name."""
+        return self.ring.shard_for(name)
+
+    def engine_for(self, name: str) -> BloomDB:
+        """The BloomDB shard owning a set name."""
+        return self.engines[self.shard_of(name)]
+
+    # -- data management (load phase; serve-time mutations go through the
+    # -- scheduler so they cannot race in-flight queries) -----------------------
+
+    def add_set(self, name: str, ids) -> None:
+        """Store a named set on its owning shard; broadcast occupancy."""
+        ids = np.asarray(ids, dtype=np.uint64)
+        self.engine_for(name).store.create(name, ids)
+        self.register_ids(ids)
+
+    def extend_set(self, name: str, ids) -> None:
+        """Insert elements into an existing named set."""
+        ids = np.asarray(ids, dtype=np.uint64)
+        self.engine_for(name).store.add(name, ids)
+        self.register_ids(ids)
+
+    def drop_set(self, name: str) -> None:
+        """Forget a named set (occupancy stays, as in BloomDB.drop_set)."""
+        self.engine_for(name).store.discard(name)
+
+    def register_ids(self, ids) -> None:
+        """Mark ids occupied on *every* shard (no-op for static trees).
+
+        Broadcasting keeps the per-shard trees identical, which is what
+        makes results shard-independent.
+        """
+        ids = np.asarray(ids, dtype=np.uint64)
+        if not self.engines[0].spec.requires_occupied or not ids.size:
+            return
+        for engine in self.engines:
+            engine.tree.insert_many(ids)
+
+    # -- pool-wide reads ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Every stored set name across all shards, sorted."""
+        merged: list[str] = []
+        for engine in self.engines:
+            merged.extend(engine.names())
+        return sorted(merged)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.engine_for(name).store
+
+    def __len__(self) -> int:
+        return sum(len(engine.store) for engine in self.engines)
+
+    def filter(self, name: str) -> BloomFilter:
+        """The raw Bloom filter of a named set, wherever it lives."""
+        return self.engine_for(name).filter(name)
+
+    def contains(self, name: str, x: int) -> bool:
+        """Membership query routed to the owning shard."""
+        return self.engine_for(name).contains(name, int(x))
+
+    def union_filter(self, names: Iterable[str]) -> BloomFilter:
+        """Exact union filter of named sets, merged across shards.
+
+        Each filter is copied under its owning store's lock
+        (:meth:`~repro.core.store.FilterStore.copy_filter`), so a
+        concurrent ``extend_set`` on another shard can never be observed
+        half-applied.
+        """
+        names = list(names)
+        if not names:
+            raise ValueError("need at least one set name")
+        merged = self.engine_for(names[0]).store.copy_filter(names[0])
+        for name in names[1:]:
+            merged.union_update(self.engine_for(name).store.copy_filter(name))
+        return merged
+
+    def intersection_filter(self, names: Iterable[str]) -> BloomFilter:
+        """Intersection sketch of named sets, merged across shards."""
+        names = list(names)
+        if not names:
+            raise ValueError("need at least one set name")
+        merged = self.engine_for(names[0]).store.copy_filter(names[0])
+        for name in names[1:]:
+            merged = merged.intersection(
+                self.engine_for(name).store.copy_filter(name))
+        return merged
+
+    def describe(self) -> dict:
+        """Pool summary: engine config plus per-shard set counts."""
+        info = self.config.describe()
+        info.update(
+            shards=self.num_shards,
+            sets=len(self),
+            sets_per_shard=[len(engine.store) for engine in self.engines],
+            shared_tree=not self.engines[0].spec.requires_occupied,
+        )
+        return info
+
+    def __repr__(self) -> str:
+        return (f"ShardedEnginePool(shards={self.num_shards}, "
+                f"sets={len(self)}, tree={self.config.tree!r})")

@@ -1,0 +1,90 @@
+"""Request envelopes flowing between front ends, scheduler and workers.
+
+A :class:`ServiceRequest` is one client operation plus the plumbing the
+scheduler needs: the future the caller waits on, the submit timestamp
+(for latency accounting) and the resolved per-request ``seed``.
+
+Determinism contract
+--------------------
+
+Stochastic operations (``sample``, ``sample_union``,
+``sample_intersection``) always execute with an explicit seed: either
+the caller's, or one derived here via :func:`derive_seed` from the
+request's content and a client-assigned ticket.  A request's result is
+therefore a pure function of (engine state, request) — independent of
+how the scheduler batches it, which requests share the batch, and the
+order concurrent requests drain from the queue.  That is what makes the
+coalesced path bit-identical to direct :class:`~repro.api.BloomDB`
+calls, and it is tested property-style in
+``tests/service/test_scheduler.py``.  Deterministic operations
+(``reconstruct``, ``contains``) need no seed: the batched reconstruction
+kernel is bit-identical to sequential calls by construction (PR 2's
+golden tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+#: Operations the scheduler understands.  ``register_ids`` is internal:
+#: the pool broadcasts it so every shard's occupancy-tracking tree stays
+#: identical (a requirement for cross-shard algebra; see pool docs).
+OPS = ("sample", "reconstruct", "contains", "sample_union",
+       "sample_intersection", "add_set", "extend_set", "register_ids")
+
+#: Stochastic operations — these always carry a resolved seed.
+SEEDED_OPS = ("sample", "sample_union", "sample_intersection")
+
+
+def derive_seed(*parts) -> int:
+    """A stable 63-bit seed from arbitrary request parts.
+
+    SHA-256 over the ``repr`` of the parts: process-independent (unlike
+    builtin ``hash``), collision-resistant enough that distinct requests
+    get independent streams, and small enough for
+    ``numpy.random.default_rng``.
+    """
+    blob = "\x1f".join(repr(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+@dataclass
+class ServiceRequest:
+    """One operation queued for a shard worker.
+
+    ``names`` carries the target set name(s): exactly one for
+    single-set ops, two or more for union/intersection.  ``rounds`` and
+    ``replacement`` apply to ``sample``; ``x`` to ``contains``; ``ids``
+    to the mutation ops; ``exhaustive`` to ``reconstruct``.
+    """
+
+    op: str
+    names: tuple[str, ...]
+    rounds: int = 1
+    replacement: bool = True
+    seed: int | None = None
+    x: int | None = None
+    ids: object = None
+    exhaustive: bool = False
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r} (known: {OPS})")
+        if self.op != "register_ids" and not self.names:
+            raise ValueError("request needs at least one set name")
+        if self.op in ("sample_union", "sample_intersection") \
+                and len(self.names) < 2:
+            raise ValueError(f"{self.op} needs at least two set names")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+
+    @property
+    def name(self) -> str:
+        """The primary set name (routing key)."""
+        return self.names[0]

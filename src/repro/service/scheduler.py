@@ -1,0 +1,336 @@
+"""The micro-batching scheduler: shard workers that coalesce requests.
+
+PR 2's kernels made *batched* sampling and reconstruction orders of
+magnitude faster than per-request calls, but only for callers that
+hand-assemble batches.  This module manufactures those batches out of
+independent concurrent requests — the dynamic-batching idea production
+inference servers use:
+
+* every shard owns one bounded queue and one worker thread;
+* the worker blocks for the first request, then keeps gathering until
+  either ``max_batch`` requests are in hand or ``max_delay_ms`` has
+  elapsed since the first one (the classic latency/throughput knob);
+* the gathered batch is partitioned by operation and dispatched through
+  the batched engine entry points — :meth:`repro.api.BloomDB.sample_many`
+  over per-request :class:`~repro.api.SampleSpec` objects (one shared
+  :class:`~repro.core.kernels.PositionCache` per dispatch) and
+  :meth:`~repro.core.store.FilterStore.reconstruct_many` — so every
+  request in the batch pays the tree walk and leaf hashing once;
+* results are bit-identical to direct engine calls: sampling requests
+  carry per-request seeds (see :mod:`repro.service.requests`) and the
+  batched reconstruction kernel is per-query identical to sequential
+  execution by construction.
+
+Admission control is at ``submit``: a full shard queue rejects the
+request immediately with :class:`ServiceOverloadedError` (the HTTP front
+end maps it to 503) instead of letting latency grow without bound.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.api.batch import SampleSpec
+from repro.service.metrics import BATCH_BUCKETS, Metrics
+from repro.service.pool import ShardedEnginePool
+from repro.service.requests import ServiceRequest
+
+#: Wake-up interval of idle workers (also bounds shutdown latency).
+_IDLE_POLL_S = 0.05
+
+
+class ServiceOverloadedError(RuntimeError):
+    """A shard queue was full; the request was rejected at admission."""
+
+
+class BatchPolicy:
+    """The micro-batching knobs of one scheduler.
+
+    ``max_batch``
+        Dispatch as soon as this many requests are gathered.
+    ``max_delay_ms``
+        Dispatch at most this long after the first request of a batch
+        arrived (0 coalesces only what is already queued, adding no
+        artificial latency).
+    ``queue_depth``
+        Bound of each shard's request queue — the admission-control
+        limit.
+    """
+
+    def __init__(self, max_batch: int = 128, max_delay_ms: float = 2.0,
+                 queue_depth: int = 1024):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.queue_depth = int(queue_depth)
+
+    def __repr__(self) -> str:
+        return (f"BatchPolicy(max_batch={self.max_batch}, "
+                f"max_delay_ms={self.max_delay_ms}, "
+                f"queue_depth={self.queue_depth})")
+
+
+class ShardWorker(threading.Thread):
+    """One shard's queue + dispatch loop.
+
+    All access to the shard's engine happens on this thread, so queries
+    never race mutations within a shard (the actor model); cross-shard
+    filter reads go through the thread-safe
+    :class:`~repro.core.store.FilterStore` surface.
+    """
+
+    def __init__(self, shard_id: int, pool: ShardedEnginePool,
+                 policy: BatchPolicy, metrics: Metrics):
+        super().__init__(name=f"repro-shard-{shard_id}", daemon=True)
+        self.shard_id = shard_id
+        self.pool = pool
+        self.db = pool.engines[shard_id]
+        self.policy = policy
+        self.metrics = metrics
+        self.queue: "queue.Queue[ServiceRequest]" = queue.Queue(
+            maxsize=policy.queue_depth)
+        self._stop_requested = threading.Event()
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, request: ServiceRequest, block: bool = False,
+               timeout: float | None = None) -> None:
+        """Enqueue a request, or reject it if the queue is full.
+
+        ``block=True`` waits for queue space instead of failing fast —
+        the control-plane path (mutations) uses it so a multi-shard
+        broadcast cannot be left half-submitted by a transient burst.
+        """
+        if self._stop_requested.is_set():
+            raise RuntimeError("service is shutting down")
+        try:
+            if block:
+                self.queue.put(request, timeout=timeout)
+            else:
+                self.queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.inc("rejected_total")
+            self.metrics.inc(f"{request.op}.rejected")
+            raise ServiceOverloadedError(
+                f"shard {self.shard_id} queue is full "
+                f"({self.policy.queue_depth} pending requests)") from None
+
+    def stop(self) -> None:
+        """Ask the worker to exit after draining in-flight batches."""
+        self._stop_requested.set()
+
+    # -- dispatch loop ------------------------------------------------------------
+
+    def run(self):
+        while True:
+            try:
+                first = self.queue.get(timeout=_IDLE_POLL_S)
+            except queue.Empty:
+                if self._stop_requested.is_set():
+                    return
+                continue
+            batch = self._gather(first)
+            self.metrics.observe("batch_size", float(len(batch)),
+                                 buckets=BATCH_BUCKETS)
+            self._execute(batch)
+
+    def _gather(self, first: ServiceRequest) -> list[ServiceRequest]:
+        """Coalesce under the max-delay / max-batch policy."""
+        batch = [first]
+        deadline = time.monotonic() + self.policy.max_delay_ms / 1e3
+        while len(batch) < self.policy.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    batch.append(self.queue.get_nowait())
+                else:
+                    batch.append(self.queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _execute(self, batch: list[ServiceRequest]) -> None:
+        """Partition a batch by op and dispatch through the batch kernels."""
+        samples: list[ServiceRequest] = []
+        recon: dict[bool, list[ServiceRequest]] = {}
+        for request in batch:
+            # Claim the future (RUNNING) so a client-side cancel() can no
+            # longer race our set_result; an already-cancelled request is
+            # simply dropped.
+            if not request.future.set_running_or_notify_cancel():
+                self.metrics.inc("cancelled_total")
+                continue
+            if not self._admissible(request):
+                continue
+            if request.op == "sample":
+                samples.append(request)
+            elif request.op == "reconstruct":
+                recon.setdefault(request.exhaustive, []).append(request)
+            else:
+                self._run_single(request)
+        if samples:
+            self._run_samples(samples)
+        for exhaustive, requests in recon.items():
+            self._run_reconstructions(requests, exhaustive)
+
+    def _admissible(self, request: ServiceRequest) -> bool:
+        """Resolve set names now; fail fast with a per-request KeyError."""
+        if request.op in ("add_set", "register_ids"):
+            return True
+        for name in request.names:
+            if name not in self.pool:
+                self._fail(request, KeyError(f"no set named {name!r}"))
+                return False
+        return True
+
+    def _run_samples(self, requests: list[ServiceRequest]) -> None:
+        """One ``sample_many`` dispatch; each spec keeps its own seed."""
+        specs = [
+            SampleSpec(request.name, request.rounds, request.replacement,
+                       seed=request.seed, key=str(i))
+            for i, request in enumerate(requests)
+        ]
+        try:
+            report = self.db.sample_many(specs)
+        except Exception as exc:  # pragma: no cover - defensive
+            for request in requests:
+                self._fail(request, exc)
+            return
+        for request, result in zip(requests, report.ordered()):
+            self._finish(request, result)
+
+    def _run_reconstructions(self, requests: list[ServiceRequest],
+                             exhaustive: bool) -> None:
+        """One ``reconstruct_many`` pass over the tree for the group."""
+        names = [request.name for request in requests]
+        try:
+            results = self.db.store.reconstruct_many(names,
+                                                     exhaustive=exhaustive)
+        except Exception as exc:  # pragma: no cover - defensive
+            for request in requests:
+                self._fail(request, exc)
+            return
+        for request, result in zip(requests, results):
+            self._finish(request, result)
+
+    def _run_single(self, request: ServiceRequest) -> None:
+        """Ops that are cheap or inherently per-request."""
+        try:
+            if request.op == "contains":
+                result = self.db.contains(request.name, request.x)
+            elif request.op == "sample_union":
+                merged = self.pool.union_filter(request.names)
+                result = self.db.store.sample_filter(merged, rng=request.seed)
+            elif request.op == "sample_intersection":
+                merged = self.pool.intersection_filter(request.names)
+                result = self.db.store.sample_filter(merged, rng=request.seed)
+            elif request.op == "add_set":
+                self.db.store.create(request.name, request.ids)
+                result = True
+            elif request.op == "extend_set":
+                self.db.store.add(request.name, request.ids)
+                result = True
+            elif request.op == "register_ids":
+                # Runs on every shard's own worker (the service broadcasts
+                # one request per shard), so the tree mutation cannot race
+                # this shard's queries.
+                if self.db.spec.requires_occupied:
+                    self.db.tree.insert_many(request.ids)
+                result = True
+            else:  # pragma: no cover - OPS is validated at construction
+                raise ValueError(f"unhandled op {request.op!r}")
+        except Exception as exc:
+            self._fail(request, exc)
+            return
+        self._finish(request, result)
+
+    # -- accounting -------------------------------------------------------------
+
+    def _finish(self, request: ServiceRequest, result) -> None:
+        self.metrics.inc("served_total")
+        self.metrics.inc(f"{request.op}.served")
+        self.metrics.observe(f"{request.op}.latency_s",
+                             time.perf_counter() - request.submitted_at)
+        try:
+            request.future.set_result(result)
+        except Exception:  # pragma: no cover - future already settled;
+            pass           # never let one request kill the shard worker
+
+    def _fail(self, request: ServiceRequest, exc: Exception) -> None:
+        self.metrics.inc("errors_total")
+        self.metrics.inc(f"{request.op}.errors")
+        try:
+            request.future.set_exception(exc)
+        except Exception:  # pragma: no cover - future already settled
+            pass
+
+
+class MicroBatchScheduler:
+    """Routes requests to shard workers and owns their lifecycle."""
+
+    def __init__(self, pool: ShardedEnginePool,
+                 policy: BatchPolicy | None = None,
+                 metrics: Metrics | None = None):
+        self.pool = pool
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.workers = [
+            ShardWorker(i, pool, self.policy, self.metrics)
+            for i in range(pool.num_shards)
+        ]
+        self._started = False
+
+    def start(self) -> "MicroBatchScheduler":
+        """Start every shard worker (idempotent; survives stop/start).
+
+        Python threads cannot be restarted, so a scheduler that was
+        stopped gets a fresh set of workers (the old queues were drained
+        during :meth:`stop`).
+        """
+        if self._started:
+            return self
+        if any(worker.ident is not None for worker in self.workers):
+            self.workers = [
+                ShardWorker(i, self.pool, self.policy, self.metrics)
+                for i in range(self.pool.num_shards)
+            ]
+        for worker in self.workers:
+            worker.start()
+        self._started = True
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop workers after they drain their queues."""
+        for worker in self.workers:
+            worker.stop()
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.join(timeout)
+        self._started = False
+
+    def submit(self, request: ServiceRequest, block: bool = False,
+               timeout: float | None = None) -> ServiceRequest:
+        """Route a request to its shard's queue (admission-controlled)."""
+        if not self._started:
+            raise RuntimeError("scheduler is not started")
+        self.metrics.inc("requests_total")
+        shard = self.pool.shard_of(request.name)
+        self.workers[shard].submit(request, block=block, timeout=timeout)
+        return request
+
+    def submit_to_shard(self, shard: int, request: ServiceRequest,
+                        block: bool = False,
+                        timeout: float | None = None) -> ServiceRequest:
+        """Route to an explicit shard (occupancy broadcasts)."""
+        if not self._started:
+            raise RuntimeError("scheduler is not started")
+        self.metrics.inc("requests_total")
+        self.workers[shard].submit(request, block=block, timeout=timeout)
+        return request

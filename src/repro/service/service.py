@@ -1,0 +1,306 @@
+"""BloomService: the serving facade tying pool, scheduler and metrics.
+
+One object owns the whole serving stack: a
+:class:`~repro.service.pool.ShardedEnginePool` (the data), a
+:class:`~repro.service.scheduler.MicroBatchScheduler` (the batching
+workers) and a :class:`~repro.service.metrics.Metrics` registry (the
+``/stats`` payload).  Front ends — the in-process
+:class:`~repro.service.client.ServiceClient`, the stdlib HTTP server of
+:mod:`repro.service.http`, the benchmarks — submit requests here and get
+:class:`concurrent.futures.Future` objects back.
+
+>>> import numpy as np
+>>> svc = BloomService.plan(namespace_size=10_000, accuracy=0.9, seed=7,
+...                         shards=2)
+>>> svc.add_set("community", np.arange(100, 600, 5, dtype=np.uint64))
+>>> with svc:
+...     result = svc.sample("community", r=4)
+>>> len(result.values)
+4
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.api.config import EngineConfig
+from repro.api.engine import BloomDB
+from repro.service.metrics import Metrics
+from repro.service.pool import ShardedEnginePool
+from repro.service.requests import ServiceRequest, derive_seed
+from repro.service.scheduler import BatchPolicy, MicroBatchScheduler
+
+#: Default timeout for the synchronous convenience wrappers (seconds).
+DEFAULT_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of a :class:`BloomService`.
+
+    ``shards``
+        Engine shards (= worker threads = independent batch queues).
+    ``max_batch`` / ``max_delay_ms`` / ``queue_depth``
+        The :class:`~repro.service.scheduler.BatchPolicy` knobs.
+    ``replicas``
+        Virtual nodes per shard on the consistent-hash ring.
+    """
+
+    shards: int = 4
+    max_batch: int = 128
+    max_delay_ms: float = 2.0
+    queue_depth: int = 1024
+    replicas: int = 64
+
+    def policy(self) -> BatchPolicy:
+        """The scheduler policy implied by this config."""
+        return BatchPolicy(max_batch=self.max_batch,
+                           max_delay_ms=self.max_delay_ms,
+                           queue_depth=self.queue_depth)
+
+
+class BloomService:
+    """Serving facade over a sharded pool of BloomDB engines.
+
+    Build with :meth:`plan` (engine knobs + serving knobs in one call),
+    :meth:`from_engine` (re-shard a loaded engine) or directly from a
+    pre-built pool.  Start/stop the workers with :meth:`start` /
+    :meth:`stop` or a ``with`` block.
+    """
+
+    def __init__(self, pool: ShardedEnginePool,
+                 config: ServiceConfig | None = None):
+        self.pool = pool
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = Metrics()
+        self.scheduler = MicroBatchScheduler(
+            pool, policy=self.config.policy(), metrics=self.metrics)
+        self._tickets = itertools.count()
+        self._ticket_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def plan(cls, namespace_size: int, *, shards: int = 4,
+             max_batch: int = 128, max_delay_ms: float = 2.0,
+             queue_depth: int = 1024, occupied=None,
+             **engine_knobs) -> "BloomService":
+        """Plan an engine config and wrap it in a sharded service.
+
+        ``engine_knobs`` are forwarded to
+        :class:`~repro.api.EngineConfig` (accuracy, family, tree, seed,
+        ...); the serving knobs mirror :class:`ServiceConfig`.
+        """
+        config = ServiceConfig(shards=shards, max_batch=max_batch,
+                               max_delay_ms=max_delay_ms,
+                               queue_depth=queue_depth)
+        engine = EngineConfig(namespace_size=namespace_size, **engine_knobs)
+        pool = ShardedEnginePool(engine, shards, replicas=config.replicas,
+                                 occupied=occupied)
+        return cls(pool, config)
+
+    @classmethod
+    def from_engine(cls, db: BloomDB,
+                    config: ServiceConfig | None = None) -> "BloomService":
+        """Serve an existing engine (e.g. ``BloomDB.load``), re-sharded."""
+        config = config if config is not None else ServiceConfig()
+        pool = ShardedEnginePool.from_engine(db, config.shards,
+                                             replicas=config.replicas)
+        return cls(pool, config)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "BloomService":
+        """Start the shard workers (idempotent)."""
+        self.scheduler.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the shard workers after draining queued requests."""
+        self.scheduler.stop()
+
+    def __enter__(self) -> "BloomService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- async submission -----------------------------------------------------
+
+    def _seed_for(self, op: str, names: tuple[str, ...], rounds: int,
+                  replacement: bool, seed: int | None) -> int:
+        """Resolve the per-request seed (caller's, or ticket-derived).
+
+        Auto-derived seeds consume a process-wide ticket: two identical
+        requests still get independent streams.  Callers that need
+        results reproducible across runs (tests, benchmarks) pass
+        explicit seeds.
+        """
+        if seed is not None:
+            return int(seed)
+        with self._ticket_lock:
+            ticket = next(self._tickets)
+        return derive_seed(self.pool.config.seed, op, names, rounds,
+                           replacement, ticket)
+
+    def submit_sample(self, name: str, r: int = 1, replacement: bool = True,
+                      seed: int | None = None) -> Future:
+        """Enqueue one sampling request; resolves to a MultiSampleResult."""
+        request = ServiceRequest(
+            op="sample", names=(str(name),), rounds=int(r),
+            replacement=bool(replacement),
+            seed=self._seed_for("sample", (str(name),), int(r),
+                                bool(replacement), seed))
+        return self.scheduler.submit(request).future
+
+    def submit_reconstruct(self, name: str,
+                           exhaustive: bool = False) -> Future:
+        """Enqueue a reconstruction; resolves to a ReconstructionResult."""
+        request = ServiceRequest(op="reconstruct", names=(str(name),),
+                                 exhaustive=bool(exhaustive))
+        return self.scheduler.submit(request).future
+
+    def submit_contains(self, name: str, x: int) -> Future:
+        """Enqueue a membership query; resolves to a bool."""
+        request = ServiceRequest(op="contains", names=(str(name),), x=int(x))
+        return self.scheduler.submit(request).future
+
+    def submit_sample_union(self, names: Iterable[str],
+                            seed: int | None = None) -> Future:
+        """Enqueue a cross-set union sample; resolves to a SampleResult."""
+        names = tuple(str(n) for n in names)
+        request = ServiceRequest(
+            op="sample_union", names=names,
+            seed=self._seed_for("sample_union", names, 1, True, seed))
+        return self.scheduler.submit(request).future
+
+    def submit_sample_intersection(self, names: Iterable[str],
+                                   seed: int | None = None) -> Future:
+        """Enqueue an intersection-sketch sample (SampleResult)."""
+        names = tuple(str(n) for n in names)
+        request = ServiceRequest(
+            op="sample_intersection", names=names,
+            seed=self._seed_for("sample_intersection", names, 1, True, seed))
+        return self.scheduler.submit(request).future
+
+    # -- synchronous convenience wrappers -------------------------------------
+
+    def sample(self, name: str, r: int = 1, replacement: bool = True,
+               seed: int | None = None, timeout: float = DEFAULT_TIMEOUT_S):
+        """Sample ``r`` draws from a named set (blocking)."""
+        return self.submit_sample(name, r, replacement, seed).result(timeout)
+
+    def reconstruct(self, name: str, exhaustive: bool = False,
+                    timeout: float = DEFAULT_TIMEOUT_S):
+        """Recover a named set's contents (blocking)."""
+        return self.submit_reconstruct(name, exhaustive).result(timeout)
+
+    def contains(self, name: str, x: int,
+                 timeout: float = DEFAULT_TIMEOUT_S) -> bool:
+        """Membership query (blocking)."""
+        return self.submit_contains(name, x).result(timeout)
+
+    def sample_union(self, names: Iterable[str], seed: int | None = None,
+                     timeout: float = DEFAULT_TIMEOUT_S):
+        """Sample from the union of named sets (blocking)."""
+        return self.submit_sample_union(names, seed).result(timeout)
+
+    def sample_intersection(self, names: Iterable[str],
+                            seed: int | None = None,
+                            timeout: float = DEFAULT_TIMEOUT_S):
+        """Sample from the intersection sketch (blocking)."""
+        return self.submit_sample_intersection(names, seed).result(timeout)
+
+    # -- data management ------------------------------------------------------
+
+    def add_set(self, name: str, ids,
+                timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        """Store a named set, safely, while serving.
+
+        If the workers are running, the create runs on the owning
+        shard's worker and the occupancy registration is broadcast as
+        one request per shard — tree mutations therefore serialise with
+        each shard's in-flight queries instead of racing them.  Before
+        :meth:`start`, it loads directly through the pool.
+        """
+        self._mutate_set("add_set", name, ids, timeout)
+
+    def extend_set(self, name: str, ids,
+                   timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        """Insert elements into an existing named set (serving-safe)."""
+        self._mutate_set("extend_set", name, ids, timeout)
+
+    def _mutate_set(self, op: str, name: str, ids, timeout: float) -> None:
+        """Run a set mutation through the workers (or the idle pool).
+
+        The primary mutation runs (and is awaited) *first*; occupancy is
+        broadcast only after it succeeds — matching the direct engine
+        path, where a failed create registers nothing.  Broadcast
+        submits are *blocking* (they wait for queue space rather than
+        failing fast), so a transient burst cannot leave the multi-shard
+        broadcast half-submitted; if a submit still fails (timeout,
+        shutdown), everything already submitted is awaited before the
+        error propagates, so the shards are never abandoned mid-flight.
+        """
+        ids = np.asarray(ids, dtype=np.uint64)
+        if not self.scheduler._started:
+            getattr(self.pool, op)(name, ids)
+            return
+        primary = ServiceRequest(op=op, names=(str(name),), ids=ids)
+        self.scheduler.submit(primary, block=True, timeout=timeout)
+        primary.future.result(timeout)  # raises before any registration
+        if not self.pool.engines[0].spec.requires_occupied or not ids.size:
+            return
+        futures = []
+        submit_error = None
+        try:
+            for shard in range(self.pool.num_shards):
+                reg = ServiceRequest(op="register_ids", names=(str(name),),
+                                     ids=ids)
+                self.scheduler.submit_to_shard(shard, reg, block=True,
+                                               timeout=timeout)
+                futures.append(reg.future)
+        except Exception as exc:  # noqa: BLE001 - re-raised after draining
+            submit_error = exc
+        drain_error = None
+        for future in futures:
+            try:
+                future.result(timeout)
+            except Exception as exc:  # noqa: BLE001 - keep draining
+                drain_error = drain_error or exc
+        if submit_error is not None:
+            raise submit_error
+        if drain_error is not None:
+            raise drain_error
+
+    def names(self) -> list[str]:
+        """Every stored set name across all shards, sorted."""
+        return self.pool.names()
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: metrics + pool + batching policy."""
+        snapshot = self.metrics.snapshot()
+        snapshot["pool"] = self.pool.describe()
+        snapshot["policy"] = {
+            "shards": self.config.shards,
+            "max_batch": self.config.max_batch,
+            "max_delay_ms": self.config.max_delay_ms,
+            "queue_depth": self.config.queue_depth,
+        }
+        snapshot["queued"] = [worker.queue.qsize()
+                              for worker in self.scheduler.workers]
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (f"BloomService(shards={self.pool.num_shards}, "
+                f"sets={len(self.pool)}, "
+                f"max_batch={self.config.max_batch}, "
+                f"max_delay_ms={self.config.max_delay_ms})")

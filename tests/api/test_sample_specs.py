@@ -1,0 +1,76 @@
+"""SampleSpec batches: the per-request-seeded engine hook of ISSUE 3."""
+
+import numpy as np
+import pytest
+
+from repro.api import BloomDB, SampleSpec
+
+
+@pytest.fixture(scope="module")
+def db():
+    engine = BloomDB.plan(namespace_size=5_000, accuracy=0.9, set_size=100,
+                          seed=2)
+    rng = np.random.default_rng(8)
+    for i in range(4):
+        engine.add_set(f"s{i}", rng.choice(5_000, 100,
+                                           replace=False).astype(np.uint64))
+    return engine
+
+
+class TestSpecBatches:
+    def test_report_keys_and_order(self, db):
+        specs = [SampleSpec("s0", 2, seed=1), SampleSpec("s1", 3, seed=2),
+                 SampleSpec("s0", 4, seed=3, key="again")]
+        report = db.sample_many(specs)
+        assert list(report.results) == ["0:s0", "1:s1", "again"]
+        assert [len(r.values) for r in report.ordered()] == [2, 3, 4]
+
+    def test_seeded_specs_are_independent_of_batch_composition(self, db):
+        alone = db.sample_many([SampleSpec("s2", 5, seed=77)]).ordered()[0]
+        crowded = db.sample_many(
+            [SampleSpec("s0", 8, seed=1), SampleSpec("s2", 5, seed=77),
+             SampleSpec("s3", 2, seed=9)]).ordered()[1]
+        assert alone.values == crowded.values
+        # Op accounting is batch-independent too.
+        assert alone.ops.intersections == crowded.ops.intersections
+        assert alone.ops.memberships == crowded.ops.memberships
+
+    def test_seeded_spec_matches_store_level_seeded_call(self, db):
+        spec_result = db.sample_many(
+            [SampleSpec("s1", 6, seed=123)]).ordered()[0]
+        direct = db.store.sample_many("s1", 6, rng=123)
+        assert spec_result.values == direct.values
+
+    def test_unseeded_specs_draw_from_shared_stream(self, db):
+        # Without seeds, two identical batches differ (shared stream
+        # advances) — the legacy behaviour name-based batches rely on.
+        first = db.sample_many([SampleSpec("s0", 16)]).ordered()[0]
+        second = db.sample_many([SampleSpec("s0", 16)]).ordered()[0]
+        assert first.requested == second.requested == 16
+
+    def test_replacement_false_respected(self, db):
+        result = db.sample_many(
+            [SampleSpec("s3", 50, replacement=False, seed=4)]).ordered()[0]
+        assert len(result.values) == len(set(result.values))
+
+
+class TestSpecValidation:
+    def test_non_positive_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSpec("x", 0)
+
+    def test_mixed_specs_and_names_rejected(self, db):
+        with pytest.raises(TypeError):
+            db.sample_many([SampleSpec("s0", 1, seed=1), "s1"])
+        # Order-independent: a name first must not coerce specs to names.
+        with pytest.raises(TypeError):
+            db.sample_many(["s1", SampleSpec("s0", 1, seed=1)])
+
+    def test_duplicate_keys_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.sample_many([SampleSpec("s0", 1, key="k"),
+                            SampleSpec("s1", 1, key="k")])
+
+    def test_unknown_set_raises_keyerror(self, db):
+        with pytest.raises(KeyError):
+            db.sample_many([SampleSpec("nope", 1, seed=1)])

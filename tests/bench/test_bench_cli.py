@@ -47,11 +47,27 @@ TINY_RECON = Scenario(
               repeats=1, scalar_repeats=1, scalar_sets=1),
 )
 
+TINY_SERVE = Scenario(
+    name="tiny_serve",
+    kind="serving",
+    title="tiny serving scenario (tests only)",
+    maps_to="n/a",
+    quick=dict(namespace=2_000, set_size=50, num_sets=2, family="murmur3",
+               tree="static", accuracy=0.9, seed=1, workload_seed=2,
+               shards=2, requests=40, rounds=4, max_batch=64,
+               max_delay_ms=1.0),
+    full=dict(namespace=4_000, set_size=100, num_sets=3, family="murmur3",
+              tree="static", accuracy=0.9, seed=1, workload_seed=2,
+              shards=2, requests=80, rounds=4, max_batch=64,
+              max_delay_ms=1.0),
+)
+
 
 @pytest.fixture()
 def tiny_registry(monkeypatch):
-    """Swap the scenario registry for the two tiny test scenarios."""
-    registry = {TINY.name: TINY, TINY_RECON.name: TINY_RECON}
+    """Swap the scenario registry for the three tiny test scenarios."""
+    registry = {TINY.name: TINY, TINY_RECON.name: TINY_RECON,
+                TINY_SERVE.name: TINY_SERVE}
     monkeypatch.setattr("repro.bench.runner.SCENARIOS", registry)
     monkeypatch.setattr("repro.bench.scenarios.SCENARIOS", registry)
     return registry
@@ -62,7 +78,7 @@ class TestBenchRunner:
         runner = BenchRunner(cache_dir=tmp_path / "cache",
                              output_dir=tmp_path, quick=True)
         payloads = runner.run()
-        assert set(payloads) == {"sampling", "reconstruction"}
+        assert set(payloads) == {"sampling", "reconstruction", "serving"}
         for kind, filename in BENCH_FILES.items():
             path = tmp_path / filename
             assert path.exists(), filename
@@ -147,6 +163,46 @@ class TestBenchRunner:
                  ["result"])
         assert recon["identical_to_sequential"] is True
         assert recon["batch"]["recovered"] > 0
+        serving = payloads["serving"]["scenarios"]["tiny_serve"]["result"]
+        assert serving["identical_to_naive"] is True
+        assert serving["requests"] == 40
+        assert serving["coalesced"]["errors"] == 0
+        assert serving["coalesced"]["served"] == 40
+        assert serving["speedup_coalesced_vs_naive"] > 0
+
+
+class TestBenchHistory:
+    def test_run_appends_history_entries(self, tiny_registry, tmp_path):
+        from repro.bench import HISTORY_FILE, HISTORY_SCHEMA, load_history
+
+        runner = BenchRunner(cache_dir=tmp_path / "cache",
+                             output_dir=tmp_path, quick=True)
+        runner.run(["tiny_smoke"])
+        runner.run(["tiny_smoke", "tiny_recon"])
+        history = load_history(tmp_path / HISTORY_FILE)
+        assert history["schema"] == HISTORY_SCHEMA
+        assert len(history["runs"]) == 2
+        first, second = history["runs"]
+        assert set(first["scenarios"]) == {"tiny_smoke"}
+        assert set(second["scenarios"]) == {"tiny_smoke", "tiny_recon"}
+        # Headline numbers are copied into the trajectory entry.
+        smoke = second["scenarios"]["tiny_smoke"]
+        assert smoke["kind"] == "sampling"
+        assert "speedup_batch_vs_scalar_loop" in smoke
+        assert smoke["cached"] is True  # second run served from cache
+        for entry in history["runs"]:
+            assert entry["mode"] == "quick"
+            assert entry["version"]
+
+    def test_corrupt_history_is_replaced_not_fatal(self, tiny_registry,
+                                                   tmp_path):
+        from repro.bench import HISTORY_FILE, load_history
+
+        (tmp_path / HISTORY_FILE).write_text("{not json")
+        BenchRunner(cache_dir=tmp_path / "cache", output_dir=tmp_path,
+                    quick=True).run(["tiny_smoke"])
+        history = load_history(tmp_path / HISTORY_FILE)
+        assert len(history["runs"]) == 1
 
 
 class TestBenchCLI:

@@ -1,0 +1,136 @@
+"""Thread-safety of the shared-state hot paths (ISSUE 3 satellite).
+
+Shard workers read filters and caches while other threads mutate the
+store; these tests hammer the locked surfaces from many threads and
+assert nothing corrupts, deadlocks, or diverges from the sequential
+result.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import BloomDB
+from repro.core.kernels import PositionCache
+
+
+@pytest.fixture(scope="module")
+def db():
+    engine = BloomDB.plan(namespace_size=6_000, accuracy=0.9, set_size=120,
+                          seed=11)
+    rng = np.random.default_rng(3)
+    for i in range(6):
+        engine.add_set(f"s{i}", rng.choice(6_000, 120,
+                                           replace=False).astype(np.uint64))
+    return engine
+
+
+class TestFilterStoreLocking:
+    def test_concurrent_creates_and_reads(self, db):
+        store = db.store
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def writer(k):
+            barrier.wait()
+            for i in range(40):
+                store.create(f"w{k}-{i}",
+                             np.arange(i, i + 50, dtype=np.uint64))
+
+        def reader():
+            barrier.wait()
+            for _ in range(200):
+                # names() sorts a snapshot of the dict; without the lock
+                # this races dict mutation ("dict changed size during
+                # iteration").
+                for name in store.names():
+                    try:
+                        store.contains(name, 1)
+                    except KeyError:
+                        pass  # discarded between snapshot and query: fine
+
+        threads = ([threading.Thread(target=writer, args=(k,))
+                    for k in range(4)]
+                   + [threading.Thread(target=reader) for _ in range(4)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+            assert not t.is_alive(), "deadlocked"
+        assert not errors
+        assert sum(1 for n in store.names() if n.startswith("w")) == 160
+        for k in range(4):
+            for i in range(40):
+                store.discard(f"w{k}-{i}")
+
+    def test_duplicate_create_races_resolve_to_one_winner(self, db):
+        store = db.store
+        outcomes = []
+
+        def create():
+            try:
+                store.create("contended", np.arange(10, dtype=np.uint64))
+                outcomes.append("won")
+            except KeyError:
+                outcomes.append("lost")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for handle in [pool.submit(create) for _ in range(8)]:
+                handle.result(30)
+        assert outcomes.count("won") == 1
+        store.discard("contended")
+
+    def test_concurrent_seeded_sampling_matches_sequential(self, db):
+        # Seeded calls bypass the shared stream, so N threads sampling
+        # concurrently must reproduce the sequential answers exactly.
+        want = {i: db.store.sample_many(f"s{i % 6}", 5, rng=100 + i).values
+                for i in range(24)}
+
+        def draw(i):
+            return i, db.store.sample_many(f"s{i % 6}", 5,
+                                           rng=100 + i).values
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            got = dict(pool.map(draw, range(24)))
+        assert got == want
+
+    def test_shared_stream_sampling_is_serialised_not_corrupted(self, db):
+        # Unseeded draws share one np.random.Generator; the lock makes
+        # them safe (values differ run to run, but nothing crashes and
+        # every draw lands inside the namespace).
+        def draw(_):
+            return db.store.sample("s0").value
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            values = list(pool.map(draw, range(64)))
+        assert all(v is None or 0 <= v < 6_000 for v in values)
+
+
+class TestPositionCacheLocking:
+    def test_shared_cache_across_threads_is_consistent(self, db):
+        # One cache shared by concurrent seeded samplers: results must
+        # equal the single-threaded, cache-less answers.
+        want = {i: db.store.sample_many(f"s{i % 6}", 4, rng=500 + i).values
+                for i in range(24)}
+        cache = PositionCache(db.tree)
+
+        def draw(i):
+            return i, db.store.sample_many(f"s{i % 6}", 4, rng=500 + i,
+                                           position_cache=cache).values
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            got = dict(pool.map(draw, range(24)))
+        assert got == want
+
+    def test_estimate_cache_is_bit_identical(self, db):
+        # The (query, node) estimate memo must not change any decision:
+        # same seed, with and without a pre-warmed shared cache.
+        cache = PositionCache(db.tree)
+        first = db.store.sample_many("s1", 6, rng=9,
+                                     position_cache=cache).values
+        second = db.store.sample_many("s1", 6, rng=9,
+                                      position_cache=cache).values
+        cold = db.store.sample_many("s1", 6, rng=9).values
+        assert first == second == cold

@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving-subsystem suite.
+
+One small engine configuration used everywhere, plus a deterministic
+eight-set workload so coalesced results can be compared bit-for-bit
+against a reference :class:`~repro.api.BloomDB` built the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import BloomDB, EngineConfig
+
+NAMESPACE = 8_000
+
+
+@pytest.fixture(scope="session")
+def engine_config() -> EngineConfig:
+    """The engine knobs every service/pool/reference engine shares."""
+    return EngineConfig(namespace_size=NAMESPACE, accuracy=0.9,
+                        set_size=150, seed=5)
+
+
+@pytest.fixture(scope="session")
+def workload() -> list[tuple[str, np.ndarray]]:
+    """The deterministic (name, ids) pairs every consumer loads."""
+    rng = np.random.default_rng(42)
+    return [
+        (f"set{i}", rng.choice(NAMESPACE, 150,
+                               replace=False).astype(np.uint64))
+        for i in range(8)
+    ]
+
+
+@pytest.fixture(scope="session")
+def reference_db(engine_config, workload) -> BloomDB:
+    """The unsharded engine coalesced results must match bit-for-bit."""
+    db = BloomDB.from_config(engine_config)
+    for name, ids in workload:
+        db.add_set(name, ids)
+    return db

@@ -1,0 +1,142 @@
+"""The HTTP/JSON front end: round trips, error mapping, stats."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    BloomService,
+    HTTPServiceClient,
+    ReproServer,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service.client import HTTPError
+from repro.service.pool import ShardedEnginePool
+
+
+@pytest.fixture(scope="module")
+def server(engine_config, workload):
+    pool = ShardedEnginePool(engine_config, 2)
+    service = BloomService(pool, ServiceConfig(shards=2, max_delay_ms=1.0))
+    for name, ids in workload:
+        service.add_set(name, ids)
+    with ReproServer(service, port=0) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return HTTPServiceClient(server.url)
+
+
+class TestRoundTrips:
+    def test_healthz(self, client):
+        assert client.healthz() == {"ok": True}
+
+    def test_sample_matches_in_process_client(self, server, client,
+                                              workload):
+        name = workload[0][0]
+        over_http = client.sample(name, r=6, seed=41)
+        in_process = ServiceClient(server.service).sample(name, r=6, seed=41)
+        assert over_http == in_process
+        assert len(over_http["values"]) == 6
+
+    def test_reconstruct_returns_elements_and_ops(self, client, workload):
+        name, ids = workload[1]
+        # Exhaustive mode guarantees recall (estimator-guided pruning may
+        # miss elements below the noise floor).
+        response = client.reconstruct(name, exhaustive=True)
+        assert set(ids.tolist()) <= set(response["elements"])
+        assert response["ops"]["memberships"] > 0
+
+    def test_contains(self, client, workload):
+        name, ids = workload[2]
+        assert client.contains(name, int(ids[0]))["contains"] is True
+
+    def test_union_and_intersection(self, client, workload):
+        names = [workload[0][0], workload[1][0]]
+        union = client.sample_union(names, seed=9)
+        assert union["value"] is not None
+        sketch = client.sample_intersection(names, seed=9)
+        assert "value" in sketch
+
+    def test_add_set_then_query(self, client):
+        ids = list(range(0, 900, 9))
+        assert client.add_set("added-via-http", ids)["ok"] is True
+        got = client.sample("added-via-http", r=4, seed=2)
+        assert all(v % 9 == 0 for v in got["values"])
+
+    def test_stats_nonempty(self, client):
+        stats = client.stats()
+        assert stats["counters"]["served_total"] > 0
+        assert stats["pool"]["shards"] == 2
+        assert stats["policy"]["max_batch"] > 0
+        assert "batch_size" in stats["histograms"]
+
+
+class TestErrorMapping:
+    def test_unknown_set_is_404(self, client):
+        with pytest.raises(HTTPError) as info:
+            client.sample("missing-set")
+        assert info.value.status == 404
+
+    def test_unknown_route_is_400(self, client):
+        with pytest.raises(HTTPError) as info:
+            client._request("POST", "/no-such-route", {})
+        assert info.value.status == 400
+
+    def test_missing_field_is_400(self, client):
+        with pytest.raises(HTTPError) as info:
+            client._request("POST", "/sample", {"r": 3})
+        assert info.value.status == 400
+        assert "set" in str(info.value)
+
+    def test_malformed_json_is_400(self, server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/sample", data=b"{nope", method="POST",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_duplicate_add_set_is_409(self, client, workload):
+        with pytest.raises(HTTPError) as info:
+            client.add_set(workload[0][0], [1, 2, 3])
+        assert info.value.status == 409
+        assert "already exists" in str(info.value)
+
+    def test_get_unknown_route_is_404(self, client):
+        with pytest.raises(HTTPError) as info:
+            client._request("GET", "/nope")
+        assert info.value.status == 404
+
+
+class TestServerLifecycle:
+    def test_port_zero_resolves(self, server):
+        assert server.port > 0
+        assert server.url.startswith("http://127.0.0.1:")
+
+    def test_smoke_cli_mode(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["serve", "--smoke", "--requests", "60",
+                   "--namespace", "6000", "--set-size", "80",
+                   "--num-sets", "4", "--shards", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "smoke: OK" in out
+
+
+def test_in_process_client_encodes_sample_result(engine_config, workload):
+    pool = ShardedEnginePool(engine_config, 1)
+    service = BloomService(pool, ServiceConfig(shards=1))
+    name, ids = workload[0]
+    service.add_set(name, ids)
+    with service:
+        response = ServiceClient(service).sample(name, r=3, seed=8)
+    assert sorted(response) == ["ops", "requested", "shortfall", "values"]
+    assert response["requested"] == 3
+    assert all(isinstance(v, int) for v in response["values"])
+    assert set(response["values"]) <= set(np.asarray(ids).tolist())

@@ -1,0 +1,140 @@
+"""ShardedEnginePool: routing, replication invariants, cross-shard algebra."""
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig
+from repro.service.pool import ShardedEnginePool
+
+
+@pytest.fixture(scope="module")
+def pool(engine_config, workload):
+    p = ShardedEnginePool(engine_config, shards=4)
+    for name, ids in workload:
+        p.add_set(name, ids)
+    return p
+
+
+class TestRouting:
+    def test_every_set_lands_on_its_ring_shard(self, pool, workload):
+        for name, _ in workload:
+            shard = pool.shard_of(name)
+            assert name in pool.engines[shard].store
+            for i, engine in enumerate(pool.engines):
+                if i != shard:
+                    assert name not in engine.store
+
+    def test_names_merge_across_shards(self, pool, workload):
+        assert pool.names() == sorted(n for n, _ in workload)
+        assert len(pool) == len(workload)
+
+    def test_contains_routes_to_owner(self, pool, workload):
+        name, ids = workload[0]
+        assert pool.contains(name, int(ids[0]))
+
+
+class TestStaticTreeSharing:
+    def test_static_shards_share_one_tree_object(self, pool):
+        trees = {id(engine.tree) for engine in pool.engines}
+        assert len(trees) == 1
+        assert pool.describe()["shared_tree"] is True
+
+    def test_results_are_shard_independent(self, pool, reference_db,
+                                           workload):
+        # Same seed, same set, any shard's engine: identical draws.
+        name, _ = workload[3]
+        want = reference_db.store.sample_many(name, 6, rng=123).values
+        owner = pool.engine_for(name)
+        assert owner.store.sample_many(name, 6, rng=123).values == want
+
+
+class TestOccupancyBackends:
+    def test_pruned_pool_broadcasts_occupancy(self):
+        config = EngineConfig(namespace_size=16_000, accuracy=0.9,
+                              set_size=100, tree="pruned", seed=3)
+        pool = ShardedEnginePool(config, shards=3)
+        rng = np.random.default_rng(9)
+        ids = rng.choice(16_000, 400, replace=False).astype(np.uint64)
+        pool.add_set("alpha", ids[:200])
+        pool.add_set("beta", ids[200:])
+        # Every shard's tree saw every id, so the trees stay identical.
+        for engine in pool.engines:
+            assert engine.occupied is not None
+            assert engine.occupied.size == 400
+        # And cross-shard queries agree regardless of executing shard.
+        merged = pool.union_filter(["alpha", "beta"])
+        values = {
+            engine.store.sample_filter(merged, rng=7).value
+            for engine in pool.engines
+        }
+        assert len(values) == 1
+
+    def test_per_shard_trees_are_distinct_objects(self):
+        config = EngineConfig(namespace_size=4_000, tree="pruned", seed=1,
+                              set_size=50)
+        pool = ShardedEnginePool(config, shards=2)
+        assert pool.engines[0].tree is not pool.engines[1].tree
+        assert pool.describe()["shared_tree"] is False
+
+
+class TestAlgebra:
+    def test_union_filter_matches_unsharded_store(self, pool, reference_db,
+                                                  workload):
+        names = [n for n, _ in workload[:3]]
+        want = reference_db.store.union_filter(names)
+        got = pool.union_filter(names)
+        assert np.array_equal(got.bits.words, want.bits.words)
+
+    def test_intersection_filter_matches_unsharded_store(self, pool,
+                                                         reference_db,
+                                                         workload):
+        names = [n for n, _ in workload[:2]]
+        want = reference_db.store.intersection_filter(names)
+        got = pool.intersection_filter(names)
+        assert np.array_equal(got.bits.words, want.bits.words)
+
+    def test_empty_names_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.union_filter([])
+
+
+class TestLifecycle:
+    def test_extend_and_drop(self, engine_config):
+        pool = ShardedEnginePool(engine_config, shards=2)
+        pool.add_set("grow", np.arange(10, dtype=np.uint64))
+        pool.extend_set("grow", np.arange(10, 20, dtype=np.uint64))
+        assert pool.contains("grow", 15)
+        pool.drop_set("grow")
+        assert "grow" not in pool
+        with pytest.raises(KeyError):
+            pool.filter("grow")
+
+    def test_from_engine_reshards_a_loaded_db(self, reference_db, workload):
+        pool = ShardedEnginePool.from_engine(reference_db, shards=3)
+        assert pool.names() == reference_db.names()
+        for name, _ in workload:
+            want = reference_db.filter(name)
+            got = pool.filter(name)
+            assert np.array_equal(got.bits.words, want.bits.words)
+            # Copied, not aliased: mutating the pool leaves the source alone.
+            assert got is not want
+
+    def test_invalid_shard_count(self, engine_config):
+        with pytest.raises(ValueError):
+            ShardedEnginePool(engine_config, shards=0)
+
+    def test_install_rejects_incompatible_and_duplicate_filters(
+            self, engine_config, reference_db):
+        from repro.api import BloomDB
+        from repro.core.store import DuplicateSetError
+
+        pool = ShardedEnginePool.from_engine(reference_db, shards=2)
+        name = reference_db.names()[0]
+        store = pool.engine_for(name).store
+        with pytest.raises(DuplicateSetError):
+            store.install(name, reference_db.filter(name).copy())
+        other = BloomDB.plan(namespace_size=500, accuracy=0.8, set_size=20,
+                             seed=1)
+        other.add_set("tiny", np.arange(5, dtype=np.uint64))
+        with pytest.raises(ValueError, match="incompatible"):
+            store.install("fresh", other.filter("tiny"))

@@ -1,0 +1,242 @@
+"""Scheduler semantics: bit-identity under interleaving, batching, admission.
+
+The load-bearing test is the property test: any interleaving of N
+concurrent single requests must return bit-identical results to the same
+requests issued as one direct :meth:`repro.api.BloomDB.sample_many`
+batch — that is the serving layer's correctness contract (satellite
+task of ISSUE 3).
+"""
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import SampleSpec
+from repro.service import (
+    BatchPolicy,
+    BloomService,
+    ServiceConfig,
+    ServiceOverloadedError,
+    ShardWorker,
+)
+from repro.service.pool import ShardedEnginePool
+from repro.service.requests import ServiceRequest
+
+
+def make_service(engine_config, workload, **knobs) -> BloomService:
+    config = ServiceConfig(**knobs)
+    pool = ShardedEnginePool(engine_config, config.shards,
+                             replicas=config.replicas)
+    service = BloomService(pool, config)
+    for name, ids in workload:
+        service.add_set(name, ids)
+    return service
+
+
+#: Service shapes the property test sweeps: many shards, one shard,
+#: no-delay opportunistic batching, and single-request batches
+#: (max_batch=1 disables coalescing entirely — the degenerate case).
+POLICIES = [
+    dict(shards=4, max_batch=256, max_delay_ms=2.0),
+    dict(shards=1, max_batch=256, max_delay_ms=2.0),
+    dict(shards=4, max_batch=256, max_delay_ms=0.0),
+    dict(shards=2, max_batch=1, max_delay_ms=1.0),
+]
+
+
+class TestInterleavingProperty:
+    @pytest.mark.parametrize("knobs", POLICIES)
+    def test_concurrent_singles_match_one_direct_batch(
+            self, knobs, engine_config, workload, reference_db):
+        """N concurrent requests == one direct sample_many spec batch."""
+        names = [name for name, _ in workload]
+        specs = [
+            SampleSpec(names[i % len(names)], rounds=1 + i % 5,
+                       replacement=(i % 3 != 0), seed=10_000 + i,
+                       key=str(i))
+            for i in range(48)
+        ]
+        want = [result.values
+                for result in reference_db.sample_many(specs).ordered()]
+
+        for trial in range(3):  # three different submission interleavings
+            service = make_service(engine_config, workload, **knobs)
+            order = list(range(len(specs)))
+            random.Random(trial).shuffle(order)
+            futures: dict[int, object] = {}
+            barrier = threading.Barrier(8)
+
+            def submit_block(block, futures=futures, barrier=barrier,
+                             service=service, order=order):
+                barrier.wait()  # maximise submission concurrency
+                for i in order[block::8]:
+                    spec = specs[i]
+                    futures[i] = service.submit_sample(
+                        spec.name, spec.rounds, spec.replacement,
+                        seed=spec.seed)
+
+            with service:
+                with ThreadPoolExecutor(max_workers=8) as executor:
+                    for handle in [executor.submit(submit_block, b)
+                                   for b in range(8)]:
+                        handle.result(30)
+                got = [futures[i].result(30).values
+                       for i in range(len(specs))]
+            assert got == want, f"trial {trial} diverged under {knobs}"
+
+    def test_reconstruction_matches_direct_calls(self, engine_config,
+                                                 workload, reference_db):
+        service = make_service(engine_config, workload, shards=4)
+        names = [name for name, _ in workload]
+        with service:
+            futures = [service.submit_reconstruct(name) for name in names]
+            got = [future.result(30) for future in futures]
+        for name, result in zip(names, got):
+            want = reference_db.reconstruct(name)
+            assert np.array_equal(result.elements, want.elements)
+
+    def test_contains_and_union_match_direct_calls(self, engine_config,
+                                                   workload, reference_db):
+        service = make_service(engine_config, workload, shards=3)
+        name, ids = workload[0]
+        with service:
+            assert service.contains(name, int(ids[0])) is True
+            got = service.sample_union([w[0] for w in workload[:3]], seed=77)
+        want = reference_db.store.sample_union(
+            [w[0] for w in workload[:3]], rng=77)
+        assert got.value == want.value
+
+
+class TestBatching:
+    def test_coalescing_actually_happens(self, engine_config, workload):
+        service = make_service(engine_config, workload, shards=1,
+                               max_batch=256, max_delay_ms=20.0)
+        with service:
+            futures = [service.submit_sample(workload[i % 8][0], 2, seed=i)
+                       for i in range(64)]
+            for future in futures:
+                future.result(30)
+        batch = service.stats()["histograms"]["batch_size"]
+        assert batch["max"] > 1  # at least one multi-request dispatch
+
+    def test_max_batch_one_still_serves(self, engine_config, workload):
+        service = make_service(engine_config, workload, shards=2,
+                               max_batch=1)
+        with service:
+            values = service.sample(workload[0][0], r=3, seed=5).values
+        assert len(values) == 3
+
+    def test_batch_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_delay_ms=-1)
+        with pytest.raises(ValueError):
+            BatchPolicy(queue_depth=0)
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_503_error(self, engine_config,
+                                               workload):
+        from repro.service.metrics import Metrics
+
+        pool = ShardedEnginePool(engine_config, 1)
+        for name, ids in workload[:1]:
+            pool.add_set(name, ids)
+        worker = ShardWorker(0, pool, BatchPolicy(queue_depth=4),
+                             Metrics())
+        # Worker thread never started: the queue fills and must reject.
+        for i in range(4):
+            worker.submit(ServiceRequest(op="sample",
+                                         names=(workload[0][0],), seed=i))
+        with pytest.raises(ServiceOverloadedError):
+            worker.submit(ServiceRequest(op="sample",
+                                         names=(workload[0][0],), seed=9))
+        assert worker.metrics.counter("rejected_total") == 1
+        assert worker.metrics.counter("sample.rejected") == 1
+
+    def test_unknown_set_fails_that_request_only(self, engine_config,
+                                                 workload):
+        service = make_service(engine_config, workload, shards=2)
+        with service:
+            bad = service.submit_sample("no-such-set", 2, seed=1)
+            good = service.submit_sample(workload[0][0], 2, seed=1)
+            assert len(good.result(30).values) == 2
+            with pytest.raises(KeyError):
+                bad.result(30)
+        assert service.metrics.counter("errors_total") == 1
+
+    def test_submit_after_stop_is_rejected(self, engine_config, workload):
+        service = make_service(engine_config, workload, shards=1)
+        service.start()
+        service.stop()
+        with pytest.raises(RuntimeError):
+            service.submit_sample(workload[0][0])
+
+    def test_service_restarts_after_stop(self, engine_config, workload):
+        # Threads cannot be restarted, so the scheduler must build fresh
+        # workers on a second start().
+        service = make_service(engine_config, workload, shards=2)
+        with service:
+            first = service.sample(workload[0][0], r=3, seed=4).values
+        with service:
+            second = service.sample(workload[0][0], r=3, seed=4).values
+        assert first == second
+
+
+class TestCancellation:
+    def test_cancelled_future_does_not_kill_the_shard_worker(
+            self, engine_config, workload):
+        service = make_service(engine_config, workload, shards=1,
+                               max_delay_ms=50.0)
+        with service:
+            doomed = service.submit_sample(workload[0][0], 2, seed=1)
+            doomed.cancel()  # may or may not win the race with dispatch
+            # The worker must survive and keep serving either way.
+            for i in range(5):
+                values = service.sample(workload[1][0], r=2,
+                                        seed=i).values
+                assert len(values) == 2
+
+
+class TestServingSafeMutations:
+    def test_add_set_while_serving(self, engine_config, workload):
+        service = make_service(engine_config, workload, shards=2)
+        with service:
+            ids = np.arange(0, 500, 7, dtype=np.uint64)
+            service.add_set("fresh", ids)
+            values = service.sample("fresh", r=8, seed=3).values
+        assert values
+        assert all(v % 7 == 0 for v in values)
+
+    def test_failed_mutation_registers_no_occupancy(self):
+        # extend_set of a nonexistent name must leave every shard's
+        # occupancy untouched — matching the direct engine path.
+        from repro.api import EngineConfig
+
+        config = EngineConfig(namespace_size=16_000, accuracy=0.9,
+                              set_size=100, tree="pruned", seed=3)
+        pool = ShardedEnginePool(config, shards=2)
+        service = BloomService(pool, ServiceConfig(shards=2))
+        with service:
+            with pytest.raises(KeyError):
+                service.extend_set("ghost", np.arange(50, dtype=np.uint64))
+        for engine in pool.engines:
+            assert engine.occupied is None or engine.occupied.size == 0
+
+    def test_add_set_broadcasts_occupancy_on_pruned(self):
+        from repro.api import EngineConfig
+
+        config = EngineConfig(namespace_size=16_000, accuracy=0.9,
+                              set_size=100, tree="pruned", seed=3)
+        pool = ShardedEnginePool(config, shards=3)
+        service = BloomService(pool, ServiceConfig(shards=3))
+        with service:
+            ids = np.arange(100, 1_100, dtype=np.uint64)
+            service.add_set("live", ids)
+            assert service.sample("live", r=4, seed=1).values
+        for engine in pool.engines:
+            assert engine.occupied.size == 1_000

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.workloads",
     "repro.analysis",
     "repro.experiments",
+    "repro.service",
     "repro.utils",
 ]
 

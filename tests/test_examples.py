@@ -18,6 +18,8 @@ CASES = {
     "dynamic_membership.py": ["--namespace", "50000", "--population",
                               "3000"],
     "keyword_search.py": ["--documents", "20000", "--keywords", "40"],
+    "serving_demo.py": ["--namespace", "60000", "--users", "4000",
+                        "--hashtags", "10", "--requests", "200"],
 }
 
 
