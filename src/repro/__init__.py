@@ -62,6 +62,8 @@ from repro.core import (
     BitVector,
     BloomFilter,
     BloomSampleTree,
+    CompiledTree,
+    descend_frontier,
     CountingBloomFilter,
     CountingOverflowError,
     DynamicBloomSampleTree,
@@ -104,7 +106,7 @@ from repro.workloads import (
     uniform_query_set,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BSTReconstructor",
@@ -116,6 +118,7 @@ __all__ = [
     "BloomDB",
     "BloomFilter",
     "BloomSampleTree",
+    "CompiledTree",
     "CountingBloomFilter",
     "CountingOverflowError",
     "DictionaryAttack",
@@ -148,6 +151,7 @@ __all__ = [
     "chi_squared_uniformity",
     "clustered_query_set",
     "create_family",
+    "descend_frontier",
     "estimate_cardinality",
     "estimate_intersection_size",
     "expected_accuracy",

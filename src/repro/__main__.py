@@ -38,6 +38,12 @@ Commands
     request load through the in-process client and exits non-zero on any
     error — the CI liveness check.
 
+``compile``
+    Compile a saved engine directory into the flat-array plan format
+    (:mod:`repro.core.plan`): ``plan.bst`` + ``sets.bst``, raw buffers
+    that load via ``np.memmap`` — cold starts become O(mmap) and every
+    serving shard shares one read-only tree mapping.
+
 All engine-backed commands take ``--tree static|pruned|dynamic`` and
 ``--family simple|murmur3|md5`` — the variant is purely a config choice.
 """
@@ -210,10 +216,81 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import time
+
+    from repro.api import BloomDB
+
+    path = pathlib.Path(args.db)
+    engine_file = path / "engine.json"
+    if not engine_file.exists():
+        raise SystemExit(f"no saved engine at {args.db} "
+                         f"(expected an engine.json inside)")
+    if (path / "plan.bst").exists() and not args.force:
+        print(f"{args.db} already holds a compiled plan "
+              f"(use --force to recompile)")
+        return 0
+
+    start = time.perf_counter()
+    db = BloomDB.load(args.db)
+    plan = db.compiled_tree()
+    plan.save(path / "plan.bst")
+    db.store.save_compiled(path / "sets.bst")
+    payload = json.loads(engine_file.read_text())
+    payload["config"]["plan"] = "compiled"
+    engine_file.write_text(json.dumps(payload, indent=2))
+    elapsed = time.perf_counter() - start
+
+    plan_bytes = (path / "plan.bst").stat().st_size
+    sets_bytes = (path / "sets.bst").stat().st_size
+    print(f"compiled {plan.num_nodes} nodes "
+          f"({plan.backend} tree, depth {plan.depth}) in {elapsed:.2f}s")
+    print(f"plan.bst: {plan_bytes / 1e6:.2f} MB  "
+          f"sets.bst: {sets_bytes / 1e6:.2f} MB ({len(db.names())} sets)")
+    print(f"engine.json now says plan=\"compiled\"; subsequent "
+          f"`--db {args.db}` loads mmap these buffers")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Print the cross-PR speedup trajectory from BENCH_history.json."""
+    import pathlib
+
+    from repro.bench.runner import HISTORY_FILE, load_history
+
+    history = load_history(pathlib.Path(args.output_dir) / HISTORY_FILE)
+    runs = history["runs"]
+    if not runs:
+        print(f"no runs recorded in "
+              f"{pathlib.Path(args.output_dir) / HISTORY_FILE}")
+        return 1
+    print(f"{len(runs)} run(s): "
+          + " -> ".join(f"v{run['version']}[{run['mode']}]" for run in runs))
+    trajectories: dict[tuple[str, str], list[str]] = {}
+    for run in runs:
+        for scenario, summary in run["scenarios"].items():
+            for key, value in summary.items():
+                if key.startswith(("speedup_", "throughput_")):
+                    trajectories.setdefault((scenario, key), []).append(
+                        str(value))
+    if not trajectories:
+        print("history holds no speedup/throughput headline values")
+        return 1
+    width = max(len(f"{s} {k}") for s, k in trajectories)
+    for (scenario, key), values in sorted(trajectories.items()):
+        print(f"  {f'{scenario} {key}':<{width}}  "
+              + " -> ".join(values))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import BENCH_FILES, SCENARIOS, BenchRunner
     from repro.bench.scenarios import scenario_names
 
+    if args.compare:
+        return _cmd_bench_compare(args)
     if args.list:
         for name in scenario_names():
             scenario = SCENARIOS[name]
@@ -494,6 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: all)")
     bench.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
+    bench.add_argument("--compare", action="store_true",
+                       help="print the speedup trajectory recorded in "
+                            "BENCH_history.json and exit")
     bench.add_argument("--force", action="store_true",
                        help="ignore cached results and re-measure")
     bench.add_argument("--cache-dir", default=".bench_cache",
@@ -501,6 +581,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output-dir", default=".",
                        help="where BENCH_*.json are written (default: .)")
     bench.set_defaults(func=_cmd_bench)
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="compile a saved engine into the mmap-loadable flat-array "
+             "plan (plan.bst + sets.bst; flips engine.json to "
+             "plan=\"compiled\")")
+    compile_cmd.add_argument("--db", required=True,
+                             help="saved engine directory (BloomDB.save)")
+    compile_cmd.add_argument("--force", action="store_true",
+                             help="recompile even if plan.bst exists")
+    compile_cmd.set_defaults(func=_cmd_compile)
     return parser
 
 

@@ -33,6 +33,7 @@ DEFAULT_SET_SIZE = 1_000
 
 _FAMILIES = FAMILY_NAMES
 _DESCENTS = ("threshold", "floored")
+_PLANS = ("objects", "compiled")
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,14 @@ class EngineConfig:
     ``descent``
         Branch policy of :class:`~repro.core.sampling.BSTSampler`:
         ``"threshold"`` (paper) or ``"floored"`` (starvation-free).
+    ``plan``
+        Descent execution plan: ``"objects"`` (recursion over the
+        pointer-linked node graph) or ``"compiled"`` (the flat-array
+        :class:`~repro.core.plan.CompiledTree`: batched sampling runs
+        the level-synchronous
+        :func:`~repro.core.plan.descend_frontier` kernel — bit-identical
+        results — and saved engines persist an ``np.memmap``-loadable
+        plan for O(mmap) cold starts).  See ``docs/performance.md``.
     ``seed``
         Seeds both the hash family and the engine's random stream.
     ``k``
@@ -76,6 +85,7 @@ class EngineConfig:
     tree: str = "static"
     threshold: float = DEFAULT_EMPTY_THRESHOLD
     descent: str = "threshold"
+    plan: str = "objects"
     seed: int = 0
     k: int = 3
     cost_ratio: float | None = None
@@ -99,6 +109,9 @@ class EngineConfig:
             raise ValueError(
                 f"unknown descent policy {self.descent!r} "
                 f"(known: {_DESCENTS})")
+        if self.plan not in _PLANS:
+            raise ValueError(
+                f"unknown execution plan {self.plan!r} (known: {_PLANS})")
         if self.k <= 0:
             raise ValueError("k must be positive")
         if self.depth is not None:

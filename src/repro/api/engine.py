@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 import time
 from typing import Iterable, Mapping
 
@@ -38,6 +39,7 @@ from repro.core.bloom import BloomFilter
 from repro.core.design import TreeParameters
 from repro.core.hashing import HashFamily
 from repro.core.kernels import PositionCache
+from repro.core.plan import CompiledTree
 from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
 from repro.core.sampling import BSTSampler, MultiSampleResult, SampleResult
 from repro.core.serialization import load_tree, save_tree
@@ -47,7 +49,26 @@ from repro.core.store import FilterStore
 _ENGINE_FILE = "engine.json"
 _TREE_FILE = "tree.npz"
 _SETS_FILE = "sets.npz"
+#: Compiled artefacts written alongside when ``plan == "compiled"``:
+#: the flat-array tree plan and the packed set filters, both loadable
+#: via ``np.memmap`` (see repro.core.mmapio).
+_PLAN_FILE = "plan.bst"
+_SETS_COMPILED_FILE = "sets.bst"
 _SAVE_FORMAT = 1
+
+
+def _materialise_once(factory):
+    """Wrap a factory so concurrent callers share one materialisation."""
+    lock = threading.Lock()
+    cell: list = []
+
+    def call():
+        with lock:
+            if not cell:
+                cell.append(factory())
+        return cell[0]
+
+    return call
 
 
 class BackendCapabilityError(RuntimeError):
@@ -74,29 +95,84 @@ class BloomDB:
         tree: TreeBackend | None = None,
         store: FilterStore | None = None,
         occupied=None,
+        compiled: CompiledTree | None = None,
     ):
         self.config = config
         self.params = params if params is not None else config.parameters()
         self.family = (family if family is not None
                        else config.build_family(self.params))
         self._spec: BackendSpec = backend_for(config.tree)
-        if tree is None:
+        self._compiled = compiled
+        self._plan_lock = threading.RLock()
+        # ``tree`` may be a backend instance, a zero-arg factory (shared
+        # lazy materialisation across pool shards), or None — in which
+        # case the tree is materialised from the compiled plan when one
+        # was given, or built eagerly as before.
+        self._tree: TreeBackend | None = None
+        self._tree_factory = None
+        if tree is not None and not callable(tree):
+            self._tree = tree
+        elif callable(tree):
+            self._tree_factory = tree
+        elif compiled is not None:
+            self._tree_factory = self._tree_from_plan
+        else:
             if occupied is not None:
                 occupied = self._as_ids(occupied)
-            tree = self._spec.build(
+            self._tree = self._spec.build(
                 config.namespace_size, self.params.depth, self.family,
                 occupied=occupied,
             )
-        self.tree = tree
         if store is None:
             store = FilterStore(
                 self.family,
-                tree=self.tree,
+                tree=(self._tree if self._tree is not None
+                      else (lambda: self.tree)),
                 rng=config.seed,
                 empty_threshold=config.threshold,
                 descent=config.descent,
             )
         self.store = store
+
+    @property
+    def tree(self) -> TreeBackend:
+        """The tree backend (materialised from the plan on first use).
+
+        Engines loaded with ``plan="compiled"`` defer building the
+        pointer-linked node graph: compiled sampling never needs it, so a
+        serving cold start that only samples pays O(mmap).  The first
+        operation that genuinely walks objects (reconstruction, a single
+        :meth:`sample`, occupancy updates) materialises it here.
+        """
+        if self._tree is None:
+            with self._plan_lock:
+                if self._tree is None:
+                    self._tree = self._tree_factory()
+        return self._tree
+
+    def _tree_from_plan(self) -> TreeBackend:
+        # Occupancy-tracking backends must stay mutable, so their node
+        # filters are copied out of the mapping; static trees keep
+        # zero-copy views.
+        return self._compiled.to_tree(
+            writable=self._spec.requires_occupied)
+
+    def compiled_tree(self) -> CompiledTree:
+        """This engine's flat-array tree plan (compiled lazily, cached).
+
+        Invalidated (and recompiled on next use) by occupancy changes —
+        :meth:`insert_ids`, :meth:`retire_ids` and the id registration of
+        :meth:`add_set` / :meth:`extend_set` on occupancy-tracking
+        backends.
+        """
+        with self._plan_lock:
+            if self._compiled is None:
+                self._compiled = CompiledTree.from_tree(self.tree)
+            return self._compiled
+
+    def _invalidate_plan(self) -> None:
+        with self._plan_lock:
+            self._compiled = None
 
     # -- construction ---------------------------------------------------------
 
@@ -111,6 +187,7 @@ class BloomDB:
         tree: str = "static",
         threshold: float | None = None,
         descent: str = "threshold",
+        plan: str = "objects",
         seed: int = 0,
         k: int = 3,
         cost_ratio: float | None = None,
@@ -135,6 +212,7 @@ class BloomDB:
             family=family,
             tree=tree,
             descent=descent,
+            plan=plan,
             seed=seed,
             k=k,
             cost_ratio=cost_ratio,
@@ -212,6 +290,7 @@ class BloomDB:
                 f"occupancy; use tree=\"pruned\" or tree=\"dynamic\""
             )
         self.tree.insert_many(self._as_ids(ids))
+        self._invalidate_plan()
         return self
 
     def retire_ids(self, ids) -> "BloomDB":
@@ -228,6 +307,7 @@ class BloomDB:
                 f"use tree=\"dynamic\""
             )
         self.tree.remove_many(self._as_ids(ids))
+        self._invalidate_plan()
         return self
 
     @property
@@ -286,13 +366,23 @@ class BloomDB:
         specs = self._normalise_requests(names, r, replacement)
         report = BatchReport()
         start = time.perf_counter()
-        # One shared position cache: every request's paths hash each
-        # leaf's candidates at most once for the whole batch.
-        cache = PositionCache(self.tree)
-        for key, spec in specs:
-            report.add(key, self.store.sample_many(
-                spec.name, spec.rounds, spec.replacement,
-                position_cache=cache, rng=spec.seed))
+        if self.config.plan == "compiled":
+            # Flat-array path: one level-synchronous descend_frontier
+            # pass serves the whole batch (bit-identical per request).
+            results = self.store.sample_batch_compiled(
+                self.compiled_tree(),
+                [(spec.name, spec.rounds, spec.replacement, spec.seed)
+                 for _, spec in specs])
+            for (key, _), result in zip(specs, results):
+                report.add(key, result)
+        else:
+            # One shared position cache: every request's paths hash each
+            # leaf's candidates at most once for the whole batch.
+            cache = PositionCache(self.tree)
+            for key, spec in specs:
+                report.add(key, self.store.sample_many(
+                    spec.name, spec.rounds, spec.replacement,
+                    position_cache=cache, rng=spec.seed))
         report.elapsed_s = time.perf_counter() - start
         return report
 
@@ -333,6 +423,30 @@ class BloomDB:
         """The registry entry of the configured tree backend."""
         return self._spec
 
+    def spawn_shard(self) -> "BloomDB":
+        """A fresh-store engine over this engine's built components.
+
+        The serving pool uses this instead of rebuilding per shard:
+        static trees (immutable at serve time) are physically shared —
+        including the compiled plan, so N shards map one read-only copy —
+        while occupancy-tracking backends get an independent writable
+        tree, materialised from the compiled plan when one exists
+        (skipping the re-hash of every occupied id) and rebuilt from the
+        occupancy otherwise.
+        """
+        if not self._spec.requires_occupied:
+            tree_source = (self._tree if self._tree is not None
+                           else (lambda: self.tree))
+            return BloomDB(self.config, params=self.params,
+                           family=self.family, tree=tree_source,
+                           compiled=self._compiled)
+        if self._compiled is not None and self.config.tree != "dynamic":
+            return BloomDB(self.config, params=self.params,
+                           family=self.family,
+                           tree=self._compiled.to_tree(writable=True))
+        return BloomDB(self.config, params=self.params, family=self.family,
+                       occupied=self.occupied)
+
     def sampler_for(self, rng=None) -> BSTSampler:
         """A fresh sampler on this engine's tree and thresholds.
 
@@ -361,8 +475,10 @@ class BloomDB:
         """Persist the whole engine under directory ``path``.
 
         Writes three files: ``engine.json`` (the config), ``tree.npz``
-        (the tree backend) and ``sets.npz`` (every named filter).
-        Returns the directory path.
+        (the tree backend) and ``sets.npz`` (every named filter).  With
+        ``plan="compiled"`` it additionally writes the mmap-loadable
+        compiled artefacts (``plan.bst``, ``sets.bst``) that make
+        :meth:`load` O(mmap).  Returns the directory path.
         """
         path = pathlib.Path(path)
         path.mkdir(parents=True, exist_ok=True)
@@ -370,17 +486,52 @@ class BloomDB:
         (path / _ENGINE_FILE).write_text(json.dumps(payload, indent=2))
         save_tree(self.tree, path / _TREE_FILE)
         self.store.save(path / _SETS_FILE)
+        if self.config.plan == "compiled":
+            self.compiled_tree().save(path / _PLAN_FILE)
+            self.store.save_compiled(path / _SETS_COMPILED_FILE)
         return path
 
     @classmethod
     def load(cls, path) -> "BloomDB":
-        """Rebuild an engine saved with :meth:`save`."""
+        """Rebuild an engine saved with :meth:`save`.
+
+        A ``plan="compiled"`` save with its compiled artefacts present
+        loads through ``np.memmap``: no decompression, no object graph —
+        the tree materialises lazily from the plan on first
+        object-walking operation, and compiled sampling never needs it.
+        """
         path = pathlib.Path(path)
         payload = json.loads((path / _ENGINE_FILE).read_text())
         fmt = int(payload.get("format", -1))
         if fmt != _SAVE_FORMAT:
             raise ValueError(f"unsupported engine save format {fmt}")
         config = EngineConfig.from_dict(payload["config"])
+
+        plan_path = path / _PLAN_FILE
+        if config.plan == "compiled" and plan_path.exists():
+            plan = CompiledTree.load(plan_path)
+            if plan.backend != config.tree:
+                raise ValueError(
+                    f"engine save at {path} is inconsistent: engine.json "
+                    f"says tree={config.tree!r} but plan.bst holds a "
+                    f"{plan.backend!r} plan")
+            spec = backend_for(config.tree)
+            materialise = _materialise_once(
+                lambda: plan.to_tree(writable=spec.requires_occupied))
+            sets_compiled = path / _SETS_COMPILED_FILE
+            if sets_compiled.exists():
+                store = FilterStore.load_compiled(
+                    sets_compiled, tree=materialise, rng=config.seed,
+                    empty_threshold=config.threshold,
+                    descent=config.descent)
+            else:
+                store = FilterStore.load(
+                    path / _SETS_FILE, tree=materialise, rng=config.seed,
+                    empty_threshold=config.threshold,
+                    descent=config.descent)
+            return cls(config, family=plan.family, tree=materialise,
+                       store=store, compiled=plan)
+
         tree = load_tree(path / _TREE_FILE)
         loaded_kind = backend_key_of(tree)
         if loaded_kind != config.tree:
@@ -430,6 +581,7 @@ class BloomDB:
         """Keep occupancy-tracking backends in sync with stored data."""
         if self._spec.requires_occupied and ids.size:
             self.tree.insert_many(ids)
+            self._invalidate_plan()
 
     def _normalise_requests(
         self,

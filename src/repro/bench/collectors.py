@@ -102,6 +102,8 @@ def run_sampling(params: dict) -> dict:
     """Measure batched vs. looped sampling; returns a JSON-able result."""
     if "families" in params:
         return _run_sampling_families(params)
+    if params.get("compare_plan"):
+        return _run_descent_compiled(params)
     db, names = build_engine(params)
     queries = int(params["queries"])
     per_set, extra = divmod(queries, len(names))
@@ -177,6 +179,66 @@ def _run_sampling_families(params: dict) -> dict:
             },
         }
     return {"queries": queries, "families": families}
+
+
+def _run_descent_compiled(params: dict) -> dict:
+    """Compiled flat-array descent vs. the recursive object-graph sampler.
+
+    Both engines share one tree and serve the *same* seeded request plan
+    through ``BloomDB.sample_many``; per-request results are verified
+    bit-identical.  The compiled path is measured cold (first call:
+    compile + frontier evaluation) and warm (steady state, the serving
+    regime where the plan's frontier cache keeps hitting the same stored
+    sets); the headline speedup is the warm one.
+    """
+    from dataclasses import replace
+
+    from repro.api.batch import SampleSpec
+
+    db, names = build_engine(params)
+    compiled_db = BloomDB(replace(db.config, plan="compiled"),
+                          params=db.params, family=db.family, tree=db.tree)
+    for name in names:
+        compiled_db.store.install(name, db.filter(name))
+    rounds = int(params.get("rounds", 64))
+    requests = int(params.get("requests", 64))
+    repeats = max(1, int(params.get("repeats", 3)))
+    specs = [SampleSpec(names[i % len(names)], rounds, seed=i, key=str(i))
+             for i in range(requests)]
+
+    cold_s, _ = _timed(lambda: compiled_db.sample_many(specs))
+    recursive_s = min(_timed(lambda: db.sample_many(specs))[0]
+                      for _ in range(repeats))
+    compiled_s = min(_timed(lambda: compiled_db.sample_many(specs))[0]
+                     for _ in range(repeats))
+
+    recursive = db.sample_many(specs)
+    compiled = compiled_db.sample_many(specs)
+    identical = all(
+        recursive[str(i)].values == compiled[str(i)].values
+        and recursive[str(i)].ops == compiled[str(i)].ops
+        for i in range(requests)
+    )
+    queries = requests * rounds
+    return {
+        "requests": requests,
+        "rounds": rounds,
+        "engine": db.describe(),
+        "identical_to_recursive": bool(identical),
+        "recursive": {
+            "seconds": round(recursive_s, 6),
+            "per_request_us": _per_query_us(recursive_s, requests),
+            "samples_per_s": round(queries / recursive_s, 1),
+        },
+        "compiled": {
+            "seconds": round(compiled_s, 6),
+            "cold_seconds": round(cold_s, 6),
+            "per_request_us": _per_query_us(compiled_s, requests),
+            "samples_per_s": round(queries / compiled_s, 1),
+        },
+        "speedup_compiled_vs_recursive": round(recursive_s / compiled_s, 2),
+        "speedup_compiled_cold_vs_recursive": round(recursive_s / cold_s, 2),
+    }
 
 
 def run_reconstruction(params: dict) -> dict:
@@ -265,6 +327,64 @@ def _serving_requests(params: dict, names: list[str]) -> list[tuple]:
     return plan
 
 
+def _run_coldstart(params: dict) -> dict:
+    """Serve cold start: mmap'd compiled plan vs. npz object-graph load.
+
+    One engine is saved twice — the classic ``plan="objects"`` layout
+    (compressed npz, node graph rebuilt on load) and the compiled layout
+    (raw ``np.memmap`` buffers, tree materialised lazily).  The timed
+    section is the real serve boot path: ``BloomDB.load`` + re-sharding
+    into a pool (:meth:`ShardedEnginePool.from_engine`) + the first
+    seeded sample batch; results are verified identical between paths.
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.api.batch import SampleSpec
+    from repro.service.pool import ShardedEnginePool
+
+    shards = int(params.get("shards", 4))
+    repeats = max(1, int(params.get("repeats", 3)))
+    db, names = build_engine(params)
+    compiled_db = BloomDB(replace(db.config, plan="compiled"),
+                          params=db.params, family=db.family, tree=db.tree,
+                          store=db.store)
+
+    def boot(directory):
+        engine = BloomDB.load(directory)
+        pool = ShardedEnginePool.from_engine(engine, shards)
+        spec = SampleSpec(names[0], 8, seed=1, key="probe")
+        return pool.engine_for(names[0]).sample_many([spec])["probe"].values
+
+    tmp = tempfile.mkdtemp(prefix="repro-coldstart-")
+    try:
+        objects_dir = f"{tmp}/objects"
+        compiled_dir = f"{tmp}/compiled"
+        db.save(objects_dir)
+        compiled_db.save(compiled_dir)
+
+        objects_times, compiled_times = [], []
+        for _ in range(repeats):
+            seconds, objects_values = _timed(lambda: boot(objects_dir))
+            objects_times.append(seconds)
+            seconds, compiled_values = _timed(lambda: boot(compiled_dir))
+            compiled_times.append(seconds)
+        objects_s = min(objects_times)
+        compiled_s = min(compiled_times)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "engine": db.describe(),
+        "shards": shards,
+        "identical_to_objects": bool(objects_values == compiled_values),
+        "objects": {"seconds": round(objects_s, 6)},
+        "compiled": {"seconds": round(compiled_s, 6)},
+        "speedup_coldstart_mmap": round(objects_s / compiled_s, 2),
+    }
+
+
 def run_serving(params: dict) -> dict:
     """Coalesced service throughput vs. the naive per-request loop.
 
@@ -276,6 +396,9 @@ def run_serving(params: dict) -> dict:
     bit-identical between the two.
     """
     from repro.service import BloomService
+
+    if params.get("coldstart"):
+        return _run_coldstart(params)
 
     db, names = build_engine(params)
     plan = _serving_requests(params, names)

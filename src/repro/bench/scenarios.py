@@ -99,6 +99,20 @@ _register(Scenario(
 ))
 
 _register(Scenario(
+    name="descent_compiled_vs_recursive",
+    kind="sampling",
+    title="Batched multi-sample descent: compiled flat-array plan vs. the "
+          "recursive object-graph sampler (bit-identical results)",
+    maps_to="Figs. 5/6 (sampling time) + ROADMAP north star",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=16,
+               family="murmur3", tree="static", depth=10, compare_plan=True,
+               rounds=64, requests=64, repeats=3),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=32,
+              family="murmur3", tree="static", depth=11, compare_plan=True,
+              rounds=64, requests=256, repeats=5),
+))
+
+_register(Scenario(
     name="reconstruction_sweep",
     kind="reconstruction",
     title="Reconstructing every stored set: one-pass batch vs. per-set loop",
@@ -143,6 +157,20 @@ _register(Scenario(
     full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=32,
               family="md5", tree="static", depth=6, shards=4,
               requests=5_000, rounds=8, max_batch=256, max_delay_ms=2.0),
+))
+
+_register(Scenario(
+    name="coldstart_mmap",
+    kind="serving",
+    title="Serve cold start: mmap'd compiled plan vs. npz object-graph "
+          "rebuild (load + 4-shard pool + first sample)",
+    maps_to="ROADMAP north star (cold start as fast as the hardware allows)",
+    quick=dict(_COMMON, namespace=400_000, set_size=300, num_sets=8,
+               family="murmur3", tree="static", depth=13, coldstart=True,
+               shards=4, repeats=3),
+    full=dict(_COMMON, namespace=2_000_000, set_size=1_000, num_sets=16,
+              family="murmur3", tree="static", depth=14, coldstart=True,
+              shards=4, repeats=3),
 ))
 
 _register(Scenario(

@@ -32,6 +32,13 @@ Submodules
     hashing, shared-leaf membership, one-pass multi-query descent) plus
     the legacy scalar paths behind the :func:`~repro.core.kernels.scalar_kernels`
     switch used for golden-equivalence testing and benchmarking.
+``plan``
+    Compiled tree plans: any tree backend flattened into contiguous
+    level-order arrays (:class:`~repro.core.plan.CompiledTree`), the
+    level-synchronous batched descent kernel
+    (:func:`~repro.core.plan.descend_frontier`, bit-identical to the
+    recursive sampler), and zero-copy ``np.memmap`` persistence
+    (:mod:`repro.core.mmapio`).
 """
 
 from repro.core.backend import (
@@ -70,6 +77,7 @@ from repro.core.kernels import (
     scalar_kernels,
     set_kernel_mode,
 )
+from repro.core.plan import CompiledTree, DescentRequest, descend_frontier
 from repro.core.pruned import PrunedBloomSampleTree
 from repro.core.serialization import load_tree, save_tree
 from repro.core.store import DuplicateSetError, FilterStore
@@ -89,8 +97,10 @@ __all__ = [
     "BitVector",
     "BloomFilter",
     "BloomSampleTree",
+    "CompiledTree",
     "CountingBloomFilter",
     "CountingOverflowError",
+    "DescentRequest",
     "DynamicBloomSampleTree",
     "ExactUniformSampler",
     "DuplicateSetError",
@@ -113,6 +123,7 @@ __all__ = [
     "backend_key_of",
     "bloom_size_for_accuracy",
     "create_family",
+    "descend_frontier",
     "register_backend",
     "estimate_cardinality",
     "estimate_intersection_size",

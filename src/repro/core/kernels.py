@@ -37,7 +37,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from contextlib import contextmanager
+from contextvars import ContextVar
 
 import numpy as np
 
@@ -51,20 +53,28 @@ from repro.core.cardinality import estimate_intersection_size
 VECTORIZED = "vectorized"
 SCALAR = "scalar"
 
-_MODE = VECTORIZED
+#: Context-local so a ``scalar_kernels()`` block in one thread (a
+#: benchmark baseline, a golden test) can never flip the kernels under
+#: concurrently serving threads: each thread/context reads its own value
+#: and falls back to the vectorized default.
+_MODE: ContextVar[str] = ContextVar("repro_kernel_mode", default=VECTORIZED)
 
 
 def kernel_mode() -> str:
     """The active kernel mode (``"vectorized"`` or ``"scalar"``)."""
-    return _MODE
+    return _MODE.get()
 
 
 def set_kernel_mode(mode: str) -> None:
-    """Select the kernel implementations hash families dispatch to."""
+    """Select the kernel implementations hash families dispatch to.
+
+    The selection is scoped to the current thread/context (it is stored
+    in a :class:`contextvars.ContextVar`); other threads — e.g. serving
+    shard workers — keep their own mode.
+    """
     if mode not in (VECTORIZED, SCALAR):
         raise ValueError(f"unknown kernel mode {mode!r}")
-    global _MODE
-    _MODE = mode
+    _MODE.set(mode)
 
 
 @contextmanager
@@ -73,13 +83,14 @@ def scalar_kernels():
 
     Used by the golden-equivalence tests (vectorized vs. scalar must be
     bit-for-bit identical) and by the benchmark harness's scalar baseline.
+    Context-local: concurrent threads outside the block keep the
+    vectorized kernels.
     """
-    previous = _MODE
-    set_kernel_mode(SCALAR)
+    token = _MODE.set(SCALAR)
     try:
         yield
     finally:
-        set_kernel_mode(previous)
+        _MODE.reset(token)
 
 
 # --------------------------------------------------------------------------
@@ -396,6 +407,11 @@ def intersection_estimate(t1: int, t2: int, t_and: int, m: int,
     return estimate_intersection_size(t1, t2, int(t_and), m, k)
 
 
+#: Default bound of the (query, node) estimate memo below.  64k entries
+#: of ~100 bytes each keeps the memo under ~10 MB per cache.
+DEFAULT_ESTIMATE_CAP = 64 * 1024
+
+
 class PositionCache:
     """Per-batch cache of leaf candidate positions and node popcounts.
 
@@ -405,6 +421,11 @@ class PositionCache:
     batch pays it once per leaf.  The cache is ephemeral — create one per
     batched call; do not reuse across tree mutations.
 
+    The (query, node) intersection-estimate memo is bounded: once it
+    holds ``max_estimates`` entries the least recently used are evicted,
+    so a cache kept alive under long-running serving traffic cannot grow
+    without bound (the leaf caches are naturally bounded by the tree).
+
     Concurrent readers (shard workers that happen to share one cache)
     are safe: each get-or-compute holds an internal lock, so an entry is
     computed once and a partially-written dict is never observed.  The
@@ -412,12 +433,15 @@ class PositionCache:
     computation could only ever produce the identical array.
     """
 
-    def __init__(self, tree):
+    def __init__(self, tree, max_estimates: int = DEFAULT_ESTIMATE_CAP):
+        if max_estimates <= 0:
+            raise ValueError("max_estimates must be positive")
         self.tree = tree
+        self.max_estimates = int(max_estimates)
         self._candidates: dict[int, np.ndarray] = {}
         self._positions: dict[int, np.ndarray] = {}
         self._ones: dict[int, int] = {}
-        self._estimates: dict[tuple[int, int], float] = {}
+        self._estimates: OrderedDict[tuple[int, int], float] = OrderedDict()
         # Re-entrant: positions() computes via candidates() under the lock.
         self._lock = threading.RLock()
 
@@ -460,13 +484,20 @@ class PositionCache:
         can reuse it; thresholding/flooring policy is applied by the
         caller, per sampler.
         """
+        key = (id(query), id(node))
         with self._lock:
-            return self._estimates.get((id(query), id(node)))
+            estimate = self._estimates.get(key)
+            if estimate is not None:
+                self._estimates.move_to_end(key)
+            return estimate
 
     def set_child_estimate(self, query, node, estimate: float) -> None:
-        """Store a raw intersection estimate for (query, node)."""
+        """Store a raw intersection estimate for (query, node) (LRU-bounded)."""
         with self._lock:
             self._estimates[(id(query), id(node))] = float(estimate)
+            self._estimates.move_to_end((id(query), id(node)))
+            while len(self._estimates) > self.max_estimates:
+                self._estimates.popitem(last=False)
 
 
 # --------------------------------------------------------------------------

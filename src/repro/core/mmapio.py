@@ -1,0 +1,117 @@
+"""Zero-copy persistence: a raw single-file container for numpy arrays.
+
+``np.savez`` stores arrays inside a zip, which cannot be memory-mapped:
+every load pays a full decompress-and-copy even when the reader touches a
+fraction of the data.  The compiled-plan artefacts
+(:mod:`repro.core.plan`, the compiled :class:`~repro.core.store.FilterStore`
+format) instead persist as one flat file laid out for :func:`numpy.memmap`:
+
+* 8-byte magic + 8-byte little-endian header length,
+* a JSON header describing caller metadata and every array segment
+  (name, dtype, shape, byte offset),
+* the raw array bytes, each segment aligned to 64 bytes.
+
+Loading opens the file once and hands back read-only ``memmap`` views —
+O(page table) instead of O(decompress); untouched segments are never read
+from disk, and every process (or engine shard) mapping the same file
+shares one copy of the pages through the OS page cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+#: File magic: "RBLOB" + format version byte + padding.
+MAGIC = b"RBLOB\x01\x00\x00"
+
+#: Segment alignment (covers cache lines and SIMD loads).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def write_blob(path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` plus JSON-able ``meta`` to one mappable file.
+
+    Arrays are stored little-endian and C-contiguous (converted if
+    needed).  The write goes through a temporary file and an atomic
+    rename, so readers holding a mapping of the previous version keep a
+    consistent view and never observe a half-written file.
+    """
+    path = pathlib.Path(path)
+    prepared: dict[str, np.ndarray] = {}
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.byteorder == ">":
+            array = array.astype(array.dtype.newbyteorder("<"))
+        prepared[name] = array
+
+    segments = []
+    # Offsets are assigned after the header; the header's own length
+    # depends on the offsets' digits, so fix the layout in two passes
+    # with a padded header length.
+    draft = [{"name": n, "dtype": a.dtype.str, "shape": list(a.shape),
+              "offset": 0, "nbytes": int(a.nbytes)}
+             for n, a in prepared.items()]
+    header_budget = len(json.dumps({"meta": meta, "arrays": draft})) + 256
+    data_start = _aligned(len(MAGIC) + 8 + header_budget)
+    offset = data_start
+    for entry in draft:
+        entry["offset"] = offset
+        offset = _aligned(offset + entry["nbytes"])
+        segments.append(entry)
+    header = json.dumps({"meta": meta, "arrays": segments},
+                        sort_keys=True).encode()
+    if len(header) > header_budget:  # pragma: no cover - budget is generous
+        raise ValueError("blob header exceeded its size budget")
+
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(len(header).to_bytes(8, "little"))
+        fh.write(header)
+        for entry, array in zip(segments, prepared.values()):
+            fh.seek(entry["offset"])
+            fh.write(array.tobytes())
+        end = _aligned(fh.tell())
+        if fh.tell() < end:
+            fh.write(b"\x00" * (end - fh.tell()))
+    os.replace(tmp, path)
+
+
+def read_blob(path, mmap: bool = True) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a blob written by :func:`write_blob`.
+
+    ``mmap=True`` (the default) returns read-only :class:`numpy.memmap`
+    views over the file — the zero-copy path; ``mmap=False`` reads the
+    segments into ordinary writable arrays.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path} is not a blob file (bad magic)")
+        header_len = int.from_bytes(fh.read(8), "little")
+        header = json.loads(fh.read(header_len))
+        arrays: dict[str, np.ndarray] = {}
+        for entry in header["arrays"]:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(entry["shape"])
+            if entry["nbytes"] == 0:
+                arrays[entry["name"]] = np.empty(shape, dtype=dtype)
+            elif mmap:
+                arrays[entry["name"]] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=entry["offset"],
+                    shape=shape)
+            else:
+                fh.seek(entry["offset"])
+                data = fh.read(entry["nbytes"])
+                arrays[entry["name"]] = np.frombuffer(
+                    data, dtype=dtype).reshape(shape).copy()
+    return header["meta"], arrays

@@ -1,0 +1,691 @@
+"""Compiled tree plans: the BloomSampleTree as structure-of-arrays.
+
+The recursive sampler (:meth:`repro.core.sampling.BSTSampler.sample_many`)
+walks a pointer-linked :class:`~repro.core.tree.TreeNode` graph one
+element at a time: every visited (query, node) pair pays a numpy popcount
+call, an estimator call and cache-lock round trips in Python.  This
+module re-represents any tree backend as a :class:`CompiledTree` — flat
+level-order arrays (node ranges ``lo``/``hi``, leaf flags, child slots)
+plus every node filter packed into one contiguous ``uint64`` bit matrix —
+and drives descent with :func:`descend_frontier`, which advances a whole
+batch of sampling requests through the tree level-synchronously:
+
+* **frontier pass** (vectorised, RNG-free): one batched
+  popcount/intersection-estimate per node over every query still active
+  there, and one batched membership test per reachable leaf.  The
+  estimates are computed with the exact operation sequence of
+  :func:`repro.core.cardinality.estimate_intersection_size`, so they are
+  bit-identical floats;
+* **replay pass** (per request): the recursive sampler's control flow
+  re-run over the flat arrays with all numeric work looked up from the
+  frontier pass.  Random draws happen in exactly the recursive order, so
+  given the same per-request RNG stream the returned samples — and the
+  :class:`~repro.core.ops.OpCounter` — are bit-for-bit identical to
+  :class:`~repro.core.sampling.BSTSampler`.
+
+Plans persist through :meth:`CompiledTree.save` /
+:meth:`CompiledTree.load` as a single raw buffer
+(:mod:`repro.core.mmapio`) that loads via ``np.memmap``: cold start is
+O(page table) instead of O(decompress + rebuild), and N serving shards
+mapping the same file share one read-only copy of the tree.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.bitvector import BitVector
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import create_family
+from repro.core.mmapio import read_blob, write_blob
+from repro.core.ops import OpCounter
+from repro.core.sampling import (
+    DEFAULT_EMPTY_THRESHOLD,
+    MultiSampleResult,
+    _LeafServer,
+)
+from repro.utils.rng import ensure_rng
+
+#: Version of the persisted plan layout.
+PLAN_FORMAT = 1
+
+#: Slot value marking a missing child.
+NO_CHILD = -1
+
+#: Default bound of the per-plan frontier cache (distinct query filters
+#: whose estimates/leaf hits are kept; see CompiledTree).
+DEFAULT_FRONTIER_CACHE = 256
+
+
+class CompiledTree:
+    """One tree backend flattened into contiguous level-order arrays.
+
+    Slot 0 is the root; a level's slots are contiguous and ordered by
+    node index, so ascending slot order *is* level order.  ``words``
+    holds every node's filter bits as one ``(num_nodes, W)`` ``uint64``
+    matrix — the only bulk data, and the part that stays memory-mapped
+    after :meth:`load`.
+
+    A plan is an immutable snapshot: mutating the source tree (pruned /
+    dynamic inserts) does not update it.  :class:`~repro.api.BloomDB`
+    recompiles automatically after occupancy changes.
+    """
+
+    def __init__(self, *, backend: str, namespace_size: int, depth: int,
+                 family, level, index, lo, hi, leaf, left, right,
+                 words, ones, occupied, cand_lo, cand_hi):
+        self.backend = backend
+        self.namespace_size = int(namespace_size)
+        self.depth = int(depth)
+        self.family = family
+        self.level = level
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.leaf = leaf
+        self.left = left
+        self.right = right
+        self.words = words
+        self.ones = ones
+        self.occupied = occupied
+        self.cand_lo = cand_lo
+        self.cand_hi = cand_hi
+        # Lazy caches shared by every batch (and, for a shared static
+        # plan, every serving shard).  All cached values are pure
+        # functions of the immutable plan (plus, for the frontier cache,
+        # of the query bits), so sharing them across threads and calls
+        # cannot change any result — unlike the per-batch PositionCache
+        # of the recursive path, they keep paying off across batches.
+        self._candidates: dict[int, np.ndarray] = {}
+        self._positions: dict[int, np.ndarray] = {}
+        self._frontier_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.frontier_cache_size = DEFAULT_FRONTIER_CACHE
+        self._cache_lock = threading.RLock()
+        # Python-list mirrors of the hot descent arrays (built lazily):
+        # per-slot indexing in the replay loop is several times faster on
+        # lists than on numpy scalars.
+        self._lists: tuple | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree) -> "CompiledTree":
+        """Flatten any registered tree backend into a plan snapshot."""
+        from repro.core.backend import backend_key_of
+
+        backend = backend_key_of(tree)
+        nodes = []
+        if tree.root is not None:
+            queue = deque([tree.root])
+            while queue:
+                node = queue.popleft()
+                nodes.append(node)
+                if node.left is not None:
+                    queue.append(node.left)
+                if node.right is not None:
+                    queue.append(node.right)
+        n = len(nodes)
+        slot_of = {id(node): slot for slot, node in enumerate(nodes)}
+        level = np.array([node.level for node in nodes], dtype=np.int32)
+        index = np.array([node.index for node in nodes], dtype=np.int64)
+        lo = np.array([node.lo for node in nodes], dtype=np.int64)
+        hi = np.array([node.hi for node in nodes], dtype=np.int64)
+        leaf = np.array([tree.is_leaf(node) for node in nodes], dtype=bool)
+        left = np.array(
+            [slot_of[id(node.left)] if node.left is not None else NO_CHILD
+             for node in nodes], dtype=np.int32)
+        right = np.array(
+            [slot_of[id(node.right)] if node.right is not None else NO_CHILD
+             for node in nodes], dtype=np.int32)
+        if n:
+            words = np.stack([node.bloom.bits.words for node in nodes])
+            ones = np.bitwise_count(words).sum(axis=1).astype(np.int64)
+        else:
+            num_words = (tree.family.m + 63) // 64
+            words = np.empty((0, num_words), dtype=np.uint64)
+            ones = np.empty(0, dtype=np.int64)
+
+        occupied = getattr(tree, "occupied", None)
+        if occupied is not None:
+            occupied = np.array(occupied, dtype=np.uint64)
+            cand_lo = np.searchsorted(occupied, lo.astype(np.uint64),
+                                      side="left").astype(np.int64)
+            cand_hi = np.searchsorted(occupied, hi.astype(np.uint64),
+                                      side="left").astype(np.int64)
+        else:
+            occupied = None
+            cand_lo = lo
+            cand_hi = hi
+        return cls(
+            backend=backend, namespace_size=tree.namespace_size,
+            depth=tree.depth, family=tree.family, level=level, index=index,
+            lo=lo, hi=hi, leaf=leaf, left=left, right=right, words=words,
+            ones=ones, occupied=occupied, cand_lo=cand_lo, cand_hi=cand_hi,
+        )
+
+    # -- interface ------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Materialised node count (0 for an empty pruned tree)."""
+        return int(self.lo.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Filter size shared with every compatible query filter."""
+        return self.family.m
+
+    @property
+    def k(self) -> int:
+        """Hash functions per filter."""
+        return self.family.k
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed filter storage (the bit matrix)."""
+        return int(self.words.nbytes)
+
+    def check_query(self, query: BloomFilter) -> None:
+        """Validate a query filter shares ``m`` and the hash family."""
+        if not self.family.is_compatible_with(query.family):
+            raise ValueError(
+                "query Bloom filter is incompatible with this plan "
+                "(m and the hash family must match, Definition 5.1)"
+            )
+
+    def candidate_count(self, slot: int) -> int:
+        """Brute-force candidates a leaf slot covers."""
+        return int(self.cand_hi[slot] - self.cand_lo[slot])
+
+    def candidates(self, slot: int) -> np.ndarray:
+        """The leaf slot's candidate elements (cached)."""
+        with self._cache_lock:
+            cached = self._candidates.get(slot)
+            if cached is None:
+                if self.occupied is None:
+                    cached = np.arange(self.lo[slot], self.hi[slot],
+                                       dtype=np.uint64)
+                else:
+                    cached = self.occupied[
+                        int(self.cand_lo[slot]):int(self.cand_hi[slot])]
+                self._candidates[slot] = cached
+            return cached
+
+    def positions(self, slot: int) -> np.ndarray:
+        """Hashed bit positions of a leaf slot's candidates (cached)."""
+        with self._cache_lock:
+            cached = self._positions.get(slot)
+            if cached is None:
+                cached = self.family.positions_many(self.candidates(slot))
+                self._positions[slot] = cached
+            return cached
+
+    def descent_lists(self) -> tuple:
+        """Python-list views of the hot descent arrays (cached).
+
+        ``(leaf, left, right, caps, ones, cand_counts)`` — per-slot
+        indexing on plain lists is what keeps the replay loop cheap.
+        """
+        lists = self._lists
+        if lists is None:
+            with self._cache_lock:
+                if self._lists is None:
+                    self._lists = (
+                        self.leaf.tolist(),
+                        self.left.tolist(),
+                        self.right.tolist(),
+                        (self.hi - self.lo).astype(float).tolist(),
+                        self.ones.tolist(),
+                        (self.cand_hi - self.cand_lo).tolist(),
+                    )
+                lists = self._lists
+        return lists
+
+    def frontier_get(self, key: tuple):
+        """A cached frontier row for (query bits, threshold, descent)."""
+        with self._cache_lock:
+            entry = self._frontier_cache.get(key)
+            if entry is not None:
+                self._frontier_cache.move_to_end(key)
+            return entry
+
+    def frontier_put(self, key: tuple, entry: tuple) -> None:
+        """Store a frontier row (LRU-bounded by ``frontier_cache_size``)."""
+        with self._cache_lock:
+            self._frontier_cache[key] = entry
+            self._frontier_cache.move_to_end(key)
+            while len(self._frontier_cache) > self.frontier_cache_size:
+                self._frontier_cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop the lazy candidate/position/frontier caches."""
+        with self._cache_lock:
+            self._candidates.clear()
+            self._positions.clear()
+            self._frontier_cache.clear()
+
+    def sample_many(
+        self,
+        query: BloomFilter,
+        r: int,
+        replacement: bool = True,
+        rng=None,
+        empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
+        descent: str = "threshold",
+    ) -> MultiSampleResult:
+        """One-pass multi-sample over the plan (single-request form).
+
+        Bit-identical to
+        :meth:`repro.core.sampling.BSTSampler.sample_many` on the source
+        tree given the same RNG stream and policy knobs.
+        """
+        return descend_frontier(
+            self, [DescentRequest(query, r, replacement, rng)],
+            empty_threshold=empty_threshold, descent=descent,
+        )[0]
+
+    # -- materialisation ------------------------------------------------------
+
+    def to_tree(self, writable: bool = False):
+        """Rebuild the object-graph tree this plan was compiled from.
+
+        For ``static`` and ``pruned`` backends the node filters wrap
+        *views* of the plan's bit matrix — zero-copy over a memory-mapped
+        plan — unless ``writable=True``, which copies each row so the
+        tree can be mutated (pruned inserts).  The ``dynamic`` backend
+        stores per-bit counters that a plain bit matrix cannot express,
+        so it is rebuilt from the occupancy instead.
+        """
+        from repro.core.dynamic import DynamicBloomSampleTree
+        from repro.core.pruned import PrunedBloomSampleTree
+        from repro.core.tree import BloomSampleTree, TreeNode
+
+        if self.backend == "dynamic":
+            occupied = (np.empty(0, dtype=np.uint64)
+                        if self.occupied is None else
+                        np.array(self.occupied, dtype=np.uint64))
+            return DynamicBloomSampleTree.build(
+                occupied, self.namespace_size, self.depth, self.family)
+
+        nodes: list[TreeNode] = []
+        for slot in range(self.num_nodes):
+            row = self.words[slot]
+            if writable:
+                row = np.array(row, dtype=np.uint64)
+            bloom = BloomFilter(self.family, BitVector(self.family.m, row))
+            nodes.append(TreeNode(int(self.level[slot]),
+                                  int(self.index[slot]),
+                                  int(self.lo[slot]), int(self.hi[slot]),
+                                  bloom))
+        for slot, node in enumerate(nodes):
+            if int(self.left[slot]) != NO_CHILD:
+                node.left = nodes[int(self.left[slot])]
+            if int(self.right[slot]) != NO_CHILD:
+                node.right = nodes[int(self.right[slot])]
+        root = nodes[0] if nodes else None
+        if self.backend == "static":
+            if root is None:
+                raise ValueError("compiled static plan holds no nodes")
+            return BloomSampleTree(self.namespace_size, self.depth,
+                                   self.family, root)
+        if self.backend == "pruned":
+            occupied = (np.empty(0, dtype=np.uint64)
+                        if self.occupied is None else
+                        np.array(self.occupied, dtype=np.uint64))
+            return PrunedBloomSampleTree(self.namespace_size, self.depth,
+                                         self.family, root, occupied)
+        raise ValueError(f"unknown compiled backend {self.backend!r}")
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the plan as one raw mappable buffer."""
+        from repro.core.serialization import _family_spec
+
+        name, seed = _family_spec(self.family)
+        meta = {
+            "format": PLAN_FORMAT,
+            "kind": "tree-plan",
+            "backend": self.backend,
+            "namespace_size": self.namespace_size,
+            "depth": self.depth,
+            "family_name": name,
+            "family_seed": seed,
+            "k": self.family.k,
+            "m": self.family.m,
+            "has_occupied": self.occupied is not None,
+        }
+        arrays = {
+            "level": self.level, "index": self.index,
+            "lo": self.lo, "hi": self.hi,
+            "leaf": self.leaf.astype(np.uint8),
+            "left": self.left, "right": self.right,
+            "words": self.words, "ones": self.ones,
+            "cand_lo": self.cand_lo, "cand_hi": self.cand_hi,
+            "occupied": (self.occupied if self.occupied is not None
+                         else np.empty(0, dtype=np.uint64)),
+        }
+        write_blob(path, meta, arrays)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "CompiledTree":
+        """Load a saved plan; ``mmap=True`` keeps the bit matrix on disk."""
+        meta, arrays = read_blob(path, mmap=mmap)
+        if meta.get("kind") != "tree-plan":
+            raise ValueError(f"{path} is not a compiled tree plan")
+        if int(meta.get("format", -1)) != PLAN_FORMAT:
+            raise ValueError(
+                f"unsupported plan format {meta.get('format')!r}")
+        family = create_family(
+            meta["family_name"], int(meta["k"]), int(meta["m"]),
+            namespace_size=int(meta["namespace_size"]),
+            seed=int(meta["family_seed"]),
+        )
+        return cls(
+            backend=meta["backend"],
+            namespace_size=int(meta["namespace_size"]),
+            depth=int(meta["depth"]),
+            family=family,
+            level=arrays["level"], index=arrays["index"],
+            lo=arrays["lo"], hi=arrays["hi"],
+            leaf=arrays["leaf"].astype(bool),
+            left=arrays["left"], right=arrays["right"],
+            words=arrays["words"], ones=arrays["ones"],
+            occupied=(arrays["occupied"] if meta["has_occupied"] else None),
+            cand_lo=arrays["cand_lo"], cand_hi=arrays["cand_hi"],
+        )
+
+    def __repr__(self) -> str:
+        return (f"CompiledTree(backend={self.backend!r}, "
+                f"M={self.namespace_size}, depth={self.depth}, "
+                f"nodes={self.num_nodes}, m={self.family.m})")
+
+
+@dataclass
+class DescentRequest:
+    """One sampling request inside a :func:`descend_frontier` batch.
+
+    ``rng`` is the request's own random stream (a seed, a generator or
+    ``None`` for a fresh nondeterministic one); draws are consumed in
+    exactly the recursive sampler's order, which is what makes the result
+    bit-identical to :meth:`~repro.core.sampling.BSTSampler.sample_many`
+    fed the same stream.
+    """
+
+    query: BloomFilter
+    rounds: int
+    replacement: bool = True
+    rng: "int | np.random.Generator | None" = None
+
+
+def descend_frontier(
+    plan: CompiledTree,
+    requests,
+    *,
+    empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
+    descent: str = "threshold",
+) -> list[MultiSampleResult]:
+    """Run a batch of multi-sample requests through a compiled plan.
+
+    Two passes: a level-synchronous *frontier* pass computes, per tree
+    level, one vectorised popcount and one exact intersection estimate
+    for every (query, node) pair any request could reach, and one batched
+    membership test per reachable leaf; a *replay* pass then re-runs the
+    recursive sampler's control flow per request over the flat arrays,
+    consuming the request's RNG stream in the recursive order.  Results
+    and op counts are bit-for-bit identical to running
+    :meth:`~repro.core.sampling.BSTSampler.sample_many` per request with
+    the same streams (the frontier's extra evaluated pairs are *not*
+    charged to any request's ops, matching the recursive accounting).
+
+    Requests sharing a query filter share one frontier evaluation.
+    """
+    if descent not in ("threshold", "floored"):
+        raise ValueError(f"unknown descent policy {descent!r}")
+    requests = list(requests)
+    for request in requests:
+        if request.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        plan.check_query(request.query)
+    if not requests:
+        return []
+    if plan.num_nodes == 0:  # empty pruned/dynamic tree
+        return [MultiSampleResult([], request.rounds, OpCounter())
+                for request in requests]
+
+    # Deduplicate by filter content: estimates and leaf hits are pure
+    # functions of the bits, so requests over the same stored set share
+    # one frontier row — within this batch and, through the plan's LRU
+    # frontier cache, across batches (serving traffic keeps hitting the
+    # same stored sets).
+    threshold = float(empty_threshold)
+    uniq_index: dict[bytes, int] = {}
+    uniq_queries: list[BloomFilter] = []
+    uniq_keys: list[bytes] = []
+    request_uniq: list[int] = []
+    for request in requests:
+        key = request.query.bits.words.tobytes()
+        slot = uniq_index.get(key)
+        if slot is None:
+            slot = len(uniq_queries)
+            uniq_index[key] = slot
+            uniq_queries.append(request.query)
+            uniq_keys.append(key)
+        request_uniq.append(slot)
+
+    num_uniq = len(uniq_queries)
+    t1s = [query.bits.count_ones() for query in uniq_queries]
+    estimates: list = [None] * num_uniq
+    leaf_hits: list = [None] * num_uniq
+    missing = []
+    for u, key in enumerate(uniq_keys):
+        cached = plan.frontier_get((key, threshold, descent))
+        if cached is None:
+            missing.append(u)
+        else:
+            estimates[u], leaf_hits[u] = cached
+    if missing:
+        fresh_est, fresh_hits = _frontier(
+            plan, [uniq_queries[u] for u in missing],
+            [t1s[u] for u in missing], threshold, descent)
+        for i, u in enumerate(missing):
+            estimates[u], leaf_hits[u] = fresh_est[i], fresh_hits[i]
+            plan.frontier_put((uniq_keys[u], threshold, descent),
+                              (fresh_est[i], fresh_hits[i]))
+    return [
+        _replay(plan, request, estimates[u], leaf_hits[u], t1s[u],
+                threshold, descent)
+        for request, u in zip(requests, request_uniq)
+    ]
+
+
+def _frontier(plan, queries, t1s, threshold, descent):
+    """Level-synchronous evaluation of every reachable (query, node) pair.
+
+    Returns ``(estimates, leaf_hits)``: per unique query, a
+    slot-indexed list of raw intersection estimates (``None`` where the
+    frontier never reached) and a dict mapping leaf slot to the query's
+    positive candidates there.  Because slots are stored in level order,
+    one ascending scan visits parents before children — the per-level
+    batches fall out of the ordering.
+    """
+    num_queries = len(queries)
+    num_nodes = plan.num_nodes
+    words_stack = np.stack([query.bits.words for query in queries])
+    m, k = plan.m, plan.k
+    estimates: list[list] = [[None] * num_nodes for _ in range(num_queries)]
+    leaf_hits: list[dict[int, np.ndarray]] = [{} for _ in range(num_queries)]
+
+    # Constants of the Section 5.3 estimator, hoisted out of the pair
+    # loop.  The per-pair arithmetic below repeats the exact operation
+    # sequence of cardinality.estimate_intersection_size, so the floats
+    # (and therefore every downstream binomial draw) are bit-identical
+    # to the recursive sampler's.
+    log_m = math.log(m)
+    log_factor = k * math.log1p(-1.0 / m)
+    log = math.log
+    inf = math.inf
+    floored = descent == "floored"
+
+    leaf, left, right, _, ones, _ = plan.descent_lists()
+    words = plan.words
+
+    active: dict[int, list[int]] = {0: list(range(num_queries))}
+    for slot in range(num_nodes):
+        qs = active.pop(slot, None)
+        if not qs:
+            continue
+        if leaf[slot]:
+            candidates = plan.candidates(slot)
+            if candidates.size == 0:
+                for q in qs:
+                    leaf_hits[q][slot] = candidates
+                continue
+            hits = kernels.membership_many(words_stack[qs],
+                                           plan.positions(slot))
+            for row, q in enumerate(qs):
+                leaf_hits[q][slot] = candidates[hits[row]]
+            continue
+        for child in (left[slot], right[slot]):
+            if child == NO_CHILD:
+                continue
+            t2 = ones[child]
+            t_ands = kernels.intersection_counts(words_stack[qs],
+                                                 words[child])
+            survivors: list[int] = []
+            for q, t_and in zip(qs, t_ands.tolist()):
+                if t_and == 0:
+                    estimate = 0.0
+                else:
+                    t1 = t1s[q]
+                    denominator = m - t1 - t2 + t_and
+                    if denominator <= 0:
+                        estimate = inf
+                    else:
+                        argument = m - (t_and * m - t1 * t2) / denominator
+                        if argument <= 0:
+                            estimate = inf
+                        else:
+                            estimate = max(
+                                0.0, (log(argument) - log_m) / log_factor)
+                estimates[q][child] = estimate
+                if estimate < threshold:
+                    alive = floored and threshold > 0.0
+                else:
+                    alive = estimate > 0.0
+                if alive:
+                    survivors.append(q)
+            if survivors:
+                # Each slot has exactly one parent, so assignment (not
+                # merge) is safe.
+                active[child] = survivors
+    return estimates, leaf_hits
+
+
+def _replay(plan, request, estimates, leaf_hits, t1, threshold, descent):
+    """Re-run the recursive sampler's control flow over the flat arrays.
+
+    Structurally a transcription of ``BSTSampler._multi_node`` with every
+    popcount, estimator call and membership test replaced by a frontier
+    lookup; RNG draws and op counting happen at the same points, in the
+    same order.  Op tallies are tracked in locals (bit-identical totals,
+    a fraction of the attribute-update cost).
+    """
+    rng = ensure_rng(request.rng)
+    replacement = request.replacement
+    query_words = request.query.bits.words
+    servers: dict[int, _LeafServer] = {}
+    leaf, left, right, caps, _, cand_counts = plan.descent_lists()
+    floor_value = threshold if descent == "floored" else 0.0
+    intersections = memberships = nodes_visited = backtracks = 0
+
+    def raw_estimate(child: int) -> float:
+        # Defensive fallback: a pair the frontier pruned; compute it
+        # from the plan directly (identical inputs, identical float).
+        t_and = int(np.bitwise_count(
+            query_words & plan.words[child]).sum())
+        raw = kernels.intersection_estimate(
+            t1, int(plan.ones[child]), t_and, plan.m, plan.k)
+        estimates[child] = raw
+        return raw
+
+    def walk(slot: int, count: int) -> list[int]:
+        nonlocal intersections, memberships, nodes_visited, backtracks
+        if count <= 0:
+            return []
+        nodes_visited += 1
+        if leaf[slot]:
+            server = servers.get(slot)
+            if server is None:
+                positives = leaf_hits.get(slot)
+                if positives is None:
+                    # Defensive fallback, as above.
+                    candidates = plan.candidates(slot)
+                    if candidates.size:
+                        positives = candidates[kernels.membership(
+                            query_words, plan.positions(slot))]
+                    else:
+                        positives = candidates
+                    leaf_hits[slot] = positives
+                memberships += cand_counts[slot]
+                server = _LeafServer(positives, rng)
+                servers[slot] = server
+            return server.serve(count, replacement)
+
+        left_child = left[slot]
+        right_child = right[slot]
+        if left_child < 0:
+            left_est = 0.0
+        else:
+            intersections += 1
+            raw = estimates[left_child]
+            if raw is None:
+                raw = raw_estimate(left_child)
+            if raw < threshold:
+                left_est = floor_value
+            else:
+                cap = caps[left_child]
+                left_est = raw if raw < cap else cap
+        if right_child < 0:
+            right_est = 0.0
+        else:
+            intersections += 1
+            raw = estimates[right_child]
+            if raw is None:
+                raw = raw_estimate(right_child)
+            if raw < threshold:
+                right_est = floor_value
+            else:
+                cap = caps[right_child]
+                right_est = raw if raw < cap else cap
+
+        if left_est <= 0.0 and right_est <= 0.0:
+            return []
+        if right_est <= 0.0:
+            return walk(left_child, count)
+        if left_est <= 0.0:
+            return walk(right_child, count)
+
+        p_left = left_est / (left_est + right_est)
+        n_left = int(rng.binomial(count, p_left))
+        got_left = walk(left_child, n_left)
+        if len(got_left) < n_left:
+            backtracks += 1
+        want_right = count - len(got_left)
+        got_right = walk(right_child, want_right)
+        deficit = count - len(got_left) - len(got_right)
+        if deficit > 0 and len(got_left) == n_left and n_left > 0:
+            backtracks += 1
+            got_left += walk(left_child, deficit)
+        return got_left + got_right
+
+    values = walk(0, request.rounds)
+    ops = OpCounter(intersections=intersections, memberships=memberships,
+                    nodes_visited=nodes_visited, backtracks=backtracks)
+    return MultiSampleResult(values, request.rounds, ops)

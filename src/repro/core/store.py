@@ -61,20 +61,38 @@ class FilterStore:
         descent: str = "threshold",
     ):
         self.family = family
-        self.tree = tree
-        if tree is not None:
-            tree.check_query(BloomFilter(family))
         self._filters: dict[str, BloomFilter] = {}
         self._rng = ensure_rng(rng)
         self._empty_threshold = float(empty_threshold)
         self._descent = descent
-        self._sampler = (BSTSampler(tree, empty_threshold, self._rng, descent)
-                         if tree is not None else None)
-        self._reconstructor = (BSTReconstructor(tree, empty_threshold)
-                               if tree is not None else None)
         # Guards _filters and the shared sampler stream; re-entrant so
         # compound operations (union_filter inside sample_union) can nest.
         self._lock = threading.RLock()
+        # ``tree`` may also be a zero-arg factory: a compiled-plan engine
+        # (repro.core.plan) defers materialising the object tree until an
+        # operation actually walks it, keeping cold start O(mmap).
+        self._tree_source = tree
+        self._tree = None
+        self._sampler: BSTSampler | None = None
+        self._reconstructor: BSTReconstructor | None = None
+        if tree is not None and not callable(tree):
+            self._bind_tree(tree)
+
+    def _bind_tree(self, tree) -> None:
+        tree.check_query(BloomFilter(self.family))
+        self._sampler = BSTSampler(tree, self._empty_threshold, self._rng,
+                                   self._descent)
+        self._reconstructor = BSTReconstructor(tree, self._empty_threshold)
+        self._tree = tree
+
+    @property
+    def tree(self):
+        """The attached tree backend (materialised on first use)."""
+        if self._tree is None and self._tree_source is not None:
+            with self._lock:
+                if self._tree is None:
+                    self._bind_tree(self._tree_source())
+        return self._tree
 
     # -- set management --------------------------------------------------------
 
@@ -105,9 +123,18 @@ class FilterStore:
             self._filters[name] = bloom
 
     def add(self, name: str, items: np.ndarray) -> None:
-        """Insert elements into an existing named set."""
+        """Insert elements into an existing named set.
+
+        Filters loaded from a compiled (memory-mapped, read-only) store
+        are copied on first write, so mutation works transparently while
+        untouched sets keep sharing the mapped pages.
+        """
         with self._lock:
-            self._get(name).add_many(np.asarray(items, dtype=np.uint64))
+            bloom = self._get(name)
+            if not bloom.bits.words.flags.writeable:
+                bloom = bloom.copy()
+                self._filters[name] = bloom
+            bloom.add_many(np.asarray(items, dtype=np.uint64))
 
     def discard(self, name: str) -> None:
         """Drop a named set."""
@@ -175,17 +202,29 @@ class FilterStore:
     # -- sampling and reconstruction ------------------------------------------------
 
     def _require_tree(self):
-        if self._sampler is None:
+        if self._tree_source is None:
             raise RuntimeError(
                 "this FilterStore was created without a BloomSampleTree; "
                 "pass tree= to enable sampling and reconstruction"
             )
 
+    def _shared_sampler(self) -> BSTSampler:
+        """The store's shared-stream sampler (materialises a lazy tree)."""
+        self._require_tree()
+        _ = self.tree
+        return self._sampler
+
+    def _shared_reconstructor(self) -> BSTReconstructor:
+        """The store's reconstructor (materialises a lazy tree)."""
+        self._require_tree()
+        _ = self.tree
+        return self._reconstructor
+
     def sample(self, name: str) -> SampleResult:
         """Near-uniform sample from a named set (Algorithm 1)."""
-        self._require_tree()
+        sampler = self._shared_sampler()
         with self._lock:  # the shared rng stream is not thread-safe
-            return self._sampler.sample(self._get(name))
+            return sampler.sample(self._get(name))
 
     def sample_many(self, name: str, r: int, replacement: bool = True,
                     position_cache=None, rng=None):
@@ -201,16 +240,45 @@ class FilterStore:
         seeded calls (the shared-stream path serialises on the store
         lock).
         """
-        self._require_tree()
         if rng is None:
+            sampler = self._shared_sampler()
             with self._lock:
-                return self._sampler.sample_many(
+                return sampler.sample_many(
                     self._get(name), r, replacement,
                     position_cache=position_cache)
+        self._require_tree()
         sampler = BSTSampler(self.tree, self._empty_threshold,
                              ensure_rng(rng), self._descent)
         return sampler.sample_many(self._get(name), r, replacement,
                                    position_cache=position_cache)
+
+    def sample_batch_compiled(self, plan, requests):
+        """Batched multi-sample through a compiled tree plan.
+
+        ``requests`` is a sequence of ``(name, rounds, replacement,
+        seed)`` tuples; the returned list of
+        :class:`~repro.core.sampling.MultiSampleResult` is aligned with
+        it.  Seeded requests draw from their own streams; unseeded ones
+        consume the store's shared stream in request order — in both
+        cases bit-identical to calling :meth:`sample_many` per request
+        (see :func:`repro.core.plan.descend_frontier`).  The whole batch
+        runs under the store lock, but never touches (or materialises)
+        the object tree — only the plan's flat arrays.
+        """
+        from repro.core.plan import DescentRequest, descend_frontier
+
+        self._require_tree()
+        with self._lock:
+            descent_requests = [
+                DescentRequest(
+                    self._get(name), rounds, replacement,
+                    self._rng if seed is None else ensure_rng(seed))
+                for name, rounds, replacement, seed in requests
+            ]
+            return descend_frontier(
+                plan, descent_requests,
+                empty_threshold=self._empty_threshold,
+                descent=self._descent)
 
     def reconstruct(self, name: str,
                     exhaustive: bool = False) -> ReconstructionResult:
@@ -219,7 +287,7 @@ class FilterStore:
         if exhaustive:
             return BSTReconstructor(self.tree, exhaustive=True).reconstruct(
                 self._get(name))
-        return self._reconstructor.reconstruct(self._get(name))
+        return self._shared_reconstructor().reconstruct(self._get(name))
 
     def reconstruct_many(self, names: Iterable[str],
                          exhaustive: bool = False,
@@ -235,7 +303,7 @@ class FilterStore:
         if exhaustive:
             return BSTReconstructor(
                 self.tree, exhaustive=True).reconstruct_many(queries)
-        return self._reconstructor.reconstruct_many(queries)
+        return self._shared_reconstructor().reconstruct_many(queries)
 
     def union_filter(self, names: Iterable[str]) -> BloomFilter:
         """Exact filter of the union of named sets (Section 3.1)."""
@@ -270,10 +338,11 @@ class FilterStore:
         the store lock); a seed or generator draws from a transient
         sampler — the deterministic path the serving layer uses.
         """
-        self._require_tree()
         if rng is None:
+            sampler = self._shared_sampler()
             with self._lock:
-                return self._sampler.sample(query)
+                return sampler.sample(query)
+        self._require_tree()
         sampler = BSTSampler(self.tree, self._empty_threshold,
                              ensure_rng(rng), self._descent)
         return sampler.sample(query)
@@ -332,6 +401,66 @@ class FilterStore:
                 store._filters[str(name)] = bloom
         return store
 
+    def save_compiled(self, path) -> None:
+        """Serialise all named filters to one raw mappable buffer.
+
+        The compiled counterpart of :meth:`save`
+        (:mod:`repro.core.mmapio` layout): :meth:`load_compiled` maps the
+        stacked filter words read-only instead of decompressing them, so
+        a serving cold start touches no set data until a query does.
+        """
+        from repro.core.mmapio import write_blob
+
+        name, seed = _family_spec(self.family)
+        with self._lock:
+            names = self.names()
+            if names:
+                words = np.stack([self._filters[n].bits.words
+                                  for n in names])
+            else:
+                words = np.empty((0, 0), dtype=np.uint64)
+        namespace = getattr(self.family, "namespace_size", self.family.m)
+        meta = {
+            "kind": "filter-store",
+            "family_name": name,
+            "family_seed": int(seed),
+            "k": int(self.family.k),
+            "m": int(self.family.m),
+            "namespace_size": int(namespace),
+            "set_names": names,
+        }
+        write_blob(path, meta, {"words": words})
+
+    @classmethod
+    def load_compiled(cls, path, tree=None,
+                      rng: "int | np.random.Generator | None" = None,
+                      empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
+                      descent: str = "threshold") -> "FilterStore":
+        """Load a store saved by :meth:`save_compiled` (zero-copy).
+
+        Every filter's bit words are read-only views of one shared
+        memory mapping; :meth:`add` copies a filter on first write.
+        """
+        from repro.core.bitvector import BitVector
+        from repro.core.mmapio import read_blob
+
+        meta, arrays = read_blob(path, mmap=True)
+        if meta.get("kind") != "filter-store":
+            raise ValueError(f"{path} is not a compiled filter store")
+        family = create_family(
+            meta["family_name"], int(meta["k"]), int(meta["m"]),
+            namespace_size=int(meta["namespace_size"]),
+            seed=int(meta["family_seed"]),
+        )
+        store = cls(family, tree=tree, rng=rng,
+                    empty_threshold=empty_threshold, descent=descent)
+        words = arrays["words"]
+        for row, name in enumerate(meta["set_names"]):
+            store._filters[str(name)] = BloomFilter(
+                family, BitVector(family.m, words[row]))
+        return store
+
     def __repr__(self) -> str:
+        has_tree = self._tree_source is not None
         return (f"FilterStore(sets={len(self)}, m={self.family.m}, "
-                f"k={self.family.k}, tree={'yes' if self.tree else 'no'})")
+                f"k={self.family.k}, tree={'yes' if has_tree else 'no'})")

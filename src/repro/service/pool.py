@@ -55,23 +55,37 @@ class ShardedEnginePool:
         *,
         replicas: int = 64,
         occupied=None,
+        template: BloomDB | None = None,
     ):
         if shards <= 0:
             raise ValueError("need at least one shard")
         self.config = config
         self.ring = ConsistentHashRing(shards, replicas=replicas)
-        first = BloomDB(config, occupied=occupied)
+        if template is not None:
+            # Derive every shard from an already-built engine (a loaded
+            # save, possibly memory-mapped) instead of rebuilding — the
+            # serve cold-start path.
+            first = template.spawn_shard()
+        else:
+            first = BloomDB(config, occupied=occupied)
+        if config.plan == "compiled" and not first.spec.requires_occupied:
+            # Compile (or inherit) the shared static plan once so every
+            # shard maps the same read-only flat arrays.
+            first.compiled_tree()
         engines = [first]
         for _ in range(1, shards):
-            if first.spec.requires_occupied:
+            if not first.spec.requires_occupied:
+                # Static trees (and their compiled plan, materialised on
+                # `first` above) are shared by every shard.
+                engines.append(first.spawn_shard())
+            elif template is not None:
+                # Occupancy backends spawn independent writable copies
+                # from the template's components.
+                engines.append(template.spawn_shard())
+            else:
                 # Occupancy-tracking trees are mutable: per-shard copies,
                 # kept identical by broadcasting every occupancy change.
                 engines.append(BloomDB(config, occupied=occupied))
-            else:
-                # Static tree: immutable at serve time, share one object.
-                engines.append(BloomDB(
-                    config, params=first.params, family=first.family,
-                    tree=first.tree))
         self.engines: list[BloomDB] = engines
 
     @classmethod
@@ -79,12 +93,13 @@ class ShardedEnginePool:
                     *, replicas: int = 64) -> "ShardedEnginePool":
         """Re-shard an existing engine (e.g. one loaded from disk).
 
-        Builds a pool with the engine's config and occupancy, then
-        copies every stored filter onto its owning shard.  The source
-        engine is left untouched.
+        Shard engines are spawned from the loaded engine's components
+        (:meth:`~repro.api.BloomDB.spawn_shard`) — the static tree and
+        compiled plan are shared rather than rebuilt — then every stored
+        filter is copied onto its owning shard.  The source engine is
+        left untouched.
         """
-        pool = cls(db.config, shards, replicas=replicas,
-                   occupied=db.occupied)
+        pool = cls(db.config, shards, replicas=replicas, template=db)
         for name in db.names():
             pool.engine_for(name).store.install(name, db.filter(name).copy())
         return pool
@@ -133,7 +148,9 @@ class ShardedEnginePool:
         if not self.engines[0].spec.requires_occupied or not ids.size:
             return
         for engine in self.engines:
-            engine.tree.insert_many(ids)
+            # Through the engine (not the raw tree) so a cached compiled
+            # plan is invalidated alongside the occupancy change.
+            engine.insert_ids(ids)
 
     # -- pool-wide reads ---------------------------------------------------------
 

@@ -240,9 +240,10 @@ class ShardWorker(threading.Thread):
             elif request.op == "register_ids":
                 # Runs on every shard's own worker (the service broadcasts
                 # one request per shard), so the tree mutation cannot race
-                # this shard's queries.
+                # this shard's queries.  Routed through the engine so a
+                # cached compiled plan is invalidated with the occupancy.
                 if self.db.spec.requires_occupied:
-                    self.db.tree.insert_many(request.ids)
+                    self.db.insert_ids(request.ids)
                 result = True
             else:  # pragma: no cover - OPS is validated at construction
                 raise ValueError(f"unhandled op {request.op!r}")

@@ -247,6 +247,26 @@ class TestBenchCLI:
                   "--cache-dir", str(tmp_path / "cache"),
                   "--output-dir", str(tmp_path)])
 
+    def test_compare_prints_speedup_trajectory(self, tiny_registry,
+                                               tmp_path, capsys):
+        args = ["bench", "--quick", "--scenario", "tiny_smoke",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output-dir", str(tmp_path)]
+        main(args)
+        main(args + ["--force"])
+        capsys.readouterr()
+        rc = main(["bench", "--compare", "--output-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "tiny_smoke speedup_batch_vs_scalar_loop" in out
+        assert "->" in out
+
+    def test_compare_without_history_fails(self, tmp_path, capsys):
+        rc = main(["bench", "--compare", "--output-dir", str(tmp_path)])
+        assert rc == 1
+        assert "no runs recorded" in capsys.readouterr().out
+
 
 class TestSchemaValidation:
     def test_rejects_non_dict(self):

@@ -96,6 +96,55 @@ class TestKernelMode:
         with pytest.raises(ValueError):
             kernels.set_kernel_mode("simd")
 
+    def test_scalar_block_does_not_leak_into_other_threads(self):
+        """Regression: _MODE was a process-global, so a scalar_kernels()
+        block in one thread flipped the kernels under concurrent serving
+        threads.  The mode is context-local now."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def scalar_holder():
+            with kernels.scalar_kernels():
+                entered.set()
+                release.wait(timeout=5)
+
+        def observer():
+            entered.wait(timeout=5)
+            seen["mode"] = kernels.kernel_mode()
+            release.set()
+
+        threads = [threading.Thread(target=scalar_holder),
+                   threading.Thread(target=observer)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert seen["mode"] == kernels.VECTORIZED
+        assert kernels.kernel_mode() == kernels.VECTORIZED
+
+    def test_set_kernel_mode_is_thread_local(self):
+        import threading
+
+        kernels.set_kernel_mode(kernels.SCALAR)
+        try:
+            seen = {}
+
+            def probe():
+                seen["mode"] = kernels.kernel_mode()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(timeout=10)
+            # A fresh thread starts from the default, not the caller's
+            # selection.
+            assert seen["mode"] == kernels.VECTORIZED
+            assert kernels.kernel_mode() == kernels.SCALAR
+        finally:
+            kernels.set_kernel_mode(kernels.VECTORIZED)
+
 
 class TestMembershipKernels:
     @pytest.fixture()
@@ -175,3 +224,29 @@ class TestPositionCache:
         cache = kernels.PositionCache(tree)
         for node in tree.iter_nodes():
             assert cache.ones(node) == node.bloom.count_ones()
+
+    def test_estimate_memo_is_lru_bounded(self):
+        family = create_family("murmur3", 3, 2048, seed=1)
+        tree = BloomSampleTree.build(256, 3, family)
+        cache = kernels.PositionCache(tree, max_estimates=4)
+        queries = [object() for _ in range(6)]
+        node = tree.root
+        for i, query in enumerate(queries):
+            cache.set_child_estimate(query, node, float(i))
+        # Only the 4 most recent survive.
+        assert cache.child_estimate(queries[0], node) is None
+        assert cache.child_estimate(queries[1], node) is None
+        assert cache.child_estimate(queries[5], node) == 5.0
+        # A hit refreshes recency: inserting two more now evicts the
+        # oldest *untouched* entries, not the refreshed one.
+        assert cache.child_estimate(queries[2], node) == 2.0
+        cache.set_child_estimate(object(), node, 10.0)
+        cache.set_child_estimate(object(), node, 11.0)
+        assert cache.child_estimate(queries[2], node) == 2.0
+        assert cache.child_estimate(queries[3], node) is None
+
+    def test_estimate_cap_must_be_positive(self):
+        family = create_family("murmur3", 3, 2048, seed=1)
+        tree = BloomSampleTree.build(256, 3, family)
+        with pytest.raises(ValueError):
+            kernels.PositionCache(tree, max_estimates=0)

@@ -90,6 +90,36 @@ class TestReconstruct:
         assert "100/100 of the true set recovered" in out
 
 
+class TestCompile:
+    def test_compile_then_reload_and_sample(self, tmp_path, capsys):
+        db_dir = str(tmp_path / "engine")
+        main(["sample", "-M", "5000", "-n", "100", "--save-db", db_dir])
+        capsys.readouterr()
+        assert main(["compile", "--db", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out and "plan.bst" in out
+        assert (tmp_path / "engine" / "plan.bst").exists()
+        assert (tmp_path / "engine" / "sets.bst").exists()
+        # The flipped engine.json loads through the compiled path and
+        # still serves samples.
+        assert main(["sample", "--db", db_dir, "-r", "3"]) == 0
+        assert "3 samples from 'hidden'" in capsys.readouterr().out
+
+    def test_second_compile_is_a_noop_without_force(self, tmp_path, capsys):
+        db_dir = str(tmp_path / "engine")
+        main(["sample", "-M", "5000", "-n", "100", "--save-db", db_dir])
+        main(["compile", "--db", db_dir])
+        capsys.readouterr()
+        assert main(["compile", "--db", db_dir]) == 0
+        assert "already holds a compiled plan" in capsys.readouterr().out
+        assert main(["compile", "--db", db_dir, "--force"]) == 0
+        assert "compiled" in capsys.readouterr().out
+
+    def test_missing_engine_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="no saved engine"):
+            main(["compile", "--db", str(tmp_path / "nope")])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
