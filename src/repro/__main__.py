@@ -260,11 +260,16 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
 
     from repro.bench.runner import HISTORY_FILE, load_history
 
-    history = load_history(pathlib.Path(args.output_dir) / HISTORY_FILE)
+    path = pathlib.Path(args.output_dir) / HISTORY_FILE
+    if not path.exists():
+        print(f"error: no benchmark history at {path} — run "
+              f"`repro bench` (or `repro bench --quick`) first to record "
+              f"a baseline", file=sys.stderr)
+        return 1
+    history = load_history(path)
     runs = history["runs"]
     if not runs:
-        print(f"no runs recorded in "
-              f"{pathlib.Path(args.output_dir) / HISTORY_FILE}")
+        print(f"no runs recorded in {path}")
         return 1
     print(f"{len(runs)} run(s): "
           + " -> ".join(f"v{run['version']}[{run['mode']}]" for run in runs))
@@ -363,6 +368,7 @@ def _build_service(args):
         set_size=args.set_size,
         family=args.family,
         tree=args.tree,
+        plan=args.plan,
         seed=args.seed,
     )
     for i in range(args.num_sets):
@@ -412,6 +418,8 @@ def _run_smoke(service, args) -> int:
         for thread in threads:
             thread.join(timeout=60)
 
+        failures.extend(_smoke_mutate(service, server, client, names))
+
         stats = HTTPServiceClient(server.url).stats()
         counters = stats["counters"]
         served = counters.get("served_total", 0)
@@ -432,6 +440,50 @@ def _run_smoke(service, args) -> int:
         return 0
 
 
+def _smoke_mutate(service, server, client, names) -> list[str]:
+    """Mutate-while-serving: insert -> sample -> retire -> compact -> sample.
+
+    Exercises the epoch-atomic write path on occupancy-tracking
+    backends: ids are inserted over HTTP, sampling keeps flowing, ids
+    are retired again (``dynamic`` only), and the pre-/post-compaction
+    samples of one seeded request must be bit-identical (compaction may
+    never change results).  Returns failure descriptions.
+    """
+    import numpy as np
+
+    from repro.service import HTTPServiceClient
+
+    spec = service.pool.engines[0].spec
+    if not spec.requires_occupied:
+        return []
+    failures: list[str] = []
+    try:
+        occupied = service.pool.engines[0].occupied
+        fresh = np.setdiff1d(
+            np.arange(service.pool.config.namespace_size, dtype=np.uint64),
+            occupied)[:64]
+        http = HTTPServiceClient(server.url)
+        http.insert_ids(fresh)
+        client.sample(names[0], r=4, seed=1)
+        if spec.supports_remove:
+            http.retire_ids(fresh)
+        before = client.sample(names[0], r=4, seed=2)
+        http.compact()
+        after = client.sample(names[0], r=4, seed=2)
+        if before != after:
+            failures.append(
+                f"compaction changed a seeded sample: {before} != {after}")
+        epochs = [None if e is None else e.epoch
+                  for e in service.pool.ring_epochs()]
+        print(f"smoke: mutate-while-serving OK "
+              f"(inserted {fresh.size}, "
+              f"retired {fresh.size if spec.supports_remove else 0}, "
+              f"ring epochs {epochs})")
+    except Exception as exc:  # noqa: BLE001 - smoke must report all
+        failures.append(f"mutate phase: {type(exc).__name__}: {exc}")
+    return failures
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ReproServer
 
@@ -444,7 +496,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"max_batch={service.config.max_batch}, "
           f"max_delay_ms={service.config.max_delay_ms})")
     print("endpoints: GET /healthz /stats; POST /sample /reconstruct "
-          "/contains /sample-union /sample-intersection /add-set")
+          "/contains /sample-union /sample-intersection /add-set "
+          "/insert /retire /compact")
     server.serve_forever()
     return 0
 
@@ -539,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=defaults["tree"])
     serve.add_argument("--family", choices=families_available(),
                        default=defaults["family"])
+    serve.add_argument("--plan", choices=("objects", "compiled"),
+                       default="objects",
+                       help="descent execution plan for ephemeral engines "
+                            "(compiled: flat-array descent + epoch/delta "
+                            "mutation pipeline)")
     serve.add_argument("--seed", type=int, default=defaults["seed"])
     serve.add_argument("--num-sets", type=int, default=8,
                        help="synthetic sets for ephemeral engines "

@@ -21,7 +21,12 @@ merged :class:`~repro.core.ops.OpCounter` per batch.
 
 from repro.api.batch import BatchReport, SampleSpec
 from repro.api.config import DEFAULT_SET_SIZE, EngineConfig
-from repro.api.engine import BackendCapabilityError, BloomDB
+from repro.api.engine import (
+    BackendCapabilityError,
+    BloomDB,
+    EngineEpoch,
+    SharedEpochs,
+)
 
 __all__ = [
     "BackendCapabilityError",
@@ -29,5 +34,7 @@ __all__ = [
     "BloomDB",
     "DEFAULT_SET_SIZE",
     "EngineConfig",
+    "EngineEpoch",
     "SampleSpec",
+    "SharedEpochs",
 ]

@@ -34,6 +34,11 @@ DEFAULT_SET_SIZE = 1_000
 _FAMILIES = FAMILY_NAMES
 _DESCENTS = ("threshold", "floored")
 _PLANS = ("objects", "compiled")
+_MUTATIONS = ("invalidate", "delta")
+
+#: Default delta density at which the engine folds the overlay back
+#: into a fresh base plan (see :meth:`repro.api.BloomDB.compact`).
+DEFAULT_COMPACT_THRESHOLD = 0.5
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,19 @@ class EngineConfig:
         :func:`~repro.core.plan.descend_frontier` kernel — bit-identical
         results — and saved engines persist an ``np.memmap``-loadable
         plan for O(mmap) cold starts).  See ``docs/performance.md``.
+    ``mutation``
+        How occupancy mutations treat a published compiled plan:
+        ``"delta"`` (default) layers them as a
+        :class:`~repro.core.plan.CompiledTree`-preserving
+        :class:`~repro.core.delta.PlanDelta` overlay — sampling keeps
+        the flat-array descent path, bit-identical to a from-scratch
+        recompile; ``"invalidate"`` is the legacy behaviour (drop the
+        plan, recompile lazily on the next compiled batch).
+    ``compact_threshold``
+        Delta density (dirty-node fraction) at which the engine
+        auto-folds the overlay into a fresh base plan after a mutation
+        (:meth:`~repro.api.BloomDB.compact`).  Values above 1.0
+        effectively disable auto-compaction.
     ``seed``
         Seeds both the hash family and the engine's random stream.
     ``k``
@@ -86,6 +104,8 @@ class EngineConfig:
     threshold: float = DEFAULT_EMPTY_THRESHOLD
     descent: str = "threshold"
     plan: str = "objects"
+    mutation: str = "delta"
+    compact_threshold: float = DEFAULT_COMPACT_THRESHOLD
     seed: int = 0
     k: int = 3
     cost_ratio: float | None = None
@@ -112,6 +132,12 @@ class EngineConfig:
         if self.plan not in _PLANS:
             raise ValueError(
                 f"unknown execution plan {self.plan!r} (known: {_PLANS})")
+        if self.mutation not in _MUTATIONS:
+            raise ValueError(
+                f"unknown mutation mode {self.mutation!r} "
+                f"(known: {_MUTATIONS})")
+        if self.compact_threshold <= 0:
+            raise ValueError("compact_threshold must be positive")
         if self.k <= 0:
             raise ValueError("k must be positive")
         if self.depth is not None:

@@ -10,6 +10,12 @@ serving layer needs — named-set management, single and batched sampling,
 reconstruction, algebraic (union / intersection) queries, occupancy
 updates and whole-engine persistence.
 
+Mutations are *epoch-versioned*: every occupancy change publishes a new
+:class:`EngineEpoch` — an immutable (compiled plan, delta overlay) pair
+behind one atomic reference swap — so concurrent compiled readers never
+take the plan lock; they pin the epoch they started on and the writer
+never blocks them (see ``docs/performance.md``).
+
 >>> import numpy as np
 >>> db = BloomDB.plan(namespace_size=10_000, accuracy=0.9, seed=7)
 >>> ids = np.arange(100, 600, 5, dtype=np.uint64)
@@ -23,6 +29,7 @@ import json
 import pathlib
 import threading
 import time
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -36,6 +43,11 @@ from repro.core.backend import (
     backend_key_of,
 )
 from repro.core.bloom import BloomFilter
+from repro.core.delta import (
+    MAX_EPOCH_CHAIN,
+    DeltaCompactionNeeded,
+    PlanDelta,
+)
 from repro.core.design import TreeParameters
 from repro.core.hashing import HashFamily
 from repro.core.kernels import PositionCache
@@ -75,6 +87,88 @@ class BackendCapabilityError(RuntimeError):
     """An operation the configured tree backend does not support."""
 
 
+#: Sentinel returned by :meth:`BloomDB.prepare_occupancy` when the
+#: mutation requires no epoch publication (nothing was published yet, or
+#: the ids changed nothing).  Distinct from ``None``, which means
+#: "clear the published cell" (``mutation="invalidate"``).
+NO_EPOCH_CHANGE = object()
+
+
+@dataclass(frozen=True)
+class EngineEpoch:
+    """One immutable snapshot of an engine's compiled read state.
+
+    ``epoch`` is a per-engine monotonic id; ``plan`` the compiled base
+    snapshot; ``delta`` the sparse mutation overlay accumulated since
+    that base was compiled (``None`` right after a compile/compaction).
+    Epochs are published by a single atomic reference swap
+    (:class:`SharedEpochs`), so a reader that grabbed an epoch keeps a
+    consistent ``base ⊕ delta`` for its whole batch no matter how many
+    writers publish behind it.
+    """
+
+    epoch: int
+    plan: CompiledTree
+    delta: PlanDelta | None = None
+
+    def view(self):
+        """The effective plan ``descend_frontier`` should read."""
+        if self.delta is None or self.delta.is_empty:
+            return self.plan
+        return self.delta.view()
+
+    @property
+    def delta_density(self) -> float:
+        """Dirty-node fraction of the overlay (0.0 for a clean epoch)."""
+        return 0.0 if self.delta is None else self.delta.density
+
+
+class SharedEpochs:
+    """Atomic publication cells for one engine — or one shard ring.
+
+    Holds a tuple of :class:`EngineEpoch` references (one per engine).
+    Readers call :meth:`current` / :meth:`snapshot`, which are single
+    reference reads — no lock, no wait.  Writers replace the whole tuple
+    under a short internal lock; :meth:`publish_many` swaps several
+    cells in *one* replacement, which is how a
+    :class:`~repro.service.ShardedEnginePool` moves every shard to the
+    next epoch atomically ring-wide.
+    """
+
+    def __init__(self, size: int = 1):
+        if size <= 0:
+            raise ValueError("need at least one epoch cell")
+        self._cells: tuple = (None,) * size
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def current(self, index: int = 0) -> EngineEpoch | None:
+        """The epoch published at ``index`` (one atomic reference read)."""
+        return self._cells[index]
+
+    def snapshot(self) -> tuple:
+        """Every cell, as one consistent tuple (one reference read)."""
+        return self._cells
+
+    def publish(self, index: int, epoch: EngineEpoch | None) -> None:
+        """Swap one cell (``None`` un-publishes: readers recompile)."""
+        with self._lock:
+            cells = list(self._cells)
+            cells[index] = epoch
+            self._cells = tuple(cells)
+
+    def publish_many(self, updates: Iterable[tuple[int, EngineEpoch | None]],
+                     ) -> None:
+        """Swap several cells in one atomic tuple replacement."""
+        with self._lock:
+            cells = list(self._cells)
+            for index, epoch in updates:
+                cells[index] = epoch
+            self._cells = tuple(cells)
+
+
 class BloomDB:
     """A database of named Bloom-filter sets behind one BloomSampleTree.
 
@@ -96,6 +190,8 @@ class BloomDB:
         store: FilterStore | None = None,
         occupied=None,
         compiled: CompiledTree | None = None,
+        epochs: SharedEpochs | None = None,
+        epoch_index: int = 0,
     ):
         self.config = config
         self.params = params if params is not None else config.parameters()
@@ -104,6 +200,12 @@ class BloomDB:
         self._spec: BackendSpec = backend_for(config.tree)
         self._compiled = compiled
         self._plan_lock = threading.RLock()
+        # Epoch publication: a pool passes a ring-shared SharedEpochs so
+        # all shards can be swapped to the next epoch atomically;
+        # standalone engines own a single cell.
+        self._epochs = epochs if epochs is not None else SharedEpochs(1)
+        self._epoch_index = int(epoch_index)
+        self._epoch_counter = 0
         # ``tree`` may be a backend instance, a zero-arg factory (shared
         # lazy materialisation across pool shards), or None — in which
         # case the tree is materialised from the compiled plan when one
@@ -158,21 +260,157 @@ class BloomDB:
             writable=self._spec.requires_occupied)
 
     def compiled_tree(self) -> CompiledTree:
-        """This engine's flat-array tree plan (compiled lazily, cached).
+        """This engine's flat-array base plan (compiled lazily, cached).
 
-        Invalidated (and recompiled on next use) by occupancy changes —
-        :meth:`insert_ids`, :meth:`retire_ids` and the id registration of
-        :meth:`add_set` / :meth:`extend_set` on occupancy-tracking
-        backends.
+        If the published epoch carries a mutation overlay, it is folded
+        in first (:meth:`compact`), so the returned plan always reflects
+        the live tree — this is what :meth:`save` and the ``repro
+        compile`` CLI persist.  Batched sampling does *not* come through
+        here: it reads the published :class:`EngineEpoch` view, which
+        keeps deltas sparse.
+        """
+        epoch = self.current_epoch()
+        if epoch.delta is not None and not epoch.delta.is_empty:
+            return self.compact()
+        return epoch.plan
+
+    # -- epoch pipeline ---------------------------------------------------------
+
+    def current_epoch(self) -> EngineEpoch:
+        """The published epoch (compiling + publishing the first lazily).
+
+        Reading the current epoch is one atomic reference load — the
+        plan lock is only ever taken to compile the very first plan (or
+        by writers), so concurrent ``sample_many`` calls never contend.
+        """
+        epoch = self._epochs.current(self._epoch_index)
+        if epoch is None:
+            with self._plan_lock:
+                epoch = self._epochs.current(self._epoch_index)
+                if epoch is None:
+                    if self._compiled is None:
+                        self._compiled = CompiledTree.from_tree(self.tree)
+                    epoch = self._next_epoch(self._compiled, None)
+                    self._epochs.publish(self._epoch_index, epoch)
+        return epoch
+
+    def _next_epoch(self, plan: CompiledTree,
+                    delta: PlanDelta | None) -> EngineEpoch:
+        """Mint the next monotonic epoch (callers hold the plan lock)."""
+        self._epoch_counter += 1
+        return EngineEpoch(self._epoch_counter, plan, delta)
+
+    def prepare_occupancy(self, kind: str, ids):
+        """Apply an occupancy mutation; build — but do not publish — the
+        next cell value.
+
+        ``kind`` is ``"insert"`` or ``"retire"``.  The object tree is
+        mutated immediately (it is the authoritative state); the
+        returned value must then be handed to the epoch cell by the
+        caller — :meth:`insert_ids` / :meth:`retire_ids` publish it
+        directly, while
+        :meth:`repro.service.ShardedEnginePool.apply_occupancy` collects
+        one value per shard and publishes them all in a single atomic
+        swap (this is why even the ``mutation="invalidate"`` clear is
+        returned rather than applied here).  Returns an
+        :class:`EngineEpoch` (the extended delta overlay, or a fresh
+        recompile when the overlay cannot express the change), ``None``
+        (clear the cell: ``mutation="invalidate"``), or
+        :data:`NO_EPOCH_CHANGE` (nothing to publish: no epoch exists
+        yet, or the ids changed nothing).
+        """
+        if kind not in ("insert", "retire"):
+            raise ValueError(f"unknown occupancy mutation {kind!r}")
+        ids = np.unique(self._as_ids(ids))
+        with self._plan_lock:
+            if kind == "insert":
+                # Drop ids that are already occupied: re-registering
+                # them (add_set/extend_set over overlapping sets) must
+                # not dirty their paths or publish a pointless epoch.
+                occupied = self.occupied
+                if occupied is not None and occupied.size:
+                    ids = ids[~np.isin(ids, occupied)]
+                if ids.size == 0:
+                    return NO_EPOCH_CHANGE
+                self.tree.insert_many(ids)
+            else:
+                if ids.size == 0:
+                    return NO_EPOCH_CHANGE
+                self.tree.remove_many(ids)
+            current = self._epochs.current(self._epoch_index)
+            if current is None:
+                # Nothing published: drop any stale pre-epoch plan and
+                # let the next reader compile from the mutated tree.
+                self._compiled = None
+                return NO_EPOCH_CHANGE
+            if self.config.mutation == "invalidate":
+                self._compiled = None
+                return None
+            delta = (current.delta if current.delta is not None
+                     else PlanDelta(current.plan))
+            try:
+                epoch = self._next_epoch(current.plan,
+                                         delta.extend(self.tree, ids))
+            except DeltaCompactionNeeded:
+                # Structural change the overlay cannot express (tree
+                # emptied / base held no nodes): recompile outright.
+                self._compiled = CompiledTree.from_tree(self.tree)
+                return self._next_epoch(self._compiled, None)
+            if (epoch.delta.density >= self.config.compact_threshold
+                    or epoch.delta.chain_length >= MAX_EPOCH_CHAIN):
+                # Fold the overlay *before* publication, so the caller
+                # still promotes the mutation and its compaction in one
+                # swap.  The chain-length bound catches churn that keeps
+                # re-dirtying the same hot slots, which density alone
+                # never would.
+                return self.prepare_compact()
+            return epoch
+
+    def prepare_compact(self) -> EngineEpoch:
+        """Build — but do not publish — a compacted epoch.
+
+        The pool-facing half of :meth:`compact`: the fresh base plan is
+        compiled here, publication stays with the caller so a ring can
+        promote every shard in one swap.
         """
         with self._plan_lock:
-            if self._compiled is None:
-                self._compiled = CompiledTree.from_tree(self.tree)
-            return self._compiled
+            fresh = CompiledTree.from_tree(self.tree)
+            self._compiled = fresh
+            return self._next_epoch(fresh, None)
 
-    def _invalidate_plan(self) -> None:
+    def _apply_occupancy(self, kind: str, ids) -> None:
+        """The single-engine mutation path: prepare, then one swap.
+
+        The (re-entrant) plan lock is held across prepare *and* publish:
+        two concurrent direct writers must not both extend the same
+        predecessor epoch, or the last publish would silently drop the
+        other's paths.  (The pool path serialises writers under its own
+        write lock for the same reason.)
+        """
         with self._plan_lock:
-            self._compiled = None
+            epoch = self.prepare_occupancy(kind, ids)
+            if epoch is not NO_EPOCH_CHANGE:
+                self._epochs.publish(self._epoch_index, epoch)
+
+    def compact(self, path=None) -> CompiledTree:
+        """Fold the published delta into a fresh base plan.
+
+        Runs entirely off the read path: in-flight readers keep the
+        epoch they pinned, and the fresh plan is promoted by one atomic
+        reference swap.  With ``path`` the plan is also persisted
+        through the atomic-rename writer of :mod:`repro.core.mmapio`
+        and re-opened memory-mapped, so the served base plan *is* the
+        promoted file.  Returns the fresh base plan.
+        """
+        with self._plan_lock:
+            fresh = CompiledTree.from_tree(self.tree)
+            if path is not None:
+                fresh.save(path)
+                fresh = CompiledTree.load(path)
+            self._compiled = fresh
+            self._epochs.publish(self._epoch_index,
+                                 self._next_epoch(fresh, None))
+            return fresh
 
     # -- construction ---------------------------------------------------------
 
@@ -188,6 +426,8 @@ class BloomDB:
         threshold: float | None = None,
         descent: str = "threshold",
         plan: str = "objects",
+        mutation: str = "delta",
+        compact_threshold: float | None = None,
         seed: int = 0,
         k: int = 3,
         cost_ratio: float | None = None,
@@ -213,6 +453,7 @@ class BloomDB:
             tree=tree,
             descent=descent,
             plan=plan,
+            mutation=mutation,
             seed=seed,
             k=k,
             cost_ratio=cost_ratio,
@@ -220,6 +461,8 @@ class BloomDB:
         )
         if threshold is not None:
             kwargs["threshold"] = threshold
+        if compact_threshold is not None:
+            kwargs["compact_threshold"] = compact_threshold
         return cls(EngineConfig(**kwargs), occupied=occupied)
 
     @classmethod
@@ -289,8 +532,7 @@ class BloomDB:
                 f"tree backend {self.config.tree!r} does not track "
                 f"occupancy; use tree=\"pruned\" or tree=\"dynamic\""
             )
-        self.tree.insert_many(self._as_ids(ids))
-        self._invalidate_plan()
+        self._apply_occupancy("insert", ids)
         return self
 
     def retire_ids(self, ids) -> "BloomDB":
@@ -306,8 +548,7 @@ class BloomDB:
                 f"tree backend {self.config.tree!r} cannot remove ids; "
                 f"use tree=\"dynamic\""
             )
-        self.tree.remove_many(self._as_ids(ids))
-        self._invalidate_plan()
+        self._apply_occupancy("retire", ids)
         return self
 
     @property
@@ -369,8 +610,10 @@ class BloomDB:
         if self.config.plan == "compiled":
             # Flat-array path: one level-synchronous descend_frontier
             # pass serves the whole batch (bit-identical per request).
+            # The epoch is pinned once here — a concurrent occupancy
+            # writer publishes behind us without ever blocking the read.
             results = self.store.sample_batch_compiled(
-                self.compiled_tree(),
+                self.current_epoch().view(),
                 [(spec.name, spec.rounds, spec.replacement, spec.seed)
                  for _, spec in specs])
             for (key, _), result in zip(specs, results):
@@ -423,7 +666,8 @@ class BloomDB:
         """The registry entry of the configured tree backend."""
         return self._spec
 
-    def spawn_shard(self) -> "BloomDB":
+    def spawn_shard(self, *, epochs: SharedEpochs | None = None,
+                    epoch_index: int = 0) -> "BloomDB":
         """A fresh-store engine over this engine's built components.
 
         The serving pool uses this instead of rebuilding per shard:
@@ -432,20 +676,30 @@ class BloomDB:
         while occupancy-tracking backends get an independent writable
         tree, materialised from the compiled plan when one exists
         (skipping the re-hash of every occupied id) and rebuilt from the
-        occupancy otherwise.
+        occupancy otherwise.  ``epochs`` / ``epoch_index`` hand the new
+        shard its cell in a ring-shared :class:`SharedEpochs`.
         """
+        epoch = self._epochs.current(self._epoch_index)
+        if epoch is not None and epoch.delta is not None \
+                and not epoch.delta.is_empty:
+            # Fold pending mutations so the spawned shard starts from a
+            # plan that matches this engine's live tree.
+            self.compact()
         if not self._spec.requires_occupied:
             tree_source = (self._tree if self._tree is not None
                            else (lambda: self.tree))
             return BloomDB(self.config, params=self.params,
                            family=self.family, tree=tree_source,
-                           compiled=self._compiled)
+                           compiled=self._compiled,
+                           epochs=epochs, epoch_index=epoch_index)
         if self._compiled is not None and self.config.tree != "dynamic":
             return BloomDB(self.config, params=self.params,
                            family=self.family,
-                           tree=self._compiled.to_tree(writable=True))
+                           tree=self._compiled.to_tree(writable=True),
+                           epochs=epochs, epoch_index=epoch_index)
         return BloomDB(self.config, params=self.params, family=self.family,
-                       occupied=self.occupied)
+                       occupied=self.occupied,
+                       epochs=epochs, epoch_index=epoch_index)
 
     def sampler_for(self, rng=None) -> BSTSampler:
         """A fresh sampler on this engine's tree and thresholds.
@@ -562,6 +816,10 @@ class BloomDB:
         occupied = self.occupied
         if occupied is not None:
             info["occupied"] = int(occupied.size)
+        epoch = self._epochs.current(self._epoch_index)
+        if epoch is not None:
+            info["epoch"] = epoch.epoch
+            info["delta_density"] = round(epoch.delta_density, 4)
         return info
 
     def __repr__(self) -> str:
@@ -580,8 +838,7 @@ class BloomDB:
     def _register_ids(self, ids: np.ndarray) -> None:
         """Keep occupancy-tracking backends in sync with stored data."""
         if self._spec.requires_occupied and ids.size:
-            self.tree.insert_many(ids)
-            self._invalidate_plan()
+            self._apply_occupancy("insert", ids)
 
     def _normalise_requests(
         self,

@@ -113,6 +113,23 @@ _register(Scenario(
 ))
 
 _register(Scenario(
+    name="write_churn_compiled",
+    kind="sampling",
+    title="Compiled sampling under id churn: epoch/delta overlay vs. the "
+          "invalidate-and-recompile baseline (bit-identical results)",
+    maps_to="Section 5.2 dynamic scenario + ROADMAP north star "
+            "(streaming id sets)",
+    quick=dict(_COMMON, namespace=60_000, set_size=500, num_sets=6,
+               family="murmur3", tree="dynamic", depth=11, occupied=6_000,
+               write_churn=True, churn_cycles=5, churn_fraction=0.10,
+               requests=8, rounds=8),
+    full=dict(_COMMON, namespace=400_000, set_size=1_000, num_sets=12,
+              family="murmur3", tree="dynamic", depth=13, occupied=40_000,
+              write_churn=True, churn_cycles=10, churn_fraction=0.10,
+              requests=16, rounds=16),
+))
+
+_register(Scenario(
     name="reconstruction_sweep",
     kind="reconstruction",
     title="Reconstructing every stored set: one-pass batch vs. per-set loop",

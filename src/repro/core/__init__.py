@@ -39,6 +39,12 @@ Submodules
     (:func:`~repro.core.plan.descend_frontier`, bit-identical to the
     recursive sampler), and zero-copy ``np.memmap`` persistence
     (:mod:`repro.core.mmapio`).
+``delta``
+    Sparse copy-on-write mutation overlays for compiled plans
+    (:class:`~repro.core.delta.PlanDelta`): occupancy churn stays on
+    the flat-array descent path as ``base ⊕ delta``
+    (:class:`~repro.core.delta.DeltaPlanView`) instead of forcing a
+    full recompile per mutation.
 """
 
 from repro.core.backend import (
@@ -61,6 +67,11 @@ from repro.core.counting import (
     CountingBloomFilter,
     CountingOverflowError,
     NotStoredError,
+)
+from repro.core.delta import (
+    DeltaCompactionNeeded,
+    DeltaPlanView,
+    PlanDelta,
 )
 from repro.core.design import TreeParameters, bloom_size_for_accuracy, plan_tree
 from repro.core.dynamic import DynamicBloomSampleTree
@@ -100,6 +111,8 @@ __all__ = [
     "CompiledTree",
     "CountingBloomFilter",
     "CountingOverflowError",
+    "DeltaCompactionNeeded",
+    "DeltaPlanView",
     "DescentRequest",
     "DynamicBloomSampleTree",
     "ExactUniformSampler",
@@ -110,6 +123,7 @@ __all__ = [
     "NotStoredError",
     "MD5HashFamily",
     "Murmur3HashFamily",
+    "PlanDelta",
     "PositionCache",
     "PrunedBloomSampleTree",
     "ReconstructionResult",

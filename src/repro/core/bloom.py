@@ -75,6 +75,18 @@ class BloomFilter:
         self.bits.set_many(self.family.positions_many(xs))
         self._count += int(xs.size)
 
+    def add_positions(self, rows: np.ndarray) -> None:
+        """Insert elements given their precomputed ``(n, k)`` position rows.
+
+        Lets a BloomSampleTree hash a batch once and reuse the rows at
+        every node on each element's path; bit-identical to
+        :meth:`add_many` on the same elements.
+        """
+        if rows.size == 0:
+            return
+        self.bits.set_many(rows)
+        self._count += int(rows.shape[0])
+
     # -- queries ------------------------------------------------------------------
 
     def __contains__(self, x: int) -> bool:

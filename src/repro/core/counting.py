@@ -64,14 +64,36 @@ class CountingBloomFilter:
         self._increment(positions)
 
     def add_many(self, xs: np.ndarray) -> None:
-        """Insert a batch of elements."""
+        """Insert a batch of elements (one hash pass, one counter update)."""
         xs = np.asarray(xs, dtype=np.uint64)
         if xs.size == 0:
             return
+        self.add_rows(self.family.positions_many(xs))
+
+    def add_rows(self, rows: np.ndarray) -> None:
+        """Insert elements given their precomputed ``(n, k)`` position rows.
+
+        The batched substrate of :meth:`add_many`; a BloomSampleTree
+        inserting a batch hashes each element once and feeds the same
+        rows to every node on its path.  Counters end up exactly where a
+        loop of :meth:`add` calls leaves them (per-row dedupe, per-slot
+        saturation at the dtype maximum).
+        """
+        if rows.size == 0:
+            return
+        rows = np.sort(rows, axis=1)
         # An element hitting the same position with two hash functions
         # must count it once, or removal would underflow: dedupe per row.
-        for row in self.family.positions_many(xs):
-            self._increment(np.unique(row))
+        keep = np.ones(rows.shape, dtype=bool)
+        keep[:, 1:] = rows[:, 1:] != rows[:, :-1]
+        touched, increments = np.unique(rows[keep], return_counts=True)
+        values = self.counts[touched].astype(np.int64)
+        maximum = np.iinfo(self.COUNTER_DTYPE).max
+        updated = np.minimum(values + increments, maximum)
+        self._saturated += int(((values < maximum)
+                                & (updated == maximum)).sum())
+        self.counts[touched] = updated.astype(self.COUNTER_DTYPE)
+        self._view.bits.set_many(touched)
 
     def _increment(self, positions: np.ndarray) -> None:
         maximum = np.iinfo(self.COUNTER_DTYPE).max
@@ -110,9 +132,51 @@ class CountingBloomFilter:
                 self._clear_bit(int(pos))
 
     def remove_many(self, xs: np.ndarray) -> None:
-        """Delete a batch of elements (loop over :meth:`remove`)."""
-        for x in np.asarray(xs, dtype=np.uint64).tolist():
-            self.remove(int(x))
+        """Delete a batch of elements with one batched hash pass.
+
+        One ``positions_many`` call and one aggregated counter update
+        replace the per-element loop; the final counters (and therefore
+        the plain-filter view) are identical to sequential
+        :meth:`remove` calls.  Validation is all-or-nothing: if any
+        element would underflow a zero counter
+        (:class:`NotStoredError`) or touch a saturated one
+        (:class:`CountingOverflowError`), no counter is changed.
+        """
+        xs = np.asarray(xs, dtype=np.uint64)
+        if xs.size == 0:
+            return
+        if xs.size == 1:
+            self.remove(int(xs[0]))
+            return
+        self.remove_rows(self.family.positions_many(xs))
+
+    def remove_rows(self, rows: np.ndarray) -> None:
+        """Delete elements given their precomputed ``(n, k)`` position rows.
+
+        The batched substrate of :meth:`remove_many`, with the same
+        all-or-nothing validation.
+        """
+        if rows.size == 0:
+            return
+        rows = np.sort(rows, axis=1)
+        # An element hitting one position with two hash functions was
+        # counted once at insert time: dedupe per row before decrement.
+        keep = np.ones(rows.shape, dtype=bool)
+        keep[:, 1:] = rows[:, 1:] != rows[:, :-1]
+        touched, decrements = np.unique(rows[keep], return_counts=True)
+        values = self.counts[touched].astype(np.int64)
+        maximum = np.iinfo(self.COUNTER_DTYPE).max
+        if (values == maximum).any():
+            raise CountingOverflowError(
+                "batch touches a saturated counter; deletion would be "
+                "unsound")
+        if (values < decrements).any():
+            raise NotStoredError(
+                "batch removes more copies than the filter holds")
+        remaining = values - decrements
+        self.counts[touched] = remaining.astype(self.COUNTER_DTYPE)
+        for pos in touched[remaining == 0].tolist():
+            self._clear_bit(int(pos))
 
     def _clear_bit(self, position: int) -> None:
         word = position >> 6

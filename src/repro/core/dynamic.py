@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.bloom import BloomFilter
 from repro.core.counting import CountingBloomFilter
 from repro.core.hashing import HashFamily
-from repro.core.tree import TreeNode
+from repro.core.tree import TreeNode, insert_paths_batched
 
 
 class _DynamicNode(TreeNode):
@@ -77,11 +77,13 @@ class DynamicBloomSampleTree:
             node.counting.add(x)
 
     def insert_many(self, xs: np.ndarray) -> None:
-        """Insert a batch of identifiers with one occupied-array merge.
+        """Insert a batch of identifiers level-synchronously.
 
-        Equivalent to a loop over :meth:`insert` but pays the sorted
-        occupied-array update once for the whole batch instead of one
-        ``O(|occupied|)`` copy per element.
+        One occupied-array merge, one hash pass (an element's positions
+        are the same at every node of its path), and one batched counter
+        update per touched node: the batch descends the tree once, each
+        node splitting its slice of the sorted batch at its midpoint.
+        The resulting tree is identical to a loop over :meth:`insert`.
         """
         xs = np.unique(np.asarray(xs, dtype=np.uint64))
         if xs.size == 0:
@@ -94,9 +96,28 @@ class DynamicBloomSampleTree:
         if fresh.size == 0:
             return
         self._occupied = np.union1d(self._occupied, fresh)
-        for x in fresh.tolist():
-            for node in self._path_to(int(x), create=True):
-                node.counting.add(int(x))
+        rows = self.family.positions_many(fresh)
+
+        def make_child(node: _DynamicNode, go_left: bool) -> _DynamicNode:
+            mid = node.split_point()
+            lo, hi = ((node.lo, mid) if go_left else (mid, node.hi))
+            child = _DynamicNode(node.level + 1,
+                                 2 * node.index + (0 if go_left else 1),
+                                 lo, hi, CountingBloomFilter(self.family))
+            if go_left:
+                node.left = child
+            else:
+                node.right = child
+            return child
+
+        if self.root is None:
+            self.root = _DynamicNode(0, 0, 0, self.namespace_size,
+                                     CountingBloomFilter(self.family))
+        insert_paths_batched(
+            self.root, self.depth, fresh,
+            lambda node, lo_i, hi_i: node.counting.add_rows(
+                rows[lo_i:hi_i]),
+            make_child)
 
     def remove(self, x: int) -> None:
         """Forget identifier ``x``; prunes subtrees that become empty."""
@@ -110,9 +131,69 @@ class DynamicBloomSampleTree:
         self._detach_empty(path)
 
     def remove_many(self, xs: np.ndarray) -> None:
-        """Remove a batch of identifiers."""
-        for x in np.asarray(xs, dtype=np.uint64).tolist():
-            self.remove(int(x))
+        """Remove a batch of identifiers level-synchronously.
+
+        The batch descends the tree once — each node splits its slice of
+        the (sorted) batch at its midpoint and hands the halves to its
+        children — so the path computation is paid per *node*, not per
+        element, mirroring :meth:`insert_many`'s single occupied-array
+        merge.  Counter updates use the counting filter's batched
+        :meth:`~repro.core.counting.CountingBloomFilter.remove_many`.
+        The final tree (counters, filter views, detached subtrees,
+        occupancy) is identical to a sequential loop over
+        :meth:`remove`; unlike the loop, validation is all-or-nothing —
+        a missing (or duplicated) id raises ``KeyError`` before any
+        counter changes.
+        """
+        xs = np.asarray(xs, dtype=np.uint64)
+        if xs.size == 0:
+            return
+        if xs.size == 1:
+            self.remove(int(xs[0]))
+            return
+        batch = np.sort(xs)
+        if (batch[1:] == batch[:-1]).any():
+            dup = int(batch[:-1][batch[1:] == batch[:-1]][0])
+            raise KeyError(f"id {dup} appears twice in one removal batch")
+        present = np.isin(batch, self._occupied, assume_unique=True)
+        if not present.all():
+            raise KeyError(f"id {int(batch[~present][0])} is not occupied")
+
+        # One descent for the whole batch: split the sorted slice at each
+        # node's midpoint, and hash each element once for its whole
+        # path.  Nodes are visited parent-first; the reversed order
+        # below is therefore child-first, which is what the detach-empty
+        # sweep needs.
+        rows = self.family.positions_many(batch)
+        visited: list[tuple[_DynamicNode | None, _DynamicNode]] = []
+
+        def walk(node: _DynamicNode, parent: "_DynamicNode | None",
+                 lo_i: int, hi_i: int) -> None:
+            node.counting.remove_rows(rows[lo_i:hi_i])
+            visited.append((parent, node))
+            if node.level == self.depth:
+                return
+            split = lo_i + int(np.searchsorted(batch[lo_i:hi_i],
+                                               np.uint64(node.split_point())))
+            if split > lo_i and node.left is not None:
+                walk(node.left, node, lo_i, split)
+            if split < hi_i and node.right is not None:
+                walk(node.right, node, split, hi_i)
+
+        walk(self.root, None, 0, int(batch.size))
+        self._occupied = self._occupied[
+            ~np.isin(self._occupied, batch, assume_unique=True)]
+        for parent, node in reversed(visited):
+            left_i = int(np.searchsorted(self._occupied, node.lo, "left"))
+            right_i = int(np.searchsorted(self._occupied, node.hi, "left"))
+            if right_i > left_i:
+                continue  # node still occupied
+            if parent is None:
+                self.root = None
+            elif parent.left is node:
+                parent.left = None
+            else:
+                parent.right = None
 
     def _path_to(self, x: int, create: bool) -> list[_DynamicNode]:
         """Root-to-leaf nodes covering ``x`` (optionally materialising)."""

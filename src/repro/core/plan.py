@@ -28,6 +28,13 @@ Plans persist through :meth:`CompiledTree.save` /
 (:mod:`repro.core.mmapio`) that loads via ``np.memmap``: cold start is
 O(page table) instead of O(decompress + rebuild), and N serving shards
 mapping the same file share one read-only copy of the tree.
+
+A plan never mutates in place.  Occupancy churn is layered on top as a
+:class:`~repro.core.delta.PlanDelta` — :func:`descend_frontier` accepts
+either a :class:`CompiledTree` or the ``base ⊕ delta``
+:class:`~repro.core.delta.DeltaPlanView`, which implements the same
+read interface (``descent_lists`` / ``words`` rows / ``candidates`` /
+``positions`` / the frontier cache) with sparse patches resolved first.
 """
 
 from __future__ import annotations
@@ -74,7 +81,9 @@ class CompiledTree:
 
     A plan is an immutable snapshot: mutating the source tree (pruned /
     dynamic inserts) does not update it.  :class:`~repro.api.BloomDB`
-    recompiles automatically after occupancy changes.
+    layers occupancy changes over it as a
+    :class:`~repro.core.delta.PlanDelta` (the default ``mutation:
+    delta`` pipeline) or recompiles lazily (``mutation: invalidate``).
     """
 
     def __init__(self, *, backend: str, namespace_size: int, depth: int,

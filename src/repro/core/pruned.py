@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.bloom import BloomFilter
 from repro.core.hashing import HashFamily
-from repro.core.tree import TreeNode
+from repro.core.tree import TreeNode, insert_paths_batched
 
 
 class PrunedBloomSampleTree:
@@ -124,11 +124,12 @@ class PrunedBloomSampleTree:
             node = child
 
     def insert_many(self, xs: np.ndarray) -> None:
-        """Insert a batch of identifiers with one occupied-array merge.
+        """Insert a batch of identifiers level-synchronously.
 
-        Equivalent to a loop over :meth:`insert` but pays the sorted
-        occupied-array update once for the whole batch instead of one
-        ``O(|occupied|)`` copy per element.
+        One occupied-array merge, one hash pass (an element's positions
+        are the same at every node of its path) and one batched filter
+        update per touched node, instead of a per-element path walk.
+        Bit-identical to a loop over :meth:`insert`.
         """
         xs = np.unique(np.asarray(xs, dtype=np.uint64))
         if xs.size == 0:
@@ -141,8 +142,28 @@ class PrunedBloomSampleTree:
         if fresh.size == 0:
             return
         self._occupied = np.union1d(self._occupied, fresh)
-        for x in fresh.tolist():
-            self._insert_path(int(x))
+        rows = self.family.positions_many(fresh)
+
+        def make_child(node: TreeNode, go_left: bool) -> TreeNode:
+            mid = node.split_point()
+            lo, hi = ((node.lo, mid) if go_left else (mid, node.hi))
+            child = TreeNode(node.level + 1,
+                             2 * node.index + (0 if go_left else 1),
+                             lo, hi, BloomFilter(self.family))
+            if go_left:
+                node.left = child
+            else:
+                node.right = child
+            return child
+
+        if self.root is None:
+            self.root = TreeNode(0, 0, 0, self.namespace_size,
+                                 BloomFilter(self.family))
+        insert_paths_batched(
+            self.root, self.depth, fresh,
+            lambda node, lo_i, hi_i: node.bloom.add_positions(
+                rows[lo_i:hi_i]),
+            make_child)
 
     # -- interface used by the sampler / reconstructor -----------------------------
 

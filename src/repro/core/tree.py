@@ -168,3 +168,35 @@ def _leaf_filter(lo: int, hi: int, family: HashFamily, batch: int) -> BloomFilte
         stop = min(start + batch, hi)
         bloom.add_many(np.arange(start, stop, dtype=np.uint64))
     return bloom
+
+
+def insert_paths_batched(root, depth: int, fresh: np.ndarray,
+                         add, make_child) -> None:
+    """Descend a sorted id batch through a tree once, creating paths.
+
+    The level-synchronous insertion walk shared by the
+    occupancy-tracking backends (pruned / dynamic): each node applies
+    the whole slice of ``fresh`` its range covers via ``add(node, lo_i,
+    hi_i)``, splits the slice at its midpoint, and recurses — so the
+    path computation is paid per *node*, not per element.  Missing
+    children are materialised through ``make_child(parent, go_left)``,
+    which must also link the new node into the parent.
+    """
+
+    def walk(node, lo_i: int, hi_i: int) -> None:
+        add(node, lo_i, hi_i)
+        if node.level == depth:
+            return
+        mid = node.split_point()
+        split = lo_i + int(np.searchsorted(fresh[lo_i:hi_i],
+                                           np.uint64(mid)))
+        for go_left, child_lo, child_hi in ((True, lo_i, split),
+                                            (False, split, hi_i)):
+            if child_lo == child_hi:
+                continue
+            child = node.left if go_left else node.right
+            if child is None:
+                child = make_child(node, go_left)
+            walk(child, child_lo, child_hi)
+
+    walk(root, 0, int(fresh.size))

@@ -103,6 +103,25 @@ class ServiceClient:
         self.service.add_set(name, ids, timeout=self.timeout)
         return {"ok": True, "set": str(name)}
 
+    def insert_ids(self, ids) -> dict:
+        """Register ids as occupied, epoch-atomically across shards."""
+        ids = [int(v) for v in ids]
+        self.service.insert_ids(ids, timeout=self.timeout)
+        return {"ok": True, "inserted": len(ids)}
+
+    def retire_ids(self, ids) -> dict:
+        """Retire ids from the occupied namespace across shards."""
+        ids = [int(v) for v in ids]
+        self.service.retire_ids(ids, timeout=self.timeout)
+        return {"ok": True, "retired": len(ids)}
+
+    def compact(self) -> dict:
+        """Fold every shard's pending delta into a fresh base plan."""
+        self.service.compact()
+        return {"ok": True,
+                "epochs": [None if epoch is None else epoch.epoch
+                           for epoch in self.service.pool.ring_epochs()]}
+
     def stats(self) -> dict:
         """The service's metrics snapshot."""
         return self.service.stats()
@@ -189,3 +208,17 @@ class HTTPServiceClient:
         """Store a new named set."""
         return self._request("POST", "/add-set",
                              {"set": name, "ids": [int(v) for v in ids]})
+
+    def insert_ids(self, ids) -> dict:
+        """Register ids as occupied on every shard."""
+        return self._request("POST", "/insert",
+                             {"ids": [int(v) for v in ids]})
+
+    def retire_ids(self, ids) -> dict:
+        """Retire ids from the occupied namespace on every shard."""
+        return self._request("POST", "/retire",
+                             {"ids": [int(v) for v in ids]})
+
+    def compact(self) -> dict:
+        """Fold every shard's pending mutation delta into a fresh plan."""
+        return self._request("POST", "/compact")

@@ -16,9 +16,18 @@ Routes (all bodies and responses are JSON):
 ``/sample-union``     POST  ``{"sets": [...], "seed"?}``
 ``/sample-intersection``  POST  ``{"sets": [...], "seed"?}``
 ``/add-set``          POST  ``{"set", "ids": [...]}``
+``/insert``           POST  ``{"ids": [...]}``
+``/retire``           POST  ``{"ids": [...]}``
+``/compact``          POST  (no body)
 ====================  ====  ==========================================
 
-Error mapping: 400 for malformed requests, 404 for unknown sets, 409
+``/insert`` and ``/retire`` are the occupancy write endpoints: ids are
+registered/retired on *every* shard through the barrier-coordinated
+epoch-atomic broadcast (see :meth:`~repro.service.BloomService.insert_ids`);
+``/compact`` folds each shard's pending delta into a fresh base plan.
+
+Error mapping: 400 for malformed requests (including occupancy writes
+the configured tree backend cannot express), 404 for unknown sets, 409
 for duplicate set creation, 503 when admission control rejects (shard
 queue full), 500 otherwise.
 """
@@ -29,6 +38,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.api import BackendCapabilityError
 from repro.core.store import DuplicateSetError
 from repro.service.client import ServiceClient
 from repro.service.scheduler import ServiceOverloadedError
@@ -95,7 +105,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._body()
             result = self._dispatch(body)
-        except (ValueError, TypeError) as exc:
+        except (ValueError, TypeError, BackendCapabilityError) as exc:
             self._send(400, {"error": str(exc)})
         except DuplicateSetError as exc:
             self._send(409, {"error": str(exc.args[0] if exc.args else exc)})
@@ -124,11 +134,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/sample-intersection":
             return self.client.sample_intersection(_names(body), _seed(body))
         if self.path == "/add-set":
-            ids = _required(body, "ids")
-            if not isinstance(ids, list):
-                raise ValueError("'ids' must be a list of integers")
-            return self.client.add_set(_required(body, "set"),
-                                       [int(v) for v in ids])
+            return self.client.add_set(_required(body, "set"), _ids(body))
+        if self.path == "/insert":
+            return self.client.insert_ids(_ids(body))
+        if self.path == "/retire":
+            return self.client.retire_ids(_ids(body))
+        if self.path == "/compact":
+            return self.client.compact()
         raise ValueError(f"no route {self.path}")
 
 
@@ -136,6 +148,13 @@ def _required(body: dict, key: str):
     if key not in body:
         raise ValueError(f"missing required field {key!r}")
     return body[key]
+
+
+def _ids(body: dict) -> list[int]:
+    ids = _required(body, "ids")
+    if not isinstance(ids, list):
+        raise ValueError("'ids' must be a list of integers")
+    return [int(v) for v in ids]
 
 
 def _names(body: dict) -> list[str]:

@@ -20,19 +20,31 @@ For the ``static`` backend the tree is immutable at serve time, so one
 tree object is physically shared by every shard instead of copied.
 Occupancy-tracking backends (``pruned`` / ``dynamic``) get per-shard
 copies, and every occupancy mutation must be broadcast to all shards to
-keep them identical — :meth:`ShardedEnginePool.register_ids` does this
-directly (load phase); the scheduler routes serve-time mutations through
-each shard's worker so they never race a query.
+keep them identical.  The broadcast is *epoch-atomic*: all shards share
+one :class:`~repro.api.SharedEpochs` ring, so
+:meth:`ShardedEnginePool.apply_occupancy` first prepares every shard's
+next :class:`~repro.api.EngineEpoch` and then promotes them with a
+single atomic reference swap — a reader that snapshots the ring can
+never observe shard A on epoch N and shard B on N-1.  At serve time the
+scheduler additionally rendezvouses every shard worker at a barrier
+around the swap, so mutations also serialise with in-flight
+object-graph readers (reconstruction) on every shard at once.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 import numpy as np
 
 from repro.api.config import EngineConfig
-from repro.api.engine import BloomDB
+from repro.api.engine import (
+    NO_EPOCH_CHANGE,
+    BackendCapabilityError,
+    BloomDB,
+    SharedEpochs,
+)
 from repro.core.bloom import BloomFilter
 from repro.service.hashring import ConsistentHashRing
 
@@ -61,31 +73,40 @@ class ShardedEnginePool:
             raise ValueError("need at least one shard")
         self.config = config
         self.ring = ConsistentHashRing(shards, replicas=replicas)
+        # One epoch cell per shard, swapped together: the substrate of
+        # the ring-wide atomic occupancy broadcast (apply_occupancy).
+        self.epochs = SharedEpochs(shards)
+        self._write_lock = threading.Lock()
         if template is not None:
             # Derive every shard from an already-built engine (a loaded
             # save, possibly memory-mapped) instead of rebuilding — the
             # serve cold-start path.
-            first = template.spawn_shard()
+            first = template.spawn_shard(epochs=self.epochs, epoch_index=0)
         else:
-            first = BloomDB(config, occupied=occupied)
+            first = BloomDB(config, occupied=occupied,
+                            epochs=self.epochs, epoch_index=0)
         if config.plan == "compiled" and not first.spec.requires_occupied:
             # Compile (or inherit) the shared static plan once so every
             # shard maps the same read-only flat arrays.
             first.compiled_tree()
         engines = [first]
-        for _ in range(1, shards):
+        for shard in range(1, shards):
             if not first.spec.requires_occupied:
                 # Static trees (and their compiled plan, materialised on
                 # `first` above) are shared by every shard.
-                engines.append(first.spawn_shard())
+                engines.append(first.spawn_shard(epochs=self.epochs,
+                                                 epoch_index=shard))
             elif template is not None:
                 # Occupancy backends spawn independent writable copies
                 # from the template's components.
-                engines.append(template.spawn_shard())
+                engines.append(template.spawn_shard(epochs=self.epochs,
+                                                    epoch_index=shard))
             else:
                 # Occupancy-tracking trees are mutable: per-shard copies,
                 # kept identical by broadcasting every occupancy change.
-                engines.append(BloomDB(config, occupied=occupied))
+                engines.append(BloomDB(config, occupied=occupied,
+                                       epochs=self.epochs,
+                                       epoch_index=shard))
         self.engines: list[BloomDB] = engines
 
     @classmethod
@@ -142,15 +163,67 @@ class ShardedEnginePool:
         """Mark ids occupied on *every* shard (no-op for static trees).
 
         Broadcasting keeps the per-shard trees identical, which is what
-        makes results shard-independent.
+        makes results shard-independent; the broadcast is epoch-atomic
+        (see :meth:`apply_occupancy`).
+        """
+        self.apply_occupancy("insert", ids)
+
+    def retire_ids(self, ids) -> None:
+        """Retire ids from *every* shard's occupied namespace.
+
+        Requires a backend that supports removal (``dynamic``); applied
+        epoch-atomically ring-wide like :meth:`register_ids`.
+        """
+        if not self.engines[0].spec.supports_remove:
+            raise BackendCapabilityError(
+                f"tree backend {self.config.tree!r} cannot remove ids; "
+                f"use tree=\"dynamic\"")
+        self.apply_occupancy("retire", ids)
+
+    def apply_occupancy(self, kind: str, ids) -> None:
+        """Apply one occupancy mutation to the whole ring, atomically.
+
+        Every shard's next :class:`~repro.api.EngineEpoch` is *prepared*
+        first (tree mutation + delta overlay, nothing published); then
+        all shards are promoted in one
+        :meth:`~repro.api.SharedEpochs.publish_many` swap.  A reader
+        snapshotting the ring therefore always sees every shard on the
+        same side of the mutation — never a half-updated ring, which the
+        old engine-at-a-time loop allowed.
         """
         ids = np.asarray(ids, dtype=np.uint64)
         if not self.engines[0].spec.requires_occupied or not ids.size:
             return
-        for engine in self.engines:
-            # Through the engine (not the raw tree) so a cached compiled
-            # plan is invalidated alongside the occupancy change.
-            engine.insert_ids(ids)
+        with self._write_lock:
+            updates = []
+            for shard, engine in enumerate(self.engines):
+                epoch = engine.prepare_occupancy(kind, ids)
+                if epoch is not NO_EPOCH_CHANGE:
+                    updates.append((shard, epoch))
+            if updates:
+                # One swap covers the mutation, any auto-compaction it
+                # triggered, and (in invalidate mode) the cell clears —
+                # a ring snapshot never mixes pre- and post-mutation
+                # shards regardless of the configured mutation mode.
+                self.epochs.publish_many(updates)
+
+    def compact(self) -> None:
+        """Fold every shard's published delta into a fresh base plan.
+
+        Compaction never changes results (``base ⊕ delta`` and the
+        fresh plan are bit-identical), so per-shard promotion order is
+        unobservable; readers keep their pinned epochs throughout.
+        """
+        with self._write_lock:
+            for shard, engine in enumerate(self.engines):
+                epoch = self.epochs.current(shard)
+                if epoch is not None and epoch.delta is not None \
+                        and not epoch.delta.is_empty:
+                    engine.compact()
+
+    def ring_epochs(self) -> tuple:
+        """One consistent snapshot of every shard's published epoch."""
+        return self.epochs.snapshot()
 
     # -- pool-wide reads ---------------------------------------------------------
 
@@ -210,6 +283,8 @@ class ShardedEnginePool:
             sets=len(self),
             sets_per_shard=[len(engine.store) for engine in self.engines],
             shared_tree=not self.engines[0].spec.requires_occupied,
+            epochs=[None if epoch is None else epoch.epoch
+                    for epoch in self.ring_epochs()],
         )
         return info
 

@@ -29,11 +29,17 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
-#: Operations the scheduler understands.  ``register_ids`` is internal:
-#: the pool broadcasts it so every shard's occupancy-tracking tree stays
-#: identical (a requirement for cross-shard algebra; see pool docs).
+#: Operations the scheduler understands.  ``register_ids`` and
+#: ``retire_ids`` are the first-class occupancy write ops: the service
+#: broadcasts one request per shard, all sharing a barrier, so every
+#: shard's tree moves to the next epoch atomically ring-wide (see
+#: :meth:`repro.service.ShardedEnginePool.apply_occupancy`).
 OPS = ("sample", "reconstruct", "contains", "sample_union",
-       "sample_intersection", "add_set", "extend_set", "register_ids")
+       "sample_intersection", "add_set", "extend_set", "register_ids",
+       "retire_ids")
+
+#: Occupancy mutation ops (broadcast ring-wide, no set name needed).
+OCCUPANCY_OPS = ("register_ids", "retire_ids")
 
 #: Stochastic operations — these always carry a resolved seed.
 SEEDED_OPS = ("sample", "sample_union", "sample_intersection")
@@ -57,26 +63,33 @@ class ServiceRequest:
     """One operation queued for a shard worker.
 
     ``names`` carries the target set name(s): exactly one for
-    single-set ops, two or more for union/intersection.  ``rounds`` and
+    single-set ops, two or more for union/intersection (occupancy ops
+    take none — they address the whole ring).  ``rounds`` and
     ``replacement`` apply to ``sample``; ``x`` to ``contains``; ``ids``
-    to the mutation ops; ``exhaustive`` to ``reconstruct``.
+    to the mutation ops; ``exhaustive`` to ``reconstruct``.  For
+    occupancy broadcasts, ``barrier`` is the shared
+    :class:`threading.Barrier` all shard workers rendezvous at and
+    ``leader`` marks the one worker that applies the ring-wide epoch
+    swap while the others are parked.
     """
 
     op: str
-    names: tuple[str, ...]
+    names: tuple[str, ...] = ()
     rounds: int = 1
     replacement: bool = True
     seed: int | None = None
     x: int | None = None
     ids: object = None
     exhaustive: bool = False
+    barrier: object = None
+    leader: bool = False
     future: Future = field(default_factory=Future)
     submitted_at: float = field(default_factory=time.perf_counter)
 
     def __post_init__(self):
         if self.op not in OPS:
             raise ValueError(f"unknown op {self.op!r} (known: {OPS})")
-        if self.op != "register_ids" and not self.names:
+        if self.op not in OCCUPANCY_OPS and not self.names:
             raise ValueError("request needs at least one set name")
         if self.op in ("sample_union", "sample_intersection") \
                 and len(self.names) < 2:
@@ -86,5 +99,9 @@ class ServiceRequest:
 
     @property
     def name(self) -> str:
-        """The primary set name (routing key)."""
-        return self.names[0]
+        """The primary set name (routing key).
+
+        Occupancy broadcasts carry no names — they are routed to every
+        shard explicitly — so an empty routing key is returned.
+        """
+        return self.names[0] if self.names else ""

@@ -21,6 +21,13 @@ inference servers use:
   batched reconstruction kernel is per-query identical to sequential
   execution by construction.
 
+Occupancy writes (``register_ids`` / ``retire_ids``) are first-class
+requests: the service enqueues one per shard sharing a
+:class:`threading.Barrier`, the workers rendezvous, and a single leader
+applies the ring-wide epoch swap while every other worker is parked —
+mutations are atomic across the ring *and* serialised against every
+shard's in-flight batches (see :meth:`ShardWorker._apply_occupancy`).
+
 Admission control is at ``submit``: a full shard queue rejects the
 request immediately with :class:`ServiceOverloadedError` (the HTTP front
 end maps it to 503) instead of letting latency grow without bound.
@@ -35,10 +42,25 @@ import time
 from repro.api.batch import SampleSpec
 from repro.service.metrics import BATCH_BUCKETS, Metrics
 from repro.service.pool import ShardedEnginePool
-from repro.service.requests import ServiceRequest
+from repro.service.requests import OCCUPANCY_OPS, ServiceRequest
 
 #: Wake-up interval of idle workers (also bounds shutdown latency).
 _IDLE_POLL_S = 0.05
+
+#: How long a shard worker waits at an occupancy-broadcast barrier for
+#: the other shards to rendezvous before declaring the broadcast broken.
+#: Generous on purpose: a peer's barrier request can legitimately sit
+#: behind a deep queue of slow requests (queue_depth defaults to 1024),
+#: and timing out would fail a mutation that was about to succeed.
+#: Worker death — the only thing this guards against — is not a normal
+#: mode (workers are daemon threads that survive request errors).
+_BARRIER_TIMEOUT_S = 60.0
+
+#: How long the parked workers wait for the leader to finish applying
+#: the ring-wide mutation.  Deliberately generous: a peer timing out
+#: here would report failure for a mutation the leader still commits,
+#: so this bounds only genuine leader death, not slow bulk loads.
+_BARRIER_APPLY_TIMEOUT_S = 300.0
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -182,7 +204,7 @@ class ShardWorker(threading.Thread):
 
     def _admissible(self, request: ServiceRequest) -> bool:
         """Resolve set names now; fail fast with a per-request KeyError."""
-        if request.op in ("add_set", "register_ids"):
+        if request.op == "add_set" or request.op in OCCUPANCY_OPS:
             return True
         for name in request.names:
             if name not in self.pool:
@@ -237,20 +259,57 @@ class ShardWorker(threading.Thread):
             elif request.op == "extend_set":
                 self.db.store.add(request.name, request.ids)
                 result = True
-            elif request.op == "register_ids":
-                # Runs on every shard's own worker (the service broadcasts
-                # one request per shard), so the tree mutation cannot race
-                # this shard's queries.  Routed through the engine so a
-                # cached compiled plan is invalidated with the occupancy.
-                if self.db.spec.requires_occupied:
-                    self.db.insert_ids(request.ids)
-                result = True
+            elif request.op in OCCUPANCY_OPS:
+                result = self._apply_occupancy(request)
             else:  # pragma: no cover - OPS is validated at construction
                 raise ValueError(f"unhandled op {request.op!r}")
         except Exception as exc:
             self._fail(request, exc)
             return
         self._finish(request, result)
+
+    def _apply_occupancy(self, request: ServiceRequest) -> bool:
+        """Apply a first-class occupancy write (insert / retire).
+
+        With a ``barrier`` (the service's broadcast path) every shard
+        worker rendezvouses here; between the two barrier waits only the
+        *leader* runs, and it applies the mutation to the whole ring
+        through :meth:`~repro.service.ShardedEnginePool.apply_occupancy`
+        — one prepared-everywhere, published-once epoch swap while no
+        shard is serving.  No batch on any shard can therefore observe a
+        half-updated ring, and object-graph readers (reconstruction)
+        never race the tree mutation.  Without a barrier (direct
+        per-shard submits, the legacy path) the write applies to this
+        worker's own shard only.
+        """
+        kind = "insert" if request.op == "register_ids" else "retire"
+        barrier = request.barrier
+        if barrier is None:
+            if self.db.spec.requires_occupied:
+                if kind == "insert":
+                    self.db.insert_ids(request.ids)
+                else:
+                    self.db.retire_ids(request.ids)
+            return True
+        try:
+            barrier.wait(_BARRIER_TIMEOUT_S)
+            if request.leader:
+                try:
+                    self.pool.apply_occupancy(kind, request.ids)
+                finally:
+                    # Always release the parked peers, even on failure —
+                    # and never let a broken barrier mask the real error.
+                    try:
+                        barrier.wait(_BARRIER_APPLY_TIMEOUT_S)
+                    except threading.BrokenBarrierError:
+                        pass
+            else:
+                barrier.wait(_BARRIER_APPLY_TIMEOUT_S)
+        except threading.BrokenBarrierError:
+            raise RuntimeError(
+                f"shard {self.shard_id}: occupancy broadcast barrier "
+                f"broken (a peer shard failed to rendezvous)") from None
+        return True
 
     # -- accounting -------------------------------------------------------------
 

@@ -83,6 +83,10 @@ class BloomService:
             pool, policy=self.config.policy(), metrics=self.metrics)
         self._tickets = itertools.count()
         self._ticket_lock = threading.Lock()
+        # Serialises occupancy broadcasts: two concurrent broadcasts
+        # must enqueue in the same order on every shard, or their
+        # barriers could interleave and deadlock until timeout.
+        self._mutation_lock = threading.Lock()
 
     # -- construction ---------------------------------------------------------
 
@@ -241,12 +245,9 @@ class BloomService:
 
         The primary mutation runs (and is awaited) *first*; occupancy is
         broadcast only after it succeeds — matching the direct engine
-        path, where a failed create registers nothing.  Broadcast
-        submits are *blocking* (they wait for queue space rather than
-        failing fast), so a transient burst cannot leave the multi-shard
-        broadcast half-submitted; if a submit still fails (timeout,
-        shutdown), everything already submitted is awaited before the
-        error propagates, so the shards are never abandoned mid-flight.
+        path, where a failed create registers nothing.  The broadcast is
+        the barrier-coordinated ring-atomic write path of
+        :meth:`insert_ids`.
         """
         ids = np.asarray(ids, dtype=np.uint64)
         if not self.scheduler._started:
@@ -255,19 +256,82 @@ class BloomService:
         primary = ServiceRequest(op=op, names=(str(name),), ids=ids)
         self.scheduler.submit(primary, block=True, timeout=timeout)
         primary.future.result(timeout)  # raises before any registration
-        if not self.pool.engines[0].spec.requires_occupied or not ids.size:
+        self._broadcast_occupancy("register_ids", ids, timeout)
+
+    # -- occupancy writes ------------------------------------------------------
+
+    def insert_ids(self, ids, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        """Register ids as occupied on every shard, epoch-atomically.
+
+        The serving counterpart of :meth:`repro.api.BloomDB.insert_ids`:
+        one barrier-coordinated request per shard worker, applied as a
+        single ring-wide epoch swap while every worker is parked — no
+        in-flight batch on any shard can observe a half-updated ring.
+        No-op for backends that do not track occupancy (``static``).
+        """
+        self._broadcast_occupancy("register_ids", ids, timeout)
+
+    def retire_ids(self, ids, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        """Retire ids from every shard's occupied namespace, atomically.
+
+        Requires a backend that supports removal (``dynamic``); raises
+        :class:`~repro.api.BackendCapabilityError` otherwise.
+        """
+        from repro.api import BackendCapabilityError
+
+        if not self.pool.engines[0].spec.supports_remove:
+            raise BackendCapabilityError(
+                f"tree backend {self.pool.config.tree!r} cannot remove "
+                f"ids; use tree=\"dynamic\"")
+        self._broadcast_occupancy("retire_ids", ids, timeout)
+
+    def compact(self) -> None:
+        """Fold every shard's pending delta into a fresh base plan.
+
+        Compaction is off the read path (readers keep their pinned
+        epochs) and bit-invisible to results, so it runs directly
+        against the pool rather than through the workers.
+        """
+        self.pool.compact()
+
+    def _broadcast_occupancy(self, op: str, ids, timeout: float) -> None:
+        """One barrier-coordinated write request per shard, then await.
+
+        Submits block for queue space (a transient burst cannot leave
+        the broadcast half-submitted); if a submit still fails, the
+        barrier is aborted so already-parked workers fail fast instead
+        of waiting out the rendezvous timeout, and every submitted
+        future is drained before the error propagates.
+        """
+        ids = np.asarray(ids, dtype=np.uint64)
+        kind = "insert" if op == "register_ids" else "retire"
+        if op == "register_ids" and (
+                not self.pool.engines[0].spec.requires_occupied
+                or not ids.size):
             return
+        if not ids.size:
+            return
+        if not self.scheduler._started:
+            self.pool.apply_occupancy(kind, ids)
+            return
+        barrier = threading.Barrier(self.pool.num_shards)
+        requests = [
+            ServiceRequest(op=op, ids=ids, barrier=barrier,
+                           leader=(shard == 0))
+            for shard in range(self.pool.num_shards)
+        ]
         futures = []
         submit_error = None
-        try:
-            for shard in range(self.pool.num_shards):
-                reg = ServiceRequest(op="register_ids", names=(str(name),),
-                                     ids=ids)
-                self.scheduler.submit_to_shard(shard, reg, block=True,
-                                               timeout=timeout)
-                futures.append(reg.future)
-        except Exception as exc:  # noqa: BLE001 - re-raised after draining
-            submit_error = exc
+        with self._mutation_lock:
+            try:
+                for shard, request in enumerate(requests):
+                    self.scheduler.submit_to_shard(shard, request,
+                                                   block=True,
+                                                   timeout=timeout)
+                    futures.append(request.future)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                submit_error = exc
+                barrier.abort()
         drain_error = None
         for future in futures:
             try:

@@ -265,6 +265,16 @@ class TestBenchCLI:
     def test_compare_without_history_fails(self, tmp_path, capsys):
         rc = main(["bench", "--compare", "--output-dir", str(tmp_path)])
         assert rc == 1
+        assert "no benchmark history" in capsys.readouterr().err
+
+    def test_compare_with_empty_history_reports_no_runs(self, tmp_path,
+                                                        capsys):
+        from repro.bench import HISTORY_FILE, HISTORY_SCHEMA
+
+        (tmp_path / HISTORY_FILE).write_text(
+            json.dumps({"schema": HISTORY_SCHEMA, "runs": []}))
+        rc = main(["bench", "--compare", "--output-dir", str(tmp_path)])
+        assert rc == 1
         assert "no runs recorded" in capsys.readouterr().out
 
 
@@ -311,3 +321,13 @@ class TestRegisteredScenarios:
         scenario = SCENARIOS["sampling_10k"]
         assert scenario.quick["queries"] == 10_000
         assert scenario.full["queries"] == 10_000
+
+
+class TestWriteChurnScenario:
+    def test_registered_with_churn_knobs(self):
+        scenario = SCENARIOS["write_churn_compiled"]
+        assert scenario.kind == "sampling"
+        for params in (scenario.quick, scenario.full):
+            assert params["write_churn"] is True
+            assert params["churn_fraction"] == 0.10
+            assert params["tree"] == "dynamic"

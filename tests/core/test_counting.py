@@ -118,3 +118,54 @@ class TestViews:
         assert cbf.nbytes == cbf.counts.nbytes + cbf.bloom.nbytes
         assert cbf.m == M
         assert cbf.k == 3
+
+
+class TestBatchedRows:
+    """add_rows / remove_rows: the hash-once batched substrate."""
+
+    def test_add_rows_matches_add_loop(self, small_family):
+        import numpy as np
+
+        from repro.core.counting import CountingBloomFilter
+
+        xs = np.arange(0, 900, 3, dtype=np.uint64)
+        batched = CountingBloomFilter(small_family)
+        batched.add_rows(small_family.positions_many(xs))
+        looped = CountingBloomFilter(small_family)
+        for x in xs.tolist():
+            looped.add(int(x))
+        assert np.array_equal(batched.counts, looped.counts)
+        assert np.array_equal(batched.bloom.bits.words,
+                              looped.bloom.bits.words)
+
+    def test_remove_rows_matches_remove_loop(self, small_family):
+        import numpy as np
+
+        from repro.core.counting import CountingBloomFilter
+
+        xs = np.arange(0, 600, 2, dtype=np.uint64)
+        batched = CountingBloomFilter(small_family)
+        looped = CountingBloomFilter(small_family)
+        for cbf in (batched, looped):
+            cbf.add_many(xs)
+        victims = xs[::3]
+        batched.remove_rows(small_family.positions_many(victims))
+        for x in victims.tolist():
+            looped.remove(int(x))
+        assert np.array_equal(batched.counts, looped.counts)
+        assert np.array_equal(batched.bloom.bits.words,
+                              looped.bloom.bits.words)
+
+    def test_remove_rows_is_all_or_nothing(self, small_family):
+        import numpy as np
+        import pytest
+
+        from repro.core.counting import CountingBloomFilter, NotStoredError
+
+        cbf = CountingBloomFilter(small_family)
+        cbf.add_many(np.arange(50, dtype=np.uint64))
+        before = cbf.counts.copy()
+        bad = np.array([1, 2, 3_000], dtype=np.uint64)  # 3000 never added
+        with pytest.raises(NotStoredError):
+            cbf.remove_rows(small_family.positions_many(bad))
+        assert np.array_equal(cbf.counts, before)

@@ -1,0 +1,150 @@
+"""Golden equivalence: ``base ⊕ delta`` descent vs. a from-scratch rebuild.
+
+The acceptance bar for the epoch/delta mutation layer: after arbitrary
+occupancy churn (inserts that materialise new subtrees, removals that
+detach emptied ones), descent over the
+:class:`~repro.core.delta.DeltaPlanView` must be *bit-for-bit* identical
+— values and op counts — to descent over a :class:`CompiledTree`
+recompiled from scratch from the mutated object tree, across every hash
+family and replacement setting; and compacting a delta through the
+mmap-able save/load roundtrip must change nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.delta import DeltaCompactionNeeded, PlanDelta
+from repro.core.dynamic import DynamicBloomSampleTree
+from repro.core.hashing import create_family
+from repro.core.plan import CompiledTree, DescentRequest, descend_frontier
+from repro.core.pruned import PrunedBloomSampleTree
+
+NAMESPACE = 16_000
+DEPTH = 9
+M = 4_096
+FAMILIES = ["simple", "murmur3", "md5"]
+
+
+def churned_tree_and_delta(family_name: str, backend: str):
+    """A tree churned through a delta chain, plus reference material."""
+    rng = np.random.default_rng(7)
+    family = create_family(family_name, 3, M, namespace_size=NAMESPACE,
+                           seed=3)
+    # Occupancy clustered in the lower half so upper-half inserts
+    # materialise brand-new subtrees (appended slots).
+    occupied = np.sort(rng.choice(NAMESPACE // 2, 1_500,
+                                  replace=False).astype(np.uint64))
+    cls = (PrunedBloomSampleTree if backend == "pruned"
+           else DynamicBloomSampleTree)
+    tree = cls.build(occupied, NAMESPACE, DEPTH, family)
+    delta = PlanDelta(CompiledTree.from_tree(tree))
+
+    fresh = np.sort(rng.choice(np.arange(NAMESPACE // 2, NAMESPACE,
+                                         dtype=np.uint64),
+                               400, replace=False))
+    tree.insert_many(fresh)
+    delta = delta.extend(tree, fresh)
+    if backend == "dynamic":
+        victims = occupied[(occupied >= 1_000) & (occupied < 5_000)]
+        tree.remove_many(victims)
+        delta = delta.extend(tree, victims)
+    queries = []
+    for lo in (0, 300, 600):
+        query = BloomFilter(family)
+        query.add_many(np.concatenate([occupied[lo + 200:lo + 500],
+                                       fresh[:150]]))
+        queries.append(query)
+    return tree, delta, queries
+
+
+@pytest.mark.parametrize("family_name", FAMILIES)
+@pytest.mark.parametrize("backend", ["pruned", "dynamic"])
+@pytest.mark.parametrize("replacement", [True, False])
+def test_delta_view_matches_fresh_recompile(family_name, backend,
+                                            replacement):
+    """base ⊕ delta == recompiled-from-scratch, values and op counts."""
+    tree, delta, queries = churned_tree_and_delta(family_name, backend)
+    view = delta.view()
+    rebuilt = CompiledTree.from_tree(tree)
+    for seed, query in enumerate(queries):
+        got = descend_frontier(
+            view, [DescentRequest(query, 48, replacement, 100 + seed)])[0]
+        want = descend_frontier(
+            rebuilt, [DescentRequest(query, 48, replacement, 100 + seed)])[0]
+        assert got.values == want.values
+        assert got.ops == want.ops
+
+
+@pytest.mark.parametrize("family_name", FAMILIES)
+def test_compact_mmap_roundtrip(tmp_path, family_name):
+    """Folding the delta into a saved plan and mmap-reloading it is
+    bit-invisible to descent."""
+    tree, delta, queries = churned_tree_and_delta(family_name, "dynamic")
+    view = delta.view()
+    compacted = CompiledTree.from_tree(tree)
+    path = tmp_path / "plan.bst"
+    compacted.save(path)
+    reloaded = CompiledTree.load(path, mmap=True)
+    assert not reloaded.words.flags.writeable
+    for seed, query in enumerate(queries):
+        got = descend_frontier(
+            view, [DescentRequest(query, 32, True, seed)])[0]
+        want = descend_frontier(
+            reloaded, [DescentRequest(query, 32, True, seed)])[0]
+        assert got.values == want.values
+        assert got.ops == want.ops
+
+
+def test_frontier_inheritance_is_bit_identical():
+    """Warm frontier rows inherited through a delta chain never change
+    what descent computes (only what it re-evaluates)."""
+    rng = np.random.default_rng(21)
+    family = create_family("murmur3", 3, M, namespace_size=NAMESPACE,
+                           seed=3)
+    occupied = np.sort(rng.choice(NAMESPACE, 2_000,
+                                  replace=False).astype(np.uint64))
+    free = np.setdiff1d(np.arange(NAMESPACE, dtype=np.uint64), occupied)
+    tree = DynamicBloomSampleTree.build(occupied, NAMESPACE, DEPTH, family)
+    base = CompiledTree.from_tree(tree)
+    query = BloomFilter(family)
+    query.add_many(occupied[:400])
+    # Warm the base cache, then churn: every later epoch inherits.
+    descend_frontier(base, [DescentRequest(query, 16, True, 0)])
+    delta = PlanDelta(base)
+    for cycle in range(4):
+        victims = np.array(tree.occupied)[cycle * 50:(cycle + 1) * 50]
+        tree.remove_many(victims)
+        delta = delta.extend(tree, victims)
+        fresh = free[cycle * 50:(cycle + 1) * 50]
+        tree.insert_many(fresh)
+        delta = delta.extend(tree, fresh)
+        got = descend_frontier(
+            delta.view(), [DescentRequest(query, 16, True, cycle)])[0]
+        want = descend_frontier(
+            CompiledTree.from_tree(tree),
+            [DescentRequest(query, 16, True, cycle)])[0]
+        assert got.values == want.values
+        assert got.ops == want.ops
+
+
+def test_delta_is_copy_on_write():
+    """extend() never mutates the published predecessor delta."""
+    tree, delta, _ = churned_tree_and_delta("murmur3", "dynamic")
+    before = (dict(delta.words), dict(delta.links),
+              dict(delta.leaf_candidates), list(delta.appended))
+    victims = np.array(tree.occupied)[:30]
+    tree.remove_many(victims)
+    extended = delta.extend(tree, victims)
+    assert extended is not delta
+    assert (dict(delta.words), dict(delta.links),
+            dict(delta.leaf_candidates), list(delta.appended)) == before
+
+
+def test_emptied_tree_requires_compaction():
+    """Retiring every id is a structural change the overlay rejects."""
+    tree, delta, _ = churned_tree_and_delta("murmur3", "dynamic")
+    everything = np.array(tree.occupied)
+    tree.remove_many(everything)
+    with pytest.raises(DeltaCompactionNeeded):
+        delta.extend(tree, everything)

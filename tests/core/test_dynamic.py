@@ -128,3 +128,79 @@ class TestAlgorithmsOnDynamicTree:
         tree, occupied = dynamic_tree
         assert tree.occupancy_fraction == pytest.approx(
             len(occupied) / SMALL_NAMESPACE)
+
+
+class TestVectorisedBatchMutations:
+    """insert_many / remove_many must leave the exact tree a loop of
+    single-element calls builds: same nodes, same counters, same views."""
+
+    def _trees(self, small_family, occupied):
+        import numpy as np
+
+        from repro.core.dynamic import DynamicBloomSampleTree
+
+        batch = DynamicBloomSampleTree(4_096, 5, small_family)
+        loop = DynamicBloomSampleTree(4_096, 5, small_family)
+        batch.insert_many(occupied)
+        for x in np.sort(occupied).tolist():
+            loop.insert(int(x))
+        return batch, loop
+
+    @staticmethod
+    def _assert_identical(a, b):
+        import numpy as np
+
+        assert np.array_equal(a.occupied, b.occupied)
+        nodes_a = {(n.level, n.index): n for n in a.iter_nodes()}
+        nodes_b = {(n.level, n.index): n for n in b.iter_nodes()}
+        assert nodes_a.keys() == nodes_b.keys()
+        for key, node in nodes_a.items():
+            other = nodes_b[key]
+            assert np.array_equal(node.counting.counts,
+                                  other.counting.counts), key
+            assert np.array_equal(node.bloom.bits.words,
+                                  other.bloom.bits.words), key
+
+    def test_insert_many_matches_insert_loop(self, small_family, rng):
+        occupied = rng.choice(4_096, 700, replace=False).astype("uint64")
+        batch, loop = self._trees(small_family, occupied)
+        self._assert_identical(batch, loop)
+
+    def test_remove_many_matches_remove_loop(self, small_family, rng):
+        import numpy as np
+
+        occupied = rng.choice(4_096, 700, replace=False).astype("uint64")
+        batch, loop = self._trees(small_family, occupied)
+        victims = rng.permutation(occupied)[:250]
+        batch.remove_many(victims)
+        for x in victims.tolist():
+            loop.remove(int(x))
+        self._assert_identical(batch, loop)
+        # and removal composes with re-insertion
+        batch.insert_many(victims[:40])
+        for x in np.sort(victims[:40]).tolist():
+            loop.insert(int(x))
+        self._assert_identical(batch, loop)
+
+    def test_remove_many_validates_before_mutating(self, small_family, rng):
+        import numpy as np
+        import pytest
+
+        occupied = rng.choice(4_096, 300, replace=False).astype("uint64")
+        batch, loop = self._trees(small_family, occupied)
+        missing = np.setdiff1d(np.arange(4_096, dtype="uint64"),
+                               occupied)[:1]
+        bad = np.concatenate([occupied[:10], missing])
+        with pytest.raises(KeyError):
+            batch.remove_many(bad)
+        self._assert_identical(batch, loop)  # all-or-nothing
+
+    def test_remove_many_rejects_duplicates(self, small_family, rng):
+        import numpy as np
+        import pytest
+
+        occupied = rng.choice(4_096, 100, replace=False).astype("uint64")
+        batch, _ = self._trees(small_family, occupied)
+        with pytest.raises(KeyError, match="twice"):
+            batch.remove_many(np.array([occupied[0], occupied[0]],
+                                       dtype="uint64"))

@@ -140,3 +140,68 @@ def test_in_process_client_encodes_sample_result(engine_config, workload):
     assert response["requested"] == 3
     assert all(isinstance(v, int) for v in response["values"])
     assert set(response["values"]) <= set(np.asarray(ids).tolist())
+
+
+class TestOccupancyWriteEndpoints:
+    """The serve write surface: /insert, /retire, /compact."""
+
+    @pytest.fixture()
+    def dynamic_server(self):
+        rng = np.random.default_rng(12)
+        occupied = np.sort(rng.choice(8_000, 1_000,
+                                      replace=False).astype(np.uint64))
+        from repro.api import EngineConfig
+
+        config = EngineConfig(namespace_size=8_000, accuracy=0.9,
+                              set_size=150, tree="dynamic",
+                              plan="compiled", seed=5)
+        pool = ShardedEnginePool(config, 2, occupied=occupied)
+        service = BloomService(pool, ServiceConfig(shards=2,
+                                                   max_delay_ms=1.0))
+        service.add_set("alpha", rng.choice(occupied, 150, replace=False))
+        with ReproServer(service, port=0) as running:
+            yield running
+
+    def test_insert_then_retire_roundtrip(self, dynamic_server):
+        http = HTTPServiceClient(dynamic_server.url)
+        pool = dynamic_server.service.pool
+        before = pool.engines[0].occupied.size
+        fresh = [7000, 7001, 7002, 7003]
+        assert http.insert_ids(fresh) == {"ok": True, "inserted": 4}
+        for engine in pool.engines:
+            assert engine.occupied.size == before + 4
+        assert http.retire_ids(fresh) == {"ok": True, "retired": 4}
+        for engine in pool.engines:
+            assert engine.occupied.size == before
+
+    def test_compact_is_bit_invisible_over_http(self, dynamic_server):
+        http = HTTPServiceClient(dynamic_server.url)
+        http.insert_ids([7100, 7101, 7102])
+        before = http.sample("alpha", r=6, seed=3)
+        response = http.compact()
+        assert response["ok"] is True
+        assert http.sample("alpha", r=6, seed=3) == before
+
+    def test_retire_on_static_tree_is_400(self, client):
+        with pytest.raises(HTTPError) as excinfo:
+            client.retire_ids([1, 2, 3])
+        assert excinfo.value.status == 400
+
+    def test_insert_on_static_tree_is_a_noop_ok(self, client):
+        assert client.insert_ids([1, 2, 3])["ok"] is True
+
+    def test_insert_requires_ids_list(self, client):
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/insert",
+            data=json.dumps({"ids": "nope"}).encode(),
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(HTTPError) as excinfo:
+            try:
+                urllib.request.urlopen(request, timeout=10)
+            except urllib.error.HTTPError as exc:
+                raise HTTPError(exc.code,
+                                json.loads(exc.read().decode())) from None
+        assert excinfo.value.status == 400

@@ -138,3 +138,82 @@ class TestLifecycle:
         other.add_set("tiny", np.arange(5, dtype=np.uint64))
         with pytest.raises(ValueError, match="incompatible"):
             store.install("fresh", other.filter("tiny"))
+
+
+class TestEpochAtomicBroadcast:
+    """Regression for the half-updated-ring window: `register_ids` used
+    to mutate shards one engine at a time, so a concurrent reader could
+    sample shard A post-mutation and shard B pre-mutation.  The write
+    path now prepares every shard's next epoch first and promotes them
+    with one atomic tuple swap."""
+
+    def make_pool(self, shards=3, tree="dynamic"):
+        rng = np.random.default_rng(4)
+        occupied = np.sort(rng.choice(16_000, 2_000,
+                                      replace=False).astype(np.uint64))
+        config = EngineConfig(namespace_size=16_000, accuracy=0.9,
+                              set_size=150, tree=tree, plan="compiled",
+                              seed=3, compact_threshold=10.0)
+        pool = ShardedEnginePool(config, shards=shards, occupied=occupied)
+        pool.add_set("alpha", rng.choice(occupied, 150, replace=False))
+        return pool, occupied
+
+    def test_ring_snapshot_is_never_half_updated(self):
+        """Every epoch snapshot taken while a writer broadcasts shows
+        all shards on the same side of each mutation."""
+        import threading
+
+        pool, occupied = self.make_pool()
+        for engine in pool.engines:
+            engine.current_epoch()  # publish epoch 1 everywhere
+        free = np.setdiff1d(np.arange(16_000, dtype=np.uint64), occupied)
+        inconsistent = []
+        stop = threading.Event()
+
+        def snapshotter():
+            while not stop.is_set():
+                snapshot = pool.ring_epochs()
+                ids = {epoch.epoch for epoch in snapshot
+                       if epoch is not None}
+                if len(ids) > 1:
+                    inconsistent.append(tuple(
+                        epoch and epoch.epoch for epoch in snapshot))
+
+        reader = threading.Thread(target=snapshotter)
+        reader.start()
+        try:
+            for cycle in range(20):
+                pool.register_ids(free[cycle * 20:(cycle + 1) * 20])
+        finally:
+            stop.set()
+            reader.join(10)
+        # All shards started at epoch 1 and receive identical mutation
+        # streams, so any snapshot mixing two epoch ids is exactly the
+        # half-updated ring the old code allowed.
+        assert not inconsistent
+
+    def test_retire_broadcast_keeps_shards_identical(self):
+        pool, occupied = self.make_pool()
+        victims = occupied[:300]
+        pool.retire_ids(victims)
+        for engine in pool.engines:
+            assert engine.occupied.size == occupied.size - 300
+            assert not np.isin(victims, engine.occupied).any()
+
+    def test_retire_requires_remove_support(self):
+        pool, occupied = self.make_pool(tree="pruned")
+        from repro.api import BackendCapabilityError
+
+        with pytest.raises(BackendCapabilityError):
+            pool.retire_ids(occupied[:10])
+
+    def test_pool_compact_folds_all_shard_deltas(self):
+        pool, occupied = self.make_pool()
+        for engine in pool.engines:
+            engine.current_epoch()
+        pool.retire_ids(occupied[:100])
+        assert any(epoch.delta is not None and not epoch.delta.is_empty
+                   for epoch in pool.ring_epochs())
+        pool.compact()
+        for epoch in pool.ring_epochs():
+            assert epoch.delta is None or epoch.delta.is_empty

@@ -240,3 +240,77 @@ class TestServingSafeMutations:
             assert service.sample("live", r=4, seed=1).values
         for engine in pool.engines:
             assert engine.occupied.size == 1_000
+
+
+class TestBarrierOccupancyWrites:
+    """insert/retire as first-class scheduler requests: one barrier-
+    coordinated request per shard, applied ring-wide by a single leader
+    while every worker is parked."""
+
+    def make_dynamic_service(self, shards=3):
+        from repro.api import EngineConfig
+
+        rng = np.random.default_rng(6)
+        occupied = np.sort(rng.choice(16_000, 2_000,
+                                      replace=False).astype(np.uint64))
+        config = EngineConfig(namespace_size=16_000, accuracy=0.9,
+                              set_size=150, tree="dynamic",
+                              plan="compiled", seed=3)
+        pool = ShardedEnginePool(config, shards=shards, occupied=occupied)
+        service = BloomService(pool, ServiceConfig(shards=shards,
+                                                   max_delay_ms=1.0))
+        service.add_set("alpha", rng.choice(occupied, 150, replace=False))
+        service.add_set("beta", rng.choice(occupied, 150, replace=False))
+        return service, occupied
+
+    def test_insert_and_retire_while_serving(self):
+        import threading
+
+        service, occupied = self.make_dynamic_service()
+        free = np.setdiff1d(np.arange(16_000, dtype=np.uint64), occupied)
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                try:
+                    service.sample("alpha" if i % 2 else "beta", r=4,
+                                   seed=i)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+                i += 1
+
+        with service:
+            readers = [threading.Thread(target=hammer) for _ in range(3)]
+            for reader in readers:
+                reader.start()
+            try:
+                for cycle in range(6):
+                    batch = free[cycle * 25:(cycle + 1) * 25]
+                    service.insert_ids(batch)
+                    service.retire_ids(batch)
+            finally:
+                stop.set()
+                for reader in readers:
+                    reader.join(10)
+        assert not errors
+        for engine in service.pool.engines:
+            assert engine.occupied.size == occupied.size
+            assert np.array_equal(engine.occupied,
+                                  service.pool.engines[0].occupied)
+
+    def test_idle_service_applies_directly(self):
+        service, occupied = self.make_dynamic_service(shards=2)
+        service.retire_ids(occupied[:50])  # scheduler not started
+        for engine in service.pool.engines:
+            assert engine.occupied.size == occupied.size - 50
+
+    def test_retire_on_static_raises(self, engine_config, workload):
+        from repro.api import BackendCapabilityError
+
+        service = make_service(engine_config, workload)
+        with service:
+            with pytest.raises(BackendCapabilityError):
+                service.retire_ids([1, 2, 3])
