@@ -36,7 +36,16 @@ Commands
     pool behind a micro-batching scheduler, exposed over a stdlib
     HTTP/JSON endpoint.  ``--smoke`` boots on a free port, fires a mixed
     request load through the in-process client and exits non-zero on any
-    error — the CI liveness check.
+    error — the CI liveness check.  ``--durable RING_DIR`` journals
+    every write to per-shard WALs (:mod:`repro.durability`) and recovers
+    the ring — snapshot load + WAL replay — on every start; SIGTERM
+    drains, checkpoints and marks the logs clean.
+
+``recover``
+    Recover a durable engine or ring directory and print the JSON
+    recovery report; ``--inspect`` summarises the WAL read-only,
+    ``--verify`` CRC-checks the snapshot blobs, ``--checkpoint`` folds
+    the replayed state into a fresh snapshot.
 
 ``compile``
     Compile a saved engine directory into the flat-array plan format
@@ -339,8 +348,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _build_service(args):
     """Construct the BloomService the ``serve`` command runs.
 
-    ``--db`` re-shards a saved engine; otherwise an ephemeral engine is
-    built with ``--num-sets`` synthetic sets (named ``set00``, ...).
+    ``--durable`` opens (initialising on first run, recovering after)
+    a durable ring directory; ``--db`` re-shards a saved engine;
+    otherwise an ephemeral engine is built with ``--num-sets``
+    synthetic sets (named ``set00``, ...).
     """
     from repro.api import BloomDB
     from repro.service import BloomService, ServiceConfig
@@ -352,6 +363,8 @@ def _build_service(args):
         max_delay_ms=args.max_delay_ms,
         queue_depth=args.queue_depth,
     )
+    if getattr(args, "durable", None) is not None:
+        return _open_durable_service(args, config)
     if args.db is not None:
         _warn_ignored_build_args(args)
         service = BloomService.from_engine(BloomDB.load(args.db), config)
@@ -376,6 +389,71 @@ def _build_service(args):
                                 rng=args.seed + i)
         service.add_set(f"set{i:02d}", ids)
     return service
+
+
+def _open_durable_service(args, config):
+    """Open-or-create the durable ring behind ``serve --durable``.
+
+    First run (no ``ring.json``): lay the ring out with
+    :func:`~repro.durability.init_ring`, seeded from ``--db`` or an
+    ephemeral engine with ``--num-sets`` synthetic sets.  Every run
+    (including the first) then goes through
+    :func:`~repro.durability.recover_ring` — creation and crash
+    recovery share one code path, and each start prints the per-shard
+    recovery reports.
+    """
+    import pathlib
+
+    from repro.api import BloomDB
+    from repro.durability import init_ring, recover_ring
+    from repro.durability.checkpoint import RING_FILE
+    from repro.service import BloomService
+    from repro.workloads.generators import uniform_query_set
+
+    path = pathlib.Path(args.durable)
+    if not (path / RING_FILE).exists():
+        if args.db is not None:
+            template = BloomDB.load(args.db)
+        else:
+            template = BloomDB.plan(
+                namespace_size=args.namespace,
+                accuracy=args.accuracy,
+                set_size=args.set_size,
+                family=args.family,
+                tree=args.tree,
+                seed=args.seed,
+                plan="compiled",
+                mutation="delta",
+            )
+            for i in range(args.num_sets):
+                ids = uniform_query_set(args.namespace, args.set_size,
+                                        rng=args.seed + i)
+                template.add_set(f"set{i:02d}", ids)
+        init_ring(path, config.shards, template=template,
+                  sync=args.wal_sync, replicas=config.replicas)
+        print(f"durable: initialised ring at {path} "
+              f"({config.shards} shards, wal_sync={args.wal_sync})")
+    elif args.db is not None:
+        print(f"warning: --db ignored — {path} already holds a ring",
+              file=sys.stderr)
+
+    pool, reports = recover_ring(path, sync=args.wal_sync)
+    for report in reports:
+        flags = []
+        if report.clean_shutdown:
+            flags.append("clean")
+        if report.torn_tail:
+            flags.append("torn tail truncated")
+        print(f"durable: recovered {report.path} -> epoch "
+              f"{report.recovered_epoch} "
+              f"(snapshot {report.snapshot_epoch}, "
+              f"{report.records_replayed} records replayed"
+              + (", " + ", ".join(flags) if flags else "")
+              + f") in {report.elapsed_s:.3f}s")
+    if pool.num_shards != config.shards:
+        print(f"warning: --shards {config.shards} ignored — ring at {path} "
+              f"was laid out with {pool.num_shards} shards", file=sys.stderr)
+    return BloomService(pool, config)
 
 
 def _run_smoke(service, args) -> int:
@@ -484,7 +562,67 @@ def _smoke_mutate(service, server, client, names) -> list[str]:
     return failures
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.core.mmapio import CorruptBlobError
+    from repro.durability import (
+        CorruptWalError,
+        inspect_wal,
+        recover_engine,
+        recover_ring,
+    )
+    from repro.durability.checkpoint import (
+        RING_FILE,
+        read_ring_meta,
+        shard_dirs,
+    )
+
+    path = pathlib.Path(args.path)
+    is_ring = (path / RING_FILE).exists()
+    try:
+        if args.inspect:
+            if is_ring:
+                meta = read_ring_meta(path)
+                payload = {
+                    "ring": meta,
+                    "shards": [inspect_wal(d)
+                               for d in shard_dirs(path, meta["shards"])],
+                }
+            else:
+                payload = inspect_wal(path)
+            print(json.dumps(payload, indent=2))
+            return 0
+        if is_ring:
+            pool, reports = recover_ring(path, verify=args.verify)
+            engines = pool.engines
+        else:
+            db, report = recover_engine(path, verify=args.verify)
+            engines, reports = [db], [report]
+        if args.checkpoint:
+            for db in engines:
+                summary = db.checkpoint()
+                print(f"checkpointed {summary['path']} at epoch "
+                      f"{summary['epoch']} "
+                      f"({summary['wal_segments_removed']} WAL segments "
+                      f"removed)", file=sys.stderr)
+        for db in engines:
+            db.wal.mark_clean()
+            db.wal.close()
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    except (CorruptWalError, CorruptBlobError) as exc:
+        raise SystemExit(f"recovery failed: {exc}")
+    payload = [r.describe() for r in reports]
+    print(json.dumps(payload if is_ring else payload[0], indent=2))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.service import ReproServer
 
     service = _build_service(args)
@@ -494,11 +632,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving {len(service.names())} sets on {server.url} "
           f"({service.pool.num_shards} shards, "
           f"max_batch={service.config.max_batch}, "
-          f"max_delay_ms={service.config.max_delay_ms})")
+          f"max_delay_ms={service.config.max_delay_ms}"
+          + (", durable" if service.durable else "") + ")")
     print("endpoints: GET /healthz /stats; POST /sample /reconstruct "
           "/contains /sample-union /sample-intersection /add-set "
-          "/insert /retire /compact")
-    server.serve_forever()
+          "/insert /retire /compact /checkpoint")
+
+    # Graceful shutdown: SIGTERM/SIGINT stop the accept loop, drain the
+    # workers, and (durable rings) take a final checkpoint + write the
+    # clean-shutdown markers, so the next start skips WAL replay.  The
+    # handler only sets an event — all real work happens on the main
+    # thread, where it is safe.
+    stop_event = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+        stop_event.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+    server.start()
+    try:
+        stop_event.wait()
+        print("shutting down"
+              + (" (draining + final checkpoint)" if service.durable
+                 else " (draining)"))
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.close()
     return 0
 
 
@@ -609,6 +774,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max wait for a batch to fill (default: 2ms)")
     serve.add_argument("--queue-depth", type=int, default=1024,
                        help="per-shard admission-control bound")
+    serve.add_argument("--durable", default=None, metavar="RING_DIR",
+                       help="durable ring directory: initialised on first "
+                            "run (from --db or an ephemeral engine), "
+                            "recovered — snapshot + WAL replay — on every "
+                            "later run; every write is journalled before "
+                            "it is acknowledged")
+    serve.add_argument("--wal-sync", choices=("always", "batch", "off"),
+                       default="batch",
+                       help="WAL fsync policy for --durable (default: "
+                            "batch — flushed per append, fsynced at "
+                            "rotation/checkpoint; kill-9 safe)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8650,
                        help="HTTP port (0 picks a free one)")
@@ -650,6 +826,27 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--force", action="store_true",
                              help="recompile even if plan.bst exists")
     compile_cmd.set_defaults(func=_cmd_compile)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover a durable engine or ring directory (snapshot load "
+             "+ WAL replay) and print the recovery report as JSON")
+    recover.add_argument("path",
+                         help="durable engine directory (open_durable) or "
+                              "ring directory (serve --durable) — rings "
+                              "are auto-detected via ring.json")
+    recover.add_argument("--inspect", action="store_true",
+                         help="read-only: summarise the WAL without "
+                              "replaying or modifying anything (safe on a "
+                              "live directory)")
+    recover.add_argument("--verify", action="store_true",
+                         help="additionally check every snapshot blob "
+                              "segment against its recorded CRC32 "
+                              "(reads all bytes)")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="after replay, fold the recovered state "
+                              "into a fresh snapshot and truncate the WAL")
+    recover.set_defaults(func=_cmd_recover)
     return parser
 
 

@@ -24,6 +24,7 @@ from repro.api.config import DEFAULT_SET_SIZE, EngineConfig
 from repro.api.engine import (
     BackendCapabilityError,
     BloomDB,
+    DurabilityError,
     EngineEpoch,
     SharedEpochs,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "BatchReport",
     "BloomDB",
     "DEFAULT_SET_SIZE",
+    "DurabilityError",
     "EngineConfig",
     "EngineEpoch",
     "SampleSpec",

@@ -35,6 +35,8 @@ _FAMILIES = FAMILY_NAMES
 _DESCENTS = ("threshold", "floored")
 _PLANS = ("objects", "compiled")
 _MUTATIONS = ("invalidate", "delta")
+_DURABILITY = ("off", "wal")
+_WAL_SYNCS = ("always", "batch", "off")
 
 #: Default delta density at which the engine folds the overlay back
 #: into a fresh base plan (see :meth:`repro.api.BloomDB.compact`).
@@ -85,6 +87,19 @@ class EngineConfig:
         auto-folds the overlay into a fresh base plan after a mutation
         (:meth:`~repro.api.BloomDB.compact`).  Values above 1.0
         effectively disable auto-compaction.
+    ``durability``
+        ``"off"`` (default): mutations live only in memory between
+        explicit saves.  ``"wal"``: the engine journals every mutation
+        to a write-ahead log before publishing its epoch and recovers
+        the exact pre-crash state on restart (see
+        :mod:`repro.durability`); requires ``plan="compiled"`` and
+        ``mutation="delta"`` — recovery replays into delta overlays
+        over the mmap-loaded snapshot.
+    ``wal_sync``
+        WAL fsync policy: ``"always"`` (fsync per append, survives
+        power loss), ``"batch"`` (default: flush per append — survives
+        process death — fsync at checkpoints/flush), or ``"off"``
+        (buffered; for bulk loads that checkpoint at the end).
     ``seed``
         Seeds both the hash family and the engine's random stream.
     ``k``
@@ -106,6 +121,8 @@ class EngineConfig:
     plan: str = "objects"
     mutation: str = "delta"
     compact_threshold: float = DEFAULT_COMPACT_THRESHOLD
+    durability: str = "off"
+    wal_sync: str = "batch"
     seed: int = 0
     k: int = 3
     cost_ratio: float | None = None
@@ -138,6 +155,24 @@ class EngineConfig:
                 f"(known: {_MUTATIONS})")
         if self.compact_threshold <= 0:
             raise ValueError("compact_threshold must be positive")
+        if self.durability not in _DURABILITY:
+            raise ValueError(
+                f"unknown durability mode {self.durability!r} "
+                f"(known: {_DURABILITY})")
+        if self.wal_sync not in _WAL_SYNCS:
+            raise ValueError(
+                f"unknown wal_sync policy {self.wal_sync!r} "
+                f"(known: {_WAL_SYNCS})")
+        if self.durability == "wal":
+            if self.plan != "compiled":
+                raise ValueError(
+                    "durability=\"wal\" requires plan=\"compiled\" "
+                    "(recovery replays onto the mmap-loaded snapshot)")
+            if self.mutation != "delta":
+                raise ValueError(
+                    "durability=\"wal\" requires mutation=\"delta\" "
+                    "(invalidate-mode mutations publish no epoch id to "
+                    "journal)")
         if self.k <= 0:
             raise ValueError("k must be positive")
         if self.depth is not None:

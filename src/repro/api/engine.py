@@ -25,6 +25,7 @@ True
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 import threading
@@ -85,6 +86,16 @@ def _materialise_once(factory):
 
 class BackendCapabilityError(RuntimeError):
     """An operation the configured tree backend does not support."""
+
+
+class DurabilityError(RuntimeError):
+    """A durability invariant would be violated.
+
+    Raised when a ``durability="wal"`` engine is mutated without an
+    attached WAL (the write would be silently volatile), or when an
+    operation would advance the epoch past the WAL's truncation point
+    without journalling it (``compact(path=...)`` on a durable engine).
+    """
 
 
 #: Sentinel returned by :meth:`BloomDB.prepare_occupancy` when the
@@ -206,6 +217,12 @@ class BloomDB:
         self._epochs = epochs if epochs is not None else SharedEpochs(1)
         self._epoch_index = int(epoch_index)
         self._epoch_counter = 0
+        # Durability: a WriteAheadLog attached via attach_wal journals
+        # every mutation before its epoch publishes; recovery replay
+        # temporarily suspends journalling (the records already exist).
+        self._wal = None
+        self._wal_dir: pathlib.Path | None = None
+        self._durability_suspended = False
         # ``tree`` may be a backend instance, a zero-arg factory (shared
         # lazy materialisation across pool shards), or None — in which
         # case the tree is materialised from the compiled plan when one
@@ -300,6 +317,103 @@ class BloomDB:
         self._epoch_counter += 1
         return EngineEpoch(self._epoch_counter, plan, delta)
 
+    # -- durability -------------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, or ``None`` (volatile engine)."""
+        return self._wal
+
+    @property
+    def wal_directory(self) -> pathlib.Path | None:
+        """The durable directory this engine journals into, or ``None``."""
+        return self._wal_dir
+
+    def attach_wal(self, wal, directory) -> None:
+        """Attach an opened WAL; every later mutation journals through it.
+
+        ``directory`` is the engine's durable home (the ``save()``
+        layout holding ``engine.json`` / ``plan.bst`` / ``sets.bst``):
+        :meth:`checkpoint` rewrites its snapshot files in place.  An
+        epoch is published immediately, so a durable engine's mutations
+        always have a concrete epoch id to stamp into their records.
+        Normally called by :func:`repro.durability.open_durable` /
+        ``recover_engine`` after replay, not directly.
+        """
+        if self.config.durability == "off":
+            raise DurabilityError(
+                "engine config has durability=\"off\"; rebuild the config "
+                "with durability=\"wal\" before attaching a WAL")
+        with self._plan_lock:
+            self._wal = wal
+            self._wal_dir = pathlib.Path(directory)
+            self._durability_suspended = False
+            self.current_epoch()
+
+    @contextlib.contextmanager
+    def suspend_durability(self):
+        """Permit unlogged mutations on a durable-configured engine.
+
+        Recovery replays records that are already in the log; journalling
+        them again would duplicate the tail on the next crash.  Anything
+        else that mutates under this context forfeits durability — it is
+        recovery plumbing, not an optimisation hook.
+        """
+        with self._plan_lock:
+            previous = self._durability_suspended
+            self._durability_suspended = True
+        try:
+            yield self
+        finally:
+            with self._plan_lock:
+                self._durability_suspended = previous
+
+    def _require_wal(self) -> None:
+        """Refuse silently-volatile writes on a durable-configured engine."""
+        if self.config.durability != "off" and self._wal is None \
+                and not self._durability_suspended:
+            raise DurabilityError(
+                "engine is configured with durability=\"wal\" but no WAL is "
+                "attached; open it via repro.durability.open_durable / "
+                "recover_engine instead of mutating a bare load")
+
+    def _journal(self, op: str, ids, epoch: int, name: str = "") -> None:
+        """Append one record if a WAL is attached (and not replaying)."""
+        if self._wal is not None and not self._durability_suspended:
+            self._wal.append(op, ids, epoch=epoch, name=name)
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Re-seat the epoch counter so the next published epoch is ``epoch``.
+
+        Recovery plumbing: after loading a snapshot checkpointed at
+        epoch ``E``, the engine must republish ``E`` (not restart at 1)
+        so that replaying the WAL tail reproduces the original epoch
+        ids exactly.  Only legal before anything has been published.
+        """
+        if epoch < 1:
+            raise ValueError("epoch ids start at 1")
+        with self._plan_lock:
+            if self._epochs.current(self._epoch_index) is not None:
+                raise RuntimeError(
+                    "cannot restore the epoch counter after an epoch was "
+                    "published")
+            self._epoch_counter = int(epoch) - 1
+
+    def bind_epochs(self, epochs: SharedEpochs, epoch_index: int) -> None:
+        """Re-home this engine's publication cell into a shared ring.
+
+        Used when assembling a :class:`~repro.service.ShardedEnginePool`
+        from independently recovered shard engines: the engine's current
+        epoch (if any) is re-published into its cell of the ring-shared
+        :class:`SharedEpochs`, so ring snapshots see it immediately.
+        """
+        with self._plan_lock:
+            current = self._epochs.current(self._epoch_index)
+            self._epochs = epochs
+            self._epoch_index = int(epoch_index)
+            if current is not None:
+                epochs.publish(self._epoch_index, current)
+
     def prepare_occupancy(self, kind: str, ids):
         """Apply an occupancy mutation; build — but do not publish — the
         next cell value.
@@ -321,6 +435,7 @@ class BloomDB:
         """
         if kind not in ("insert", "retire"):
             raise ValueError(f"unknown occupancy mutation {kind!r}")
+        self._require_wal()
         ids = np.unique(self._as_ids(ids))
         with self._plan_lock:
             if kind == "insert":
@@ -355,15 +470,22 @@ class BloomDB:
                 # Structural change the overlay cannot express (tree
                 # emptied / base held no nodes): recompile outright.
                 self._compiled = CompiledTree.from_tree(self.tree)
-                return self._next_epoch(self._compiled, None)
-            if (epoch.delta.density >= self.config.compact_threshold
-                    or epoch.delta.chain_length >= MAX_EPOCH_CHAIN):
-                # Fold the overlay *before* publication, so the caller
-                # still promotes the mutation and its compaction in one
-                # swap.  The chain-length bound catches churn that keeps
-                # re-dirtying the same hot slots, which density alone
-                # never would.
-                return self.prepare_compact()
+                epoch = self._next_epoch(self._compiled, None)
+            else:
+                if (epoch.delta.density >= self.config.compact_threshold
+                        or epoch.delta.chain_length >= MAX_EPOCH_CHAIN):
+                    # Fold the overlay *before* publication, so the
+                    # caller still promotes the mutation and its
+                    # compaction in one swap.  The chain-length bound
+                    # catches churn that keeps re-dirtying the same hot
+                    # slots, which density alone never would.
+                    epoch = self.prepare_compact()
+            # Journal the *effective* ids (deduped, already-occupied
+            # inserts dropped) stamped with the epoch about to publish —
+            # write-ahead: the record is on its way to disk before any
+            # reader can observe the mutation.  Replay re-derives the
+            # same epoch id deterministically, which recovery checks.
+            self._journal(kind, ids, epoch.epoch)
             return epoch
 
     def prepare_compact(self) -> EngineEpoch:
@@ -401,8 +523,25 @@ class BloomDB:
         through the atomic-rename writer of :mod:`repro.core.mmapio`
         and re-opened memory-mapped, so the served base plan *is* the
         promoted file.  Returns the fresh base plan.
+
+        On a durable engine (WAL attached) a plain ``compact()``
+        auto-redirects to :meth:`checkpoint`: an in-memory-only
+        compaction would advance the epoch past the WAL's truncation
+        bound without leaving a journal record, making replay diverge
+        after the next crash.  An explicit ``path`` is refused for the
+        same reason — the snapshot must land in the engine's own
+        durable directory, with the promoted epoch id inside it.
         """
         with self._plan_lock:
+            if self._wal is not None:
+                if path is not None:
+                    raise DurabilityError(
+                        "compact(path=...) on a durable engine would "
+                        "promote an epoch outside the WAL-bound snapshot; "
+                        "use checkpoint(), which persists into the "
+                        "engine's durable directory")
+                self.checkpoint()
+                return self._compiled
             fresh = CompiledTree.from_tree(self.tree)
             if path is not None:
                 fresh.save(path)
@@ -411,6 +550,46 @@ class BloomDB:
             self._epochs.publish(self._epoch_index,
                                  self._next_epoch(fresh, None))
             return fresh
+
+    def checkpoint(self) -> dict:
+        """Durable snapshot: persist, promote, truncate the WAL.
+
+        The sequence (all under the plan lock, so no mutation
+        interleaves):
+
+        1. persist the packed set filters (``sets.bst``);
+        2. compile a fresh base plan from the live tree and persist it
+           (``plan.bst``) with the about-to-promote epoch id embedded in
+           the blob header — snapshot and WAL-truncation bound land in
+           *one* atomic rename;
+        3. promote the fresh (mmap-backed) plan as a clean epoch;
+        4. truncate the WAL to a fresh segment stamped with that epoch.
+
+        A crash between any two steps is safe: recovery filters
+        occupancy replay by the epoch id found inside ``plan.bst``, so
+        a WAL that still carries pre-checkpoint records replays none of
+        them, and a renamed-but-untruncated log is merely un-collected
+        garbage.  Returns a summary dict (epoch, path, WAL effect).
+        """
+        if self._wal is None or self._wal_dir is None:
+            raise DurabilityError(
+                "checkpoint() needs an attached WAL; open the engine via "
+                "repro.durability.open_durable")
+        with self._plan_lock:
+            promote_at = self._epoch_counter + 1
+            self.store.save_compiled(self._wal_dir / _SETS_COMPILED_FILE)
+            fresh = CompiledTree.from_tree(self.tree)
+            plan_path = self._wal_dir / _PLAN_FILE
+            fresh.save(plan_path, extra_meta={"wal_epoch": promote_at})
+            fresh = CompiledTree.load(plan_path)
+            self._compiled = fresh
+            epoch = self._next_epoch(fresh, None)
+            assert epoch.epoch == promote_at
+            self._epochs.publish(self._epoch_index, epoch)
+            removed = self._wal.truncate(epoch.epoch)
+            return {"epoch": epoch.epoch, "path": str(self._wal_dir),
+                    "wal_segments_removed": removed,
+                    "wal_bytes": self._wal.tail_bytes()}
 
     # -- construction ---------------------------------------------------------
 
@@ -480,16 +659,39 @@ class BloomDB:
         sync with the stored data.
         """
         ids = self._as_ids(ids)
-        self.store.create(name, ids)
+        self.store_set("add_set", name, ids)
         self._register_ids(ids)
         return self
 
     def extend_set(self, name: str, ids) -> "BloomDB":
         """Insert additional elements into an existing named set."""
         ids = self._as_ids(ids)
-        self.store.add(name, ids)
+        self.store_set("extend_set", name, ids)
         self._register_ids(ids)
         return self
+
+    def store_set(self, op: str, name: str, ids) -> None:
+        """Apply a store-only set mutation, journalled on durable engines.
+
+        ``op`` is ``"add_set"`` (create) or ``"extend_set"`` (insert
+        into an existing filter).  This is the single entry point the
+        engine, the pool and the shard workers use, so durable engines
+        journal set content no matter which layer mutated it.  The
+        record carries no epoch contract (set content does not publish
+        epochs); replay applies it idempotently — create replaces,
+        extend ORs into the filter.
+        """
+        self._require_wal()
+        ids = self._as_ids(ids)
+        if op == "add_set":
+            self.store.create(name, ids)
+        elif op == "extend_set":
+            self.store.add(name, ids)
+        else:
+            raise ValueError(f"unknown set mutation {op!r}")
+        current = self._epochs.current(self._epoch_index)
+        self._journal(op, ids, 0 if current is None else current.epoch,
+                      name=str(name))
 
     def drop_set(self, name: str) -> "BloomDB":
         """Forget a named set (tree occupancy is left untouched: other
@@ -733,7 +935,16 @@ class BloomDB:
         ``plan="compiled"`` it additionally writes the mmap-loadable
         compiled artefacts (``plan.bst``, ``sets.bst``) that make
         :meth:`load` O(mmap).  Returns the directory path.
+
+        Durable engines snapshot through :meth:`checkpoint` instead —
+        a free-standing ``save()`` would write a snapshot that carries
+        no epoch bound and never truncates the WAL.
         """
+        if self._wal is not None:
+            raise DurabilityError(
+                "save() on a durable engine; use checkpoint(), which "
+                "persists into the engine's durable directory with the "
+                "promoted epoch id")
         path = pathlib.Path(path)
         path.mkdir(parents=True, exist_ok=True)
         payload = {"format": _SAVE_FORMAT, "config": self.config.to_dict()}
@@ -820,6 +1031,9 @@ class BloomDB:
         if epoch is not None:
             info["epoch"] = epoch.epoch
             info["delta_density"] = round(epoch.delta_density, 4)
+        if self._wal is not None:
+            info["wal_attached"] = True
+            info["wal_bytes"] = self._wal.tail_bytes()
         return info
 
     def __repr__(self) -> str:

@@ -514,6 +514,106 @@ def _run_coldstart(params: dict) -> dict:
     }
 
 
+def _run_coldstart_recovery(params: dict) -> dict:
+    """Crash-recovery cold start: snapshot load + WAL replay under churn.
+
+    Builds a durable engine whose sets travel in a checkpointed
+    snapshot, then journals (but never checkpoints) a churn tail
+    touching ``churn_fraction`` of the namespace — exactly what a crash
+    leaves behind.  The timed section is
+    :func:`repro.durability.recover_engine` on a copy of the crashed
+    directory; fidelity is gated by ``identical_to_reference``: a
+    seeded probe draw and the published epoch must match the pre-crash
+    engine bit-for-bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import EngineConfig
+    from repro.api.batch import SampleSpec
+    from repro.durability import open_durable, recover_engine
+
+    repeats = max(1, int(params.get("repeats", 3)))
+    churn_fraction = float(params.get("churn_fraction", 0.10))
+    batch_size = int(params.get("churn_batch", 512))
+    namespace = int(params["namespace"])
+
+    _, sets = build_workload(params)
+    config = EngineConfig(
+        namespace_size=namespace,
+        accuracy=float(params.get("accuracy", 0.9)),
+        set_size=int(params["set_size"]),
+        family=params.get("family", "murmur3"),
+        tree=params.get("tree", "dynamic"),
+        seed=int(params.get("seed", 0)),
+    )
+
+    tmp = tempfile.mkdtemp(prefix="repro-recovery-")
+    try:
+        live_dir = f"{tmp}/live"
+        live, _ = open_durable(live_dir, config)
+        for name, ids in sets:
+            live.add_set(name, ids)
+        live.checkpoint()  # the sets travel in the snapshot, not the log
+
+        # Churn tail: inserts (a third retired again) in
+        # WAL-record-sized batches, never checkpointed.
+        rng = np.random.default_rng(int(params.get("workload_seed", 42)) + 1)
+        fresh = np.setdiff1d(np.arange(namespace, dtype=np.uint64),
+                             live.occupied)
+        churn = rng.permutation(fresh)[:int(namespace * churn_fraction)]
+        ids_churned = 0
+        for start in range(0, churn.size, batch_size):
+            batch = churn[start:start + batch_size]
+            live.insert_ids(batch)
+            ids_churned += int(batch.size)
+            retire = batch[::3]
+            if retire.size:
+                live.retire_ids(retire)
+                ids_churned += int(retire.size)
+
+        spec = SampleSpec(sets[0][0], 16, seed=1, key="probe")
+        expected = list(live.sample_many([spec])["probe"].values)
+        expected_epoch = live.current_epoch().epoch
+        engine_desc = live.describe()
+        live.wal.flush()
+        wal_bytes = live.wal.tail_bytes()
+        live.wal.close()  # crash: no clean marker, no final checkpoint
+
+        times = []
+        identical = False
+        for repeat in range(repeats):
+            crash_dir = f"{tmp}/crash{repeat}"
+            shutil.copytree(live_dir, crash_dir)
+            seconds, (recovered, report) = _timed(
+                lambda: recover_engine(crash_dir))
+            times.append(seconds)
+            values = list(recovered.sample_many([spec])["probe"].values)
+            identical = (values == expected
+                         and recovered.current_epoch().epoch
+                         == expected_epoch)
+            recovered.wal.close()
+            if not identical:
+                break
+        recovery_s = min(times)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "engine": engine_desc,
+        "churn_fraction": churn_fraction,
+        "ids_churned": ids_churned,
+        "wal_bytes": int(wal_bytes),
+        "snapshot_epoch": report.snapshot_epoch,
+        "recovered_epoch": report.recovered_epoch,
+        "records_replayed": report.records_replayed,
+        "identical_to_reference": bool(identical),
+        "recovery": {"seconds": round(recovery_s, 6)},
+        "throughput_recovery_ids_per_s": round(ids_churned / recovery_s, 1)
+        if recovery_s else 0.0,
+    }
+
+
 def run_serving(params: dict) -> dict:
     """Coalesced service throughput vs. the naive per-request loop.
 
@@ -528,6 +628,8 @@ def run_serving(params: dict) -> dict:
 
     if params.get("coldstart"):
         return _run_coldstart(params)
+    if params.get("coldstart_recovery"):
+        return _run_coldstart_recovery(params)
 
     db, names = build_engine(params)
     plan = _serving_requests(params, names)

@@ -191,6 +191,21 @@ _register(Scenario(
 ))
 
 _register(Scenario(
+    name="coldstart_recovery",
+    kind="serving",
+    title="Crash-recovery cold start: snapshot load + WAL replay at 10% "
+          "namespace churn (bit-identical to the pre-crash engine)",
+    maps_to="ROADMAP durability direction (acknowledged writes survive "
+            "kill -9)",
+    quick=dict(_COMMON, namespace=40_000, set_size=300, num_sets=6,
+               family="murmur3", tree="dynamic", coldstart_recovery=True,
+               churn_fraction=0.10, churn_batch=512, repeats=3),
+    full=dict(_COMMON, namespace=400_000, set_size=1_000, num_sets=12,
+              family="murmur3", tree="dynamic", coldstart_recovery=True,
+              churn_fraction=0.10, churn_batch=1_024, repeats=3),
+))
+
+_register(Scenario(
     name="serving_cheap_hash",
     kind="serving",
     title="Micro-batched serving with cheap hashing (murmur3, planner depth)",

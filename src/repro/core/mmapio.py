@@ -8,13 +8,23 @@ format) instead persist as one flat file laid out for :func:`numpy.memmap`:
 
 * 8-byte magic + 8-byte little-endian header length,
 * a JSON header describing caller metadata and every array segment
-  (name, dtype, shape, byte offset),
+  (name, dtype, shape, byte offset, CRC32C checksum),
 * the raw array bytes, each segment aligned to 64 bytes.
 
 Loading opens the file once and hands back read-only ``memmap`` views —
 O(page table) instead of O(decompress); untouched segments are never read
 from disk, and every process (or engine shard) mapping the same file
 shares one copy of the pages through the OS page cache.
+
+Integrity: every load runs *structural* validation (magic, header
+parse, segment bounds vs. the file size) so a torn or truncated file
+raises :class:`CorruptBlobError` instead of handing back garbage views.
+Full per-segment checksum verification reads every byte, which would
+defeat the O(mmap) cold start, so it is opt-in via ``verify=True`` —
+the durability subsystem (:mod:`repro.durability`) uses it when
+recovering from a crash.  Checksums use the CRC32 from :mod:`zlib` (the
+stdlib carries no hardware-accelerated Castagnoli CRC32C; the header
+records the algorithm name so the format can evolve without ambiguity).
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import zlib
 
 import numpy as np
 
@@ -30,6 +41,23 @@ MAGIC = b"RBLOB\x01\x00\x00"
 
 #: Segment alignment (covers cache lines and SIMD loads).
 _ALIGN = 64
+
+#: Checksum algorithm identifier recorded in blob headers.
+CHECKSUM_ALGORITHM = "crc32-zlib"
+
+
+class CorruptBlobError(ValueError):
+    """A blob file failed structural validation or checksum verification.
+
+    Subclasses :class:`ValueError` so callers that guarded loads with
+    ``except ValueError`` keep working; new code should catch this type
+    to distinguish corruption from ordinary bad arguments.
+    """
+
+
+def checksum(data) -> int:
+    """The blob container's checksum of a bytes-like buffer."""
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
 
 
 def _aligned(offset: int) -> int:
@@ -40,9 +68,10 @@ def write_blob(path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
     """Write ``arrays`` plus JSON-able ``meta`` to one mappable file.
 
     Arrays are stored little-endian and C-contiguous (converted if
-    needed).  The write goes through a temporary file and an atomic
-    rename, so readers holding a mapping of the previous version keep a
-    consistent view and never observe a half-written file.
+    needed), each with a CRC32 checksum recorded in the header.  The
+    write goes through a temporary file and an atomic rename, so readers
+    holding a mapping of the previous version keep a consistent view and
+    never observe a half-written file.
     """
     path = pathlib.Path(path)
     prepared: dict[str, np.ndarray] = {}
@@ -57,16 +86,20 @@ def write_blob(path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
     # depends on the offsets' digits, so fix the layout in two passes
     # with a padded header length.
     draft = [{"name": n, "dtype": a.dtype.str, "shape": list(a.shape),
-              "offset": 0, "nbytes": int(a.nbytes)}
+              "offset": 0, "nbytes": int(a.nbytes),
+              "crc32": checksum(a.tobytes())}
              for n, a in prepared.items()]
-    header_budget = len(json.dumps({"meta": meta, "arrays": draft})) + 256
+    header_budget = len(json.dumps({
+        "meta": meta, "arrays": draft,
+        "checksum": CHECKSUM_ALGORITHM})) + 256
     data_start = _aligned(len(MAGIC) + 8 + header_budget)
     offset = data_start
     for entry in draft:
         entry["offset"] = offset
         offset = _aligned(offset + entry["nbytes"])
         segments.append(entry)
-    header = json.dumps({"meta": meta, "arrays": segments},
+    header = json.dumps({"meta": meta, "arrays": segments,
+                         "checksum": CHECKSUM_ALGORITHM},
                         sort_keys=True).encode()
     if len(header) > header_budget:  # pragma: no cover - budget is generous
         raise ValueError("blob header exceeded its size budget")
@@ -79,30 +112,91 @@ def write_blob(path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
         for entry, array in zip(segments, prepared.values()):
             fh.seek(entry["offset"])
             fh.write(array.tobytes())
-        end = _aligned(fh.tell())
-        if fh.tell() < end:
-            fh.write(b"\x00" * (end - fh.tell()))
+        # Extend to the aligned end even when the last segment is empty
+        # (a bare seek past EOF does not grow the file): every declared
+        # segment range must lie within the file for the structural
+        # bounds check readers run.
+        fh.truncate(_aligned(max(fh.tell(), offset)))
     os.replace(tmp, path)
 
 
-def read_blob(path, mmap: bool = True) -> tuple[dict, dict[str, np.ndarray]]:
+def _read_header(path: pathlib.Path, fh) -> dict:
+    """Parse and structurally validate a blob header.
+
+    Catches torn/truncated files cheaply: the magic, the header JSON and
+    every segment's ``[offset, offset + nbytes)`` range are checked
+    against the actual file size without touching the array bytes.
+    """
+    file_size = os.fstat(fh.fileno()).st_size
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise CorruptBlobError(f"{path} is not a blob file (bad magic)")
+    raw_len = fh.read(8)
+    if len(raw_len) < 8:
+        raise CorruptBlobError(f"{path}: truncated before header length")
+    header_len = int.from_bytes(raw_len, "little")
+    if header_len <= 0 or len(MAGIC) + 8 + header_len > file_size:
+        raise CorruptBlobError(
+            f"{path}: header length {header_len} exceeds file size")
+    raw_header = fh.read(header_len)
+    if len(raw_header) < header_len:
+        raise CorruptBlobError(f"{path}: truncated header")
+    try:
+        header = json.loads(raw_header)
+    except ValueError as exc:
+        raise CorruptBlobError(f"{path}: header is not valid JSON "
+                               f"({exc})") from None
+    if not isinstance(header, dict) or "arrays" not in header \
+            or "meta" not in header:
+        raise CorruptBlobError(f"{path}: header missing required keys")
+    for entry in header["arrays"]:
+        if entry["nbytes"] == 0:
+            continue  # no bytes to cover (blobs predating the padding fix)
+        end = entry["offset"] + entry["nbytes"]
+        if entry["offset"] < 0 or end > file_size:
+            raise CorruptBlobError(
+                f"{path}: segment {entry['name']!r} spans [{entry['offset']}, "
+                f"{end}) beyond file size {file_size} (torn write?)")
+    return header
+
+
+def read_blob_meta(path) -> dict:
+    """Read and validate only the ``meta`` dict of a blob file.
+
+    Cheap (header-only, no array bytes touched): used by recovery to
+    read the epoch id a snapshot was checkpointed at.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as fh:
+        return _read_header(path, fh)["meta"]
+
+
+def read_blob(path, mmap: bool = True,
+              verify: bool = False) -> tuple[dict, dict[str, np.ndarray]]:
     """Read a blob written by :func:`write_blob`.
 
     ``mmap=True`` (the default) returns read-only :class:`numpy.memmap`
     views over the file — the zero-copy path; ``mmap=False`` reads the
-    segments into ordinary writable arrays.
+    segments into ordinary writable arrays.  Structural validation
+    (magic, header, segment bounds) always runs and raises
+    :class:`CorruptBlobError` on torn files; ``verify=True`` additionally
+    checks every segment's recorded CRC32, which reads all bytes and is
+    meant for crash recovery, not the hot cold-start path.
     """
     path = pathlib.Path(path)
     with open(path, "rb") as fh:
-        magic = fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise ValueError(f"{path} is not a blob file (bad magic)")
-        header_len = int.from_bytes(fh.read(8), "little")
-        header = json.loads(fh.read(header_len))
+        header = _read_header(path, fh)
         arrays: dict[str, np.ndarray] = {}
         for entry in header["arrays"]:
             dtype = np.dtype(entry["dtype"])
             shape = tuple(entry["shape"])
+            if verify and "crc32" in entry:
+                fh.seek(entry["offset"])
+                data = fh.read(entry["nbytes"])
+                if checksum(data) != entry["crc32"]:
+                    raise CorruptBlobError(
+                        f"{path}: segment {entry['name']!r} failed CRC32 "
+                        f"verification (corrupt or torn write)")
             if entry["nbytes"] == 0:
                 arrays[entry["name"]] = np.empty(shape, dtype=dtype)
             elif mmap:

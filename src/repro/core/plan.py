@@ -353,8 +353,14 @@ class CompiledTree:
 
     # -- persistence ----------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Persist the plan as one raw mappable buffer."""
+    def save(self, path, extra_meta: dict | None = None) -> None:
+        """Persist the plan as one raw mappable buffer.
+
+        ``extra_meta`` entries ride along in the blob header (the
+        durability subsystem stores the checkpointed epoch id this way,
+        so the snapshot and its WAL-truncation bound are written in one
+        atomic rename); they must not shadow the plan's own keys.
+        """
         from repro.core.serialization import _family_spec
 
         name, seed = _family_spec(self.family)
@@ -370,6 +376,12 @@ class CompiledTree:
             "m": self.family.m,
             "has_occupied": self.occupied is not None,
         }
+        if extra_meta:
+            overlap = set(extra_meta) & set(meta)
+            if overlap:
+                raise ValueError(
+                    f"extra_meta shadows plan keys: {sorted(overlap)}")
+            meta.update(extra_meta)
         arrays = {
             "level": self.level, "index": self.index,
             "lo": self.lo, "hi": self.hi,

@@ -1,0 +1,299 @@
+"""Cold-start recovery: snapshot load + WAL replay = pre-crash state.
+
+The recovery contract (tested bit-for-bit in
+``tests/durability/test_recovery.py``):
+
+* the last durable snapshot is the engine directory's ``plan.bst`` /
+  ``sets.bst`` pair, loaded through :mod:`repro.core.mmapio` exactly
+  like a normal :meth:`~repro.api.BloomDB.load`;
+* the epoch the snapshot was promoted at travels *inside* ``plan.bst``
+  (``wal_epoch`` in the blob header), written by the same atomic rename
+  as the snapshot itself — so the WAL-truncation bound can never
+  disagree with the snapshot it belongs to, no matter where a
+  checkpoint crashed;
+* the WAL tail is replayed through the normal mutation pipeline
+  (:meth:`~repro.api.BloomDB.insert_ids` / ``retire_ids`` building
+  fresh :class:`~repro.core.delta.PlanDelta` overlays), with occupancy
+  records at or below the snapshot epoch skipped and set records
+  applied idempotently;
+* replay re-mints the same epoch ids the original run published (the
+  counter is re-seated to the snapshot epoch and every auto-compaction
+  decision is deterministic), and recovery *verifies* that alignment
+  record by record — a mismatch means the log and the snapshot do not
+  belong together, which raises
+  :class:`~repro.durability.wal.CorruptWalError` instead of serving
+  silently wrong state;
+* a torn final record (the ``kill -9`` signature) is truncated away and
+  replay ends at the last whole record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import time
+
+from repro.api.engine import (
+    _ENGINE_FILE,
+    _PLAN_FILE,
+    _SETS_COMPILED_FILE,
+    BloomDB,
+    DurabilityError,
+)
+from repro.core.mmapio import read_blob, read_blob_meta
+from repro.durability.wal import (
+    OCCUPANCY_OPS,
+    SET_OPS,
+    CorruptWalError,
+    WriteAheadLog,
+    scan_log,
+)
+
+#: Name of the WAL directory inside a durable engine directory.
+WAL_DIR = "wal"
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """What one engine's recovery did (one per shard for rings).
+
+    ``snapshot_epoch`` is the bound found inside ``plan.bst``;
+    ``recovered_epoch`` the engine's published epoch after replay.
+    ``clean_shutdown`` means a valid clean marker let recovery skip the
+    torn-tail bookkeeping (the log is still scanned — a valid marker
+    simply guarantees the scan finds nothing torn); ``torn_tail`` that
+    a partial final record was truncated away.
+    """
+
+    path: str
+    snapshot_epoch: int
+    recovered_epoch: int
+    records_scanned: int
+    records_replayed: int
+    records_skipped: int
+    set_records: int
+    ids_applied: int
+    torn_tail: bool
+    clean_shutdown: bool
+    elapsed_s: float
+
+    def describe(self) -> dict:
+        """JSON-able summary (the ``repro recover`` output)."""
+        return dataclasses.asdict(self)
+
+
+def _replay_set_record(db: BloomDB, record) -> None:
+    """Apply one set record idempotently, store-only.
+
+    Create replaces (the snapshot may already hold the set), extend ORs
+    into the filter (re-adding the same items is a no-op for a plain
+    Bloom filter) — so replaying records the snapshot already covers
+    converges instead of corrupting.  Occupancy registration is *not*
+    repeated here: it was journalled as its own insert record.
+    """
+    if record.op == "add_set":
+        if record.name in db.store:
+            db.store.discard(record.name)
+        db.store.create(record.name, record.ids)
+    else:
+        if record.name in db.store:
+            db.store.add(record.name, record.ids)
+        else:
+            db.store.create(record.name, record.ids)
+
+
+def recover_engine(path, *, sync: str | None = None,
+                   verify: bool = False) -> tuple[BloomDB, RecoveryReport]:
+    """Recover one durable engine directory; returns ``(engine, report)``.
+
+    Loads the snapshot, re-seats the epoch counter, replays the WAL
+    tail, verifies epoch alignment, then attaches the WAL so the engine
+    is immediately writable-durable.  ``sync`` overrides the config's
+    ``wal_sync`` policy; ``verify`` additionally checks every snapshot
+    blob segment against its recorded CRC32 before trusting it
+    (reads all bytes — meant for post-crash paranoia, not hot starts).
+    """
+    start = time.perf_counter()
+    path = pathlib.Path(path)
+    if not (path / _ENGINE_FILE).exists():
+        raise FileNotFoundError(f"{path} is not an engine directory "
+                                f"(no {_ENGINE_FILE})")
+    plan_path = path / _PLAN_FILE
+    if not plan_path.exists():
+        raise FileNotFoundError(f"{path} holds no snapshot ({_PLAN_FILE})")
+    if verify:
+        read_blob(plan_path, mmap=False, verify=True)
+        sets_path = path / _SETS_COMPILED_FILE
+        if sets_path.exists():
+            read_blob(sets_path, mmap=False, verify=True)
+    snapshot_epoch = int(read_blob_meta(plan_path).get("wal_epoch", 1))
+
+    db = BloomDB.load(path)
+    if db.config.durability == "off":
+        raise DurabilityError(
+            f"engine at {path} has durability=\"off\"; nothing to recover "
+            f"(use repro.durability.open_durable to create durable engines)")
+    db.restore_epoch(snapshot_epoch)
+    db.current_epoch()
+
+    wal = WriteAheadLog(path / WAL_DIR,
+                        sync=sync if sync is not None else db.config.wal_sync)
+    records = wal.replay()
+    replayed = skipped = set_records = ids_applied = 0
+    with db.suspend_durability():
+        for record in records:
+            if record.op in SET_OPS:
+                _replay_set_record(db, record)
+                set_records += 1
+            elif record.op in OCCUPANCY_OPS:
+                if record.epoch <= snapshot_epoch:
+                    skipped += 1
+                    continue
+                if record.op == "insert":
+                    db.insert_ids(record.ids)
+                else:
+                    db.retire_ids(record.ids)
+                current = db.current_epoch().epoch
+                if current != record.epoch:
+                    raise CorruptWalError(
+                        f"{path}: replay diverged — record for epoch "
+                        f"{record.epoch} left the engine at epoch {current}; "
+                        f"the log and the snapshot do not belong together")
+                replayed += 1
+                ids_applied += int(record.ids.size)
+            # checkpoint records carry no state; the snapshot's own
+            # wal_epoch is the authoritative bound.
+
+    db.attach_wal(wal, path)
+    report = RecoveryReport(
+        path=str(path),
+        snapshot_epoch=snapshot_epoch,
+        recovered_epoch=db.current_epoch().epoch,
+        records_scanned=len(records),
+        records_replayed=replayed,
+        records_skipped=skipped,
+        set_records=set_records,
+        ids_applied=ids_applied,
+        torn_tail=wal.torn_tail,
+        clean_shutdown=wal.was_clean,
+        elapsed_s=time.perf_counter() - start,
+    )
+    return db, report
+
+
+def open_durable(path, config=None, *, sync: str | None = None,
+                 ) -> tuple[BloomDB, RecoveryReport]:
+    """Open-or-create a durable engine at ``path``.
+
+    An existing engine directory is recovered (:func:`recover_engine`);
+    otherwise ``config`` seeds a fresh engine whose config is upgraded
+    to ``durability="wal"`` / ``plan="compiled"`` / ``mutation="delta"``
+    and saved, then trivially recovered — creation and recovery share
+    one code path by construction.
+    """
+    path = pathlib.Path(path)
+    if (path / _ENGINE_FILE).exists():
+        return recover_engine(path, sync=sync)
+    if config is None:
+        raise ValueError(f"{path} holds no engine and no config was given")
+    config = dataclasses.replace(
+        config, durability="wal", plan="compiled", mutation="delta",
+        wal_sync=sync if sync is not None else config.wal_sync)
+    db = BloomDB(config)
+    db.save(path)
+    return recover_engine(path, sync=sync)
+
+
+def recover_ring(path, *, sync: str | None = None, verify: bool = False,
+                 ) -> tuple["object", list[RecoveryReport]]:
+    """Recover a durable serving ring laid out by ``init_ring``.
+
+    Each shard directory recovers independently; a crash in the middle
+    of a ring-wide occupancy broadcast can leave shard logs differing
+    by a tail of records, so after individual recovery the shards are
+    *reconciled*: the most-advanced shard's journalled tail is applied
+    (through the normal durable path, so it lands in the lagging
+    shards' own logs) until every shard publishes the same epoch.
+    Returns ``(ShardedEnginePool, [report, ...])``.
+    """
+    from repro.durability.checkpoint import read_ring_meta, shard_dirs
+    from repro.service.pool import ShardedEnginePool
+
+    path = pathlib.Path(path)
+    meta = read_ring_meta(path)
+    engines: list[BloomDB] = []
+    reports: list[RecoveryReport] = []
+    for shard_dir in shard_dirs(path, meta["shards"]):
+        db, report = recover_engine(shard_dir, sync=sync, verify=verify)
+        engines.append(db)
+        reports.append(report)
+    _reconcile_shards(engines)
+    pool = ShardedEnginePool.from_recovered(
+        engines, replicas=int(meta.get("replicas", 64)))
+    return pool, reports
+
+
+def _reconcile_shards(engines: list[BloomDB]) -> None:
+    """Bring crash-lagged shards up to the most-advanced shard's epoch.
+
+    Ring broadcasts journal the same occupancy record on every shard;
+    a crash mid-broadcast leaves a suffix of shards one (or a few)
+    records behind.  The leader's surviving tail is re-applied to each
+    lagging shard through its normal durable mutation path, which both
+    replays the mutation and journals it locally — afterwards every
+    shard's log and epoch agree again.
+    """
+    epochs = [db.current_epoch().epoch for db in engines]
+    target = max(epochs)
+    if min(epochs) == target:
+        return
+    leader = engines[epochs.index(target)]
+    tail = [r for r in scan_log(leader.wal_directory / WAL_DIR).records
+            if r.op in OCCUPANCY_OPS and r.epoch > min(epochs)]
+    for db, epoch in zip(engines, epochs):
+        for record in tail:
+            if record.epoch <= epoch:
+                continue
+            if record.op == "insert":
+                db.insert_ids(record.ids)
+            else:
+                db.retire_ids(record.ids)
+        final = db.current_epoch().epoch
+        if final != target:
+            raise CorruptWalError(
+                f"shard at {db.wal_directory} reconciled to epoch {final}, "
+                f"expected {target}; shard logs are inconsistent beyond a "
+                f"broadcast tail")
+
+
+def inspect_wal(path) -> dict:
+    """Read-only summary of a durable directory's log (``repro recover``).
+
+    Touches nothing: no tail truncation, no marker consumption — safe
+    to run against a directory another process is serving from.
+    """
+    path = pathlib.Path(path)
+    wal_dir = path / WAL_DIR if (path / WAL_DIR).is_dir() else path
+    scan = scan_log(wal_dir)
+    by_op: dict[str, int] = {}
+    ids_total = 0
+    for record in scan.records:
+        by_op[record.op] = by_op.get(record.op, 0) + 1
+        ids_total += int(record.ids.size)
+    epochs = [r.epoch for r in scan.records if r.op in OCCUPANCY_OPS]
+    info = {
+        "path": str(path),
+        "segments": list(scan.segments),
+        "records": len(scan.records),
+        "records_by_op": by_op,
+        "ids_total": ids_total,
+        "torn_tail": scan.torn_tail,
+        "clean_shutdown": scan.clean,
+        "first_epoch": min(epochs) if epochs else None,
+        "last_epoch": max(epochs) if epochs else None,
+    }
+    plan_path = path / _PLAN_FILE
+    if plan_path.exists():
+        info["snapshot_epoch"] = int(
+            read_blob_meta(plan_path).get("wal_epoch", 1))
+    return info

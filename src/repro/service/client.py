@@ -122,6 +122,12 @@ class ServiceClient:
                 "epochs": [None if epoch is None else epoch.epoch
                            for epoch in self.service.pool.ring_epochs()]}
 
+    def checkpoint(self) -> dict:
+        """Ring-wide durable snapshot (see :meth:`BloomService.checkpoint`)."""
+        summaries = self.service.checkpoint(timeout=self.timeout)
+        return {"ok": True, "epoch": summaries[0]["epoch"],
+                "shards": summaries}
+
     def stats(self) -> dict:
         """The service's metrics snapshot."""
         return self.service.stats()
@@ -222,3 +228,7 @@ class HTTPServiceClient:
     def compact(self) -> dict:
         """Fold every shard's pending mutation delta into a fresh plan."""
         return self._request("POST", "/compact")
+
+    def checkpoint(self) -> dict:
+        """Ring-wide durable snapshot (requires ``repro serve --durable``)."""
+        return self._request("POST", "/checkpoint")

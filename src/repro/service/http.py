@@ -19,17 +19,21 @@ Routes (all bodies and responses are JSON):
 ``/insert``           POST  ``{"ids": [...]}``
 ``/retire``           POST  ``{"ids": [...]}``
 ``/compact``          POST  (no body)
+``/checkpoint``       POST  (no body; durable rings only)
 ====================  ====  ==========================================
 
 ``/insert`` and ``/retire`` are the occupancy write endpoints: ids are
 registered/retired on *every* shard through the barrier-coordinated
 epoch-atomic broadcast (see :meth:`~repro.service.BloomService.insert_ids`);
-``/compact`` folds each shard's pending delta into a fresh base plan.
+``/compact`` folds each shard's pending delta into a fresh base plan;
+``/checkpoint`` takes a ring-wide durable snapshot and truncates every
+shard's WAL (``repro serve --durable`` only).
 
 Error mapping: 400 for malformed requests (including occupancy writes
 the configured tree backend cannot express), 404 for unknown sets, 409
-for duplicate set creation, 503 when admission control rejects (shard
-queue full), 500 otherwise.
+for duplicate set creation or durability misuse (``/checkpoint`` on a
+non-durable ring), 503 when admission control rejects (shard queue
+full), 500 otherwise.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.api import BackendCapabilityError
+from repro.api import BackendCapabilityError, DurabilityError
 from repro.core.store import DuplicateSetError
 from repro.service.client import ServiceClient
 from repro.service.scheduler import ServiceOverloadedError
@@ -107,7 +111,7 @@ class _Handler(BaseHTTPRequestHandler):
             result = self._dispatch(body)
         except (ValueError, TypeError, BackendCapabilityError) as exc:
             self._send(400, {"error": str(exc)})
-        except DuplicateSetError as exc:
+        except (DuplicateSetError, DurabilityError) as exc:
             self._send(409, {"error": str(exc.args[0] if exc.args else exc)})
         except KeyError as exc:
             self._send(404, {"error": str(exc.args[0] if exc.args else exc)})
@@ -141,6 +145,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self.client.retire_ids(_ids(body))
         if self.path == "/compact":
             return self.client.compact()
+        if self.path == "/checkpoint":
+            return self.client.checkpoint()
         raise ValueError(f"no route {self.path}")
 
 
@@ -224,6 +230,23 @@ class ReproServer:
             self._thread = None
         self.service.stop()
 
+    def close(self) -> None:
+        """Graceful shutdown: stop accepting, drain, persist durable state.
+
+        Like :meth:`stop`, but finishes through
+        :meth:`~repro.service.BloomService.close` — on a durable ring
+        that drains in-flight work, takes a final ring-wide checkpoint
+        and writes every WAL's clean-shutdown marker, so the next
+        ``repro serve`` skips WAL replay entirely.  This is what the
+        CLI's SIGTERM/SIGINT handlers call.
+        """
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.close()
+
     def serve_forever(self) -> None:
         """Run in the foreground (the CLI path); Ctrl-C stops cleanly."""
         self.service.start()
@@ -233,7 +256,7 @@ class ReproServer:
             pass
         finally:
             self.httpd.server_close()
-            self.service.stop()
+            self.service.close()
 
     def __enter__(self) -> "ReproServer":
         return self.start()

@@ -125,6 +125,31 @@ class ShardedEnginePool:
             pool.engine_for(name).store.install(name, db.filter(name).copy())
         return pool
 
+    @classmethod
+    def from_recovered(cls, engines: list[BloomDB],
+                       *, replicas: int = 64) -> "ShardedEnginePool":
+        """Assemble a pool from independently recovered durable shards.
+
+        The durable-ring cold-start path
+        (:func:`repro.durability.recover_ring`): each engine already
+        holds its shard's sets and the replicated tree, so nothing is
+        copied — the engines are re-homed onto one ring-shared
+        :class:`~repro.api.SharedEpochs`
+        (:meth:`~repro.api.BloomDB.bind_epochs`) and indexed by the
+        same consistent hash the ring was initialised with.
+        """
+        if not engines:
+            raise ValueError("need at least one recovered shard engine")
+        pool = cls.__new__(cls)
+        pool.config = engines[0].config
+        pool.ring = ConsistentHashRing(len(engines), replicas=replicas)
+        pool.epochs = SharedEpochs(len(engines))
+        pool._write_lock = threading.Lock()
+        for index, engine in enumerate(engines):
+            engine.bind_epochs(pool.epochs, index)
+        pool.engines = list(engines)
+        return pool
+
     # -- routing ---------------------------------------------------------------
 
     @property
@@ -146,13 +171,13 @@ class ShardedEnginePool:
     def add_set(self, name: str, ids) -> None:
         """Store a named set on its owning shard; broadcast occupancy."""
         ids = np.asarray(ids, dtype=np.uint64)
-        self.engine_for(name).store.create(name, ids)
+        self.engine_for(name).store_set("add_set", name, ids)
         self.register_ids(ids)
 
     def extend_set(self, name: str, ids) -> None:
         """Insert elements into an existing named set."""
         ids = np.asarray(ids, dtype=np.uint64)
-        self.engine_for(name).store.add(name, ids)
+        self.engine_for(name).store_set("extend_set", name, ids)
         self.register_ids(ids)
 
     def drop_set(self, name: str) -> None:
@@ -220,6 +245,22 @@ class ShardedEnginePool:
                 if epoch is not None and epoch.delta is not None \
                         and not epoch.delta.is_empty:
                     engine.compact()
+
+    def checkpoint(self) -> list[dict]:
+        """Ring-wide coordinated checkpoint (durable rings only).
+
+        Every shard snapshots and truncates its WAL under the pool's
+        write lock, landing on one common promoted epoch — see
+        :func:`repro.durability.checkpoint.checkpoint_pool`.
+        """
+        from repro.durability.checkpoint import checkpoint_pool
+
+        return checkpoint_pool(self)
+
+    @property
+    def durable(self) -> bool:
+        """Whether every shard journals to an attached WAL."""
+        return all(engine.wal is not None for engine in self.engines)
 
     def ring_epochs(self) -> tuple:
         """One consistent snapshot of every shard's published epoch."""

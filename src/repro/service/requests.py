@@ -36,10 +36,15 @@ from dataclasses import dataclass, field
 #: :meth:`repro.service.ShardedEnginePool.apply_occupancy`).
 OPS = ("sample", "reconstruct", "contains", "sample_union",
        "sample_intersection", "add_set", "extend_set", "register_ids",
-       "retire_ids")
+       "retire_ids", "checkpoint")
 
 #: Occupancy mutation ops (broadcast ring-wide, no set name needed).
 OCCUPANCY_OPS = ("register_ids", "retire_ids")
+
+#: Ops broadcast to every shard behind the write-request barrier: the
+#: occupancy mutations plus ``checkpoint``, the durable ring snapshot
+#: (all workers rendezvous, the leader checkpoints the whole ring).
+RING_OPS = OCCUPANCY_OPS + ("checkpoint",)
 
 #: Stochastic operations — these always carry a resolved seed.
 SEEDED_OPS = ("sample", "sample_union", "sample_intersection")
@@ -89,7 +94,7 @@ class ServiceRequest:
     def __post_init__(self):
         if self.op not in OPS:
             raise ValueError(f"unknown op {self.op!r} (known: {OPS})")
-        if self.op not in OCCUPANCY_OPS and not self.names:
+        if self.op not in RING_OPS and not self.names:
             raise ValueError("request needs at least one set name")
         if self.op in ("sample_union", "sample_intersection") \
                 and len(self.names) < 2:

@@ -21,12 +21,13 @@ inference servers use:
   batched reconstruction kernel is per-query identical to sequential
   execution by construction.
 
-Occupancy writes (``register_ids`` / ``retire_ids``) are first-class
-requests: the service enqueues one per shard sharing a
+Ring-wide writes (``register_ids`` / ``retire_ids`` / ``checkpoint``)
+are first-class requests: the service enqueues one per shard sharing a
 :class:`threading.Barrier`, the workers rendezvous, and a single leader
-applies the ring-wide epoch swap while every other worker is parked —
-mutations are atomic across the ring *and* serialised against every
-shard's in-flight batches (see :meth:`ShardWorker._apply_occupancy`).
+applies the ring-wide epoch swap (or the coordinated durable
+checkpoint) while every other worker is parked — mutations are atomic
+across the ring *and* serialised against every shard's in-flight
+batches (see :meth:`ShardWorker._apply_ring_write`).
 
 Admission control is at ``submit``: a full shard queue rejects the
 request immediately with :class:`ServiceOverloadedError` (the HTTP front
@@ -42,7 +43,7 @@ import time
 from repro.api.batch import SampleSpec
 from repro.service.metrics import BATCH_BUCKETS, Metrics
 from repro.service.pool import ShardedEnginePool
-from repro.service.requests import OCCUPANCY_OPS, ServiceRequest
+from repro.service.requests import OCCUPANCY_OPS, RING_OPS, ServiceRequest
 
 #: Wake-up interval of idle workers (also bounds shutdown latency).
 _IDLE_POLL_S = 0.05
@@ -204,7 +205,7 @@ class ShardWorker(threading.Thread):
 
     def _admissible(self, request: ServiceRequest) -> bool:
         """Resolve set names now; fail fast with a per-request KeyError."""
-        if request.op == "add_set" or request.op in OCCUPANCY_OPS:
+        if request.op == "add_set" or request.op in RING_OPS:
             return True
         for name in request.names:
             if name not in self.pool:
@@ -254,13 +255,13 @@ class ShardWorker(threading.Thread):
                 merged = self.pool.intersection_filter(request.names)
                 result = self.db.store.sample_filter(merged, rng=request.seed)
             elif request.op == "add_set":
-                self.db.store.create(request.name, request.ids)
+                self.db.store_set("add_set", request.name, request.ids)
                 result = True
             elif request.op == "extend_set":
-                self.db.store.add(request.name, request.ids)
+                self.db.store_set("extend_set", request.name, request.ids)
                 result = True
-            elif request.op in OCCUPANCY_OPS:
-                result = self._apply_occupancy(request)
+            elif request.op in RING_OPS:
+                result = self._apply_ring_write(request)
             else:  # pragma: no cover - OPS is validated at construction
                 raise ValueError(f"unhandled op {request.op!r}")
         except Exception as exc:
@@ -268,34 +269,49 @@ class ShardWorker(threading.Thread):
             return
         self._finish(request, result)
 
-    def _apply_occupancy(self, request: ServiceRequest) -> bool:
-        """Apply a first-class occupancy write (insert / retire).
+    def _apply_ring_write(self, request: ServiceRequest):
+        """Apply a ring-wide write (insert / retire / checkpoint).
 
         With a ``barrier`` (the service's broadcast path) every shard
         worker rendezvouses here; between the two barrier waits only the
-        *leader* runs, and it applies the mutation to the whole ring
-        through :meth:`~repro.service.ShardedEnginePool.apply_occupancy`
-        — one prepared-everywhere, published-once epoch swap while no
-        shard is serving.  No batch on any shard can therefore observe a
-        half-updated ring, and object-graph readers (reconstruction)
+        *leader* runs, and it applies the write to the whole ring —
+        occupancy mutations through
+        :meth:`~repro.service.ShardedEnginePool.apply_occupancy` (one
+        prepared-everywhere, published-once epoch swap), durable
+        checkpoints through
+        :meth:`~repro.service.ShardedEnginePool.checkpoint` — while no
+        shard is serving.  No batch on any shard can therefore observe
+        a half-updated ring, and object-graph readers (reconstruction)
         never race the tree mutation.  Without a barrier (direct
         per-shard submits, the legacy path) the write applies to this
-        worker's own shard only.
+        worker's own shard only.  The leader's future resolves to the
+        operation's result (checkpoint summaries); peers resolve to
+        ``True``.
         """
-        kind = "insert" if request.op == "register_ids" else "retire"
         barrier = request.barrier
+
+        def ring_action():
+            if request.op == "checkpoint":
+                return self.pool.checkpoint()
+            kind = "insert" if request.op == "register_ids" else "retire"
+            self.pool.apply_occupancy(kind, request.ids)
+            return True
+
         if barrier is None:
+            if request.op == "checkpoint":
+                return self.db.checkpoint()
             if self.db.spec.requires_occupied:
-                if kind == "insert":
+                if request.op == "register_ids":
                     self.db.insert_ids(request.ids)
                 else:
                     self.db.retire_ids(request.ids)
             return True
+        result = True
         try:
             barrier.wait(_BARRIER_TIMEOUT_S)
             if request.leader:
                 try:
-                    self.pool.apply_occupancy(kind, request.ids)
+                    result = ring_action()
                 finally:
                     # Always release the parked peers, even on failure —
                     # and never let a broken barrier mask the real error.
@@ -307,9 +323,9 @@ class ShardWorker(threading.Thread):
                 barrier.wait(_BARRIER_APPLY_TIMEOUT_S)
         except threading.BrokenBarrierError:
             raise RuntimeError(
-                f"shard {self.shard_id}: occupancy broadcast barrier "
+                f"shard {self.shard_id}: ring write barrier "
                 f"broken (a peer shard failed to rendezvous)") from None
-        return True
+        return result
 
     # -- accounting -------------------------------------------------------------
 

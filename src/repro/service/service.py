@@ -30,7 +30,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.api.config import EngineConfig
-from repro.api.engine import BloomDB
+from repro.api.engine import BloomDB, DurabilityError
 from repro.service.metrics import Metrics
 from repro.service.pool import ShardedEnginePool
 from repro.service.requests import ServiceRequest, derive_seed
@@ -128,6 +128,22 @@ class BloomService:
     def stop(self) -> None:
         """Stop the shard workers after draining queued requests."""
         self.scheduler.stop()
+
+    def close(self) -> None:
+        """Graceful shutdown: drain, then checkpoint and mark WALs clean.
+
+        For a durable ring this is the SIGTERM path of ``repro serve``:
+        after the workers drain, every shard checkpoints (folding the
+        journal into the snapshot and truncating the WAL) and writes
+        its clean-shutdown marker, so the next start skips replay
+        entirely.  On a volatile pool this is just :meth:`stop`.
+        """
+        self.stop()
+        if self.pool.durable:
+            from repro.durability.checkpoint import mark_pool_clean
+
+            self.pool.checkpoint()
+            mark_pool_clean(self.pool)
 
     def __enter__(self) -> "BloomService":
         return self.start()
@@ -290,19 +306,45 @@ class BloomService:
 
         Compaction is off the read path (readers keep their pinned
         epochs) and bit-invisible to results, so it runs directly
-        against the pool rather than through the workers.
+        against the pool rather than through the workers.  On a durable
+        ring each shard's compaction auto-redirects to its checkpoint;
+        prefer :meth:`checkpoint`, which also rendezvouses the workers.
         """
         self.pool.compact()
 
-    def _broadcast_occupancy(self, op: str, ids, timeout: float) -> None:
-        """One barrier-coordinated write request per shard, then await.
+    @property
+    def durable(self) -> bool:
+        """Whether the pool journals every write (a durable ring)."""
+        return self.pool.durable
 
-        Submits block for queue space (a transient burst cannot leave
-        the broadcast half-submitted); if a submit still fails, the
-        barrier is aborted so already-parked workers fail fast instead
-        of waiting out the rendezvous timeout, and every submitted
-        future is drained before the error propagates.
+    def checkpoint(self, timeout: float = DEFAULT_TIMEOUT_S) -> list[dict]:
+        """Coordinated durable snapshot of every shard, serving-safely.
+
+        Reuses the occupancy-broadcast rendezvous: one ``checkpoint``
+        request per shard worker, all sharing a barrier; the leader
+        checkpoints the entire ring (one promoted epoch everywhere,
+        every WAL truncated) while all workers are parked, so no
+        in-flight batch observes the snapshot half-taken.  Returns the
+        per-shard checkpoint summaries.
         """
+        if not self.pool.durable:
+            raise DurabilityError(
+                "checkpoint() needs a durable ring; start the service "
+                "from repro.durability.recover_ring (repro serve "
+                "--durable)")
+        if not self.scheduler._started:
+            return self.pool.checkpoint()
+        barrier = threading.Barrier(self.pool.num_shards)
+        requests = [
+            ServiceRequest(op="checkpoint", barrier=barrier,
+                           leader=(shard == 0))
+            for shard in range(self.pool.num_shards)
+        ]
+        results = self._broadcast_ring(requests, timeout)
+        return results[0]
+
+    def _broadcast_occupancy(self, op: str, ids, timeout: float) -> None:
+        """One barrier-coordinated write request per shard, then await."""
         ids = np.asarray(ids, dtype=np.uint64)
         kind = "insert" if op == "register_ids" else "retire"
         if op == "register_ids" and (
@@ -320,6 +362,20 @@ class BloomService:
                            leader=(shard == 0))
             for shard in range(self.pool.num_shards)
         ]
+        self._broadcast_ring(requests, timeout)
+
+    def _broadcast_ring(self, requests: list[ServiceRequest],
+                        timeout: float) -> list:
+        """Submit one barrier-sharing request per shard; await them all.
+
+        Submits block for queue space (a transient burst cannot leave
+        the broadcast half-submitted); if a submit still fails, the
+        barrier is aborted so already-parked workers fail fast instead
+        of waiting out the rendezvous timeout, and every submitted
+        future is drained before the error propagates.  Returns the
+        per-shard results in shard order (the leader's — shard 0 —
+        carries the operation's payload for ops that produce one).
+        """
         futures = []
         submit_error = None
         with self._mutation_lock:
@@ -331,17 +387,19 @@ class BloomService:
                     futures.append(request.future)
             except Exception as exc:  # noqa: BLE001 - re-raised below
                 submit_error = exc
-                barrier.abort()
+                requests[0].barrier.abort()
         drain_error = None
+        results = []
         for future in futures:
             try:
-                future.result(timeout)
+                results.append(future.result(timeout))
             except Exception as exc:  # noqa: BLE001 - keep draining
                 drain_error = drain_error or exc
         if submit_error is not None:
             raise submit_error
         if drain_error is not None:
             raise drain_error
+        return results
 
     def names(self) -> list[str]:
         """Every stored set name across all shards, sorted."""

@@ -1,0 +1,105 @@
+"""Blob container integrity: structural validation and CRC32 checksums."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mmapio import (
+    CHECKSUM_ALGORITHM,
+    MAGIC,
+    CorruptBlobError,
+    checksum,
+    read_blob,
+    read_blob_meta,
+    write_blob,
+)
+
+
+def _sample_arrays():
+    return {
+        "a": np.arange(100, dtype=np.uint64),
+        "b": np.linspace(0, 1, 33, dtype=np.float32),
+        "empty": np.empty(0, dtype=np.int32),
+    }
+
+
+def test_roundtrip_records_checksums(tmp_path):
+    path = tmp_path / "blob.bst"
+    arrays = _sample_arrays()
+    write_blob(path, {"kind": "test", "wal_epoch": 7}, arrays)
+
+    meta, loaded = read_blob(path)
+    assert meta == {"kind": "test", "wal_epoch": 7}
+    for name, array in arrays.items():
+        assert np.array_equal(loaded[name], array)
+
+    # The header records the algorithm and a CRC32 per segment.
+    with open(path, "rb") as fh:
+        fh.seek(len(MAGIC))
+        header_len = int.from_bytes(fh.read(8), "little")
+        header = json.loads(fh.read(header_len))
+    assert header["checksum"] == CHECKSUM_ALGORITHM
+    for entry in header["arrays"]:
+        assert entry["crc32"] == checksum(arrays[entry["name"]].tobytes())
+
+
+def test_read_blob_meta_is_header_only(tmp_path):
+    path = tmp_path / "blob.bst"
+    write_blob(path, {"wal_epoch": 41}, _sample_arrays())
+    assert read_blob_meta(path)["wal_epoch"] == 41
+
+
+def test_truncated_file_fails_structural_validation(tmp_path):
+    path = tmp_path / "blob.bst"
+    write_blob(path, {}, _sample_arrays())
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(size - 64)
+    with pytest.raises(CorruptBlobError, match="torn write|beyond file size"):
+        read_blob(path)
+    with pytest.raises(CorruptBlobError):
+        read_blob_meta(path)
+
+
+def test_bad_magic_raises_value_error_compatible(tmp_path):
+    path = tmp_path / "blob.bst"
+    path.write_bytes(b"not a blob at all, definitely")
+    with pytest.raises(ValueError, match="bad magic"):
+        read_blob(path)
+
+
+def test_verify_catches_flipped_byte(tmp_path):
+    path = tmp_path / "blob.bst"
+    arrays = _sample_arrays()
+    write_blob(path, {}, arrays)
+    # Flip one byte inside the last segment's data region.
+    with open(path, "rb") as fh:
+        fh.seek(len(MAGIC))
+        header_len = int.from_bytes(fh.read(8), "little")
+        header = json.loads(fh.read(header_len))
+    target = next(e for e in header["arrays"] if e["name"] == "a")
+    with open(path, "r+b") as fh:
+        fh.seek(target["offset"] + 8)
+        byte = fh.read(1)
+        fh.seek(target["offset"] + 8)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+    # Structural validation alone does not read the bytes...
+    meta, loaded = read_blob(path)
+    assert loaded["a"].shape == (100,)
+    # ...but verification does.
+    with pytest.raises(CorruptBlobError, match="CRC32"):
+        read_blob(path, mmap=False, verify=True)
+
+
+def test_zero_length_final_segment_is_covered(tmp_path):
+    """An empty trailing array must not leave its offset past EOF."""
+    path = tmp_path / "blob.bst"
+    write_blob(path, {"n": 0}, {"only": np.empty(0, dtype=np.uint64)})
+    meta, loaded = read_blob(path)
+    assert meta == {"n": 0}
+    assert loaded["only"].size == 0
+    read_blob(path, mmap=False, verify=True)

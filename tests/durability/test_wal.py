@@ -1,0 +1,169 @@
+"""WAL format and handle behaviour: records, rotation, torn tails, markers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.durability.wal import (
+    CLEAN_MARKER,
+    CorruptWalError,
+    WriteAheadLog,
+    decode_payload,
+    encode_record,
+    scan_log,
+)
+
+IDS = np.arange(10, 60, 3, dtype=np.uint64)
+
+
+def test_record_roundtrip():
+    blob = encode_record("insert", 42, "", IDS)
+    record = decode_payload(blob[8:])
+    assert record.op == "insert"
+    assert record.epoch == 42
+    assert record.name == ""
+    assert np.array_equal(record.ids, IDS)
+
+
+def test_record_roundtrip_with_name_and_empty_ids():
+    blob = encode_record("add_set", 3, "café/sets", np.empty(0, np.uint64))
+    record = decode_payload(blob[8:])
+    assert record.op == "add_set"
+    assert record.name == "café/sets"
+    assert record.ids.size == 0
+    assert record.describe() == {"op": "add_set", "epoch": 3,
+                                 "name": "café/sets", "ids": 0}
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError, match="unknown WAL op"):
+        encode_record("destroy", 1, "", IDS)
+
+
+def test_append_replay_across_rotation(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync="off", segment_bytes=64)
+    for epoch in range(2, 12):
+        wal.append("insert", IDS, epoch=epoch)
+    assert len(wal.segments()) > 1  # 64-byte segments force rotation
+    records = wal.replay()
+    assert [r.epoch for r in records] == list(range(2, 12))
+    assert all(np.array_equal(r.ids, IDS) for r in records)
+    wal.close()
+
+    # Reopening appends to the same log.
+    wal2 = WriteAheadLog(tmp_path, sync="off", segment_bytes=64)
+    wal2.append("retire", IDS[:4], epoch=12)
+    assert [r.epoch for r in wal2.replay()] == list(range(2, 13))
+    wal2.close()
+
+
+def test_torn_tail_truncated_on_open(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync="batch")
+    wal.append("insert", IDS, epoch=2)
+    wal.append("insert", IDS, epoch=3)
+    wal.close()
+    # A kill -9 mid-append leaves a partial record at the tail.
+    with open(wal.segment_path, "ab") as fh:
+        fh.write(encode_record("insert", 4, "", IDS)[:11])
+
+    scan = scan_log(tmp_path)
+    assert scan.torn_tail
+    assert [r.epoch for r in scan.records] == [2, 3]
+
+    repaired = WriteAheadLog(tmp_path)
+    assert repaired.torn_tail
+    assert [r.epoch for r in repaired.replay()] == [2, 3]
+    # The tail was physically truncated: appends continue cleanly.
+    repaired.append("insert", IDS, epoch=4)
+    assert [r.epoch for r in repaired.replay()] == [2, 3, 4]
+    repaired.close()
+
+
+def test_corruption_in_non_final_segment_is_fatal(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync="off", segment_bytes=64)
+    for epoch in range(2, 8):
+        wal.append("insert", IDS, epoch=epoch)
+    wal.close()
+    segments = wal.segments()
+    assert len(segments) > 2
+    # Damage the middle of the FIRST segment: not a crash signature.
+    with open(segments[0], "r+b") as fh:
+        fh.seek(12)
+        fh.write(b"\xde\xad\xbe\xef")
+    with pytest.raises(CorruptWalError, match="non-final"):
+        scan_log(tmp_path)
+
+
+def test_truncate_garbage_collects_and_stamps_checkpoint(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync="off", segment_bytes=64)
+    for epoch in range(2, 10):
+        wal.append("insert", IDS, epoch=epoch)
+    before = len(wal.segments())
+    removed = wal.truncate(9)
+    assert removed == before
+    records = wal.replay()
+    assert [r.op for r in records] == ["checkpoint"]
+    assert records[0].epoch == 9
+    # Post-truncation appends land after the checkpoint record.
+    wal.append("insert", IDS, epoch=10)
+    assert [r.op for r in wal.replay()] == ["checkpoint", "insert"]
+    wal.close()
+
+
+def test_clean_marker_honoured_only_if_log_unmoved(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append("insert", IDS, epoch=2)
+    wal.mark_clean()
+    wal.close()
+    assert scan_log(tmp_path).clean
+
+    wal2 = WriteAheadLog(tmp_path)
+    assert wal2.was_clean
+    # The marker is consumed at open: it would lie once we append.
+    assert not (tmp_path / CLEAN_MARKER).exists()
+    wal2.append("insert", IDS, epoch=3)
+    wal2.mark_clean()
+    # A marker describing a shorter log than reality is ignored.
+    wal2.append("insert", IDS, epoch=4)
+    wal2.close()
+    assert not scan_log(tmp_path).clean
+    wal3 = WriteAheadLog(tmp_path)
+    assert not wal3.was_clean
+    wal3.close()
+
+
+@pytest.mark.parametrize("sync", ["always", "batch", "off"])
+def test_sync_policies_all_append_and_flush(tmp_path, sync):
+    wal = WriteAheadLog(tmp_path / sync, sync=sync)
+    wal.append("insert", IDS, epoch=2)
+    wal.flush()
+    assert [r.epoch for r in wal.replay()] == [2]
+    wal.close()
+
+
+def test_invalid_parameters_rejected(tmp_path):
+    with pytest.raises(ValueError, match="sync policy"):
+        WriteAheadLog(tmp_path, sync="sometimes")
+    with pytest.raises(ValueError, match="segment_bytes"):
+        WriteAheadLog(tmp_path, segment_bytes=0)
+
+
+def test_closed_wal_refuses_writes(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.close()
+    wal.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        wal.append("insert", IDS, epoch=2)
+    with pytest.raises(ValueError, match="closed"):
+        wal.truncate(2)
+
+
+def test_tail_bytes_counts_all_segments(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync="off", segment_bytes=64)
+    for epoch in range(2, 8):
+        wal.append("insert", IDS, epoch=epoch)
+    wal.flush()
+    assert wal.tail_bytes() == sum(
+        s.stat().st_size for s in wal.segments())
+    wal.close()

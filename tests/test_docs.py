@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.experiments",
     "repro.service",
+    "repro.durability",
     "repro.utils",
 ]
 
