@@ -39,7 +39,12 @@ Commands
     error — the CI liveness check.  ``--durable RING_DIR`` journals
     every write to per-shard WALs (:mod:`repro.durability`) and recovers
     the ring — snapshot load + WAL replay — on every start; SIGTERM
-    drains, checkpoints and marks the logs clean.
+    drains, checkpoints and marks the logs clean.  ``--workers N``
+    switches to the multi-process tier (:mod:`repro.service.procpool`):
+    N shard worker *processes* attached to one shared mmap snapshot
+    behind the asyncio front end, writes routed through the leader and
+    fanned out over per-worker WALs; with ``--durable DIR`` the leader
+    additionally journals every write and recovers on start.
 
 ``recover``
     Recover a durable engine or ring directory and print the JSON
@@ -456,6 +461,155 @@ def _open_durable_service(args, config):
     return BloomService(pool, config)
 
 
+def _build_process_server(args):
+    """Construct the multi-process tier behind ``serve --workers N``.
+
+    ``--db`` serves a saved compiled-plan engine directory in place
+    (``EPOCH`` / generation links / per-worker logs live next to the
+    snapshot); ``--durable DIR`` open-or-creates a durable leader there;
+    otherwise an ephemeral engine is built, persisted to a temp
+    directory and served from it.
+    """
+    import pathlib
+    import tempfile
+
+    from repro.api import BloomDB
+    from repro.service import (
+        AsyncReproServer,
+        BatchPolicy,
+        ProcessService,
+        ProcessShardPool,
+    )
+
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_delay_ms=args.max_delay_ms,
+                         queue_depth=args.queue_depth)
+    if args.durable is not None:
+        if not (pathlib.Path(args.durable) / "engine.json").exists():
+            template = (BloomDB.load(args.db) if args.db is not None
+                        else _ephemeral_process_engine(args))
+            _seed_durable_engine(args.durable, template, args.wal_sync)
+        pool = ProcessShardPool(args.durable, args.workers, policy=policy,
+                                durable=True, sync=args.wal_sync)
+        if pool.recovery_report is not None:
+            report = pool.recovery_report
+            print(f"durable: recovered {report.path} -> epoch "
+                  f"{report.recovered_epoch} "
+                  f"({report.records_replayed} records replayed) "
+                  f"in {report.elapsed_s:.3f}s")
+    elif args.db is not None:
+        _warn_ignored_build_args(args)
+        pool = ProcessShardPool(args.db, args.workers, policy=policy)
+    else:
+        directory = tempfile.mkdtemp(prefix="repro-serve-")
+        pool = ProcessShardPool.from_engine(
+            _ephemeral_process_engine(args), directory, args.workers,
+            policy=policy)
+    service = ProcessService(pool)
+    return AsyncReproServer(service, host=args.host, port=args.port)
+
+
+def _seed_durable_engine(directory, template, sync: str) -> None:
+    """Persist ``template`` as a durable leader engine at ``directory``.
+
+    Same config upgrade as :func:`~repro.durability.init_ring` applies
+    per shard — durability on, compiled plan, delta mutation — with the
+    template's sets and occupancy carried over; the pool then recovers
+    it through the normal :func:`~repro.durability.open_durable` path.
+    """
+    import dataclasses
+
+    from repro.api import BloomDB
+
+    config = dataclasses.replace(
+        template.config, durability="wal", plan="compiled",
+        mutation="delta", wal_sync=sync)
+    if template.spec.requires_occupied:
+        db = BloomDB(config, params=template.params,
+                     family=template.family, occupied=template.occupied)
+    else:
+        db = BloomDB(config, params=template.params,
+                     family=template.family, tree=template.tree)
+    for name in template.names():
+        db.store.install(name, template.filter(name).copy())
+    db.save(directory)
+
+
+def _ephemeral_process_engine(args):
+    """A compiled-plan engine with synthetic sets for ``--workers``."""
+    from repro.api import BloomDB
+    from repro.workloads.generators import uniform_query_set
+
+    db = BloomDB.plan(
+        namespace_size=args.namespace,
+        accuracy=args.accuracy,
+        set_size=args.set_size,
+        family=args.family,
+        tree=args.tree,
+        seed=args.seed,
+        plan="compiled",
+        mutation="delta",
+    )
+    for i in range(args.num_sets):
+        ids = uniform_query_set(args.namespace, args.set_size,
+                                rng=args.seed + i)
+        db.add_set(f"set{i:02d}", ids)
+    return db
+
+
+def _run_process_smoke(server, args) -> int:
+    """Process-tier smoke: boot, verify bit-identity over HTTP, mutate.
+
+    Samples every set through the asyncio endpoint with pinned seeds and
+    compares the values *and* operation counters against the leader
+    engine's direct answers — the cross-process bit-identity contract —
+    then exercises the write path (insert + add-set + compact, and
+    checkpoint on durable pools).
+    """
+    from repro.api.batch import SampleSpec
+    from repro.service import HTTPServiceClient
+    from repro.service.client import HTTPError, encode_result
+
+    failures: list[str] = []
+    with server:
+        print(f"smoke: serving on {server.url} "
+              f"({server.client.pool.num_workers} worker processes)")
+        http = HTTPServiceClient(server.url)
+        leader = server.client.pool.leader
+        names = sorted(leader.store.names())
+        for i, name in enumerate(names):
+            got = http.sample(name, r=args.requests // max(len(names), 1)
+                              or 1, seed=1000 + i)
+            spec = SampleSpec(name, got["requested"], True, seed=1000 + i,
+                              key="0")
+            want = encode_result(leader.sample_many([spec]).ordered()[0])
+            if got != want:
+                failures.append(f"sample({name}) diverged from the "
+                                f"leader engine")
+        ids = [args.namespace - 1 - i for i in range(4)]
+        if http.insert_ids(ids).get("inserted") != len(ids):
+            failures.append("insert_ids failed")
+        try:
+            http.add_set("smoke", ids)
+        except HTTPError as exc:
+            if exc.status != 409:  # durable reruns already hold the set
+                raise
+        recon = http.reconstruct("smoke", exhaustive=True)
+        if sorted(set(recon["elements"])) != sorted(ids):
+            failures.append(f"reconstruct(smoke) -> {recon['elements']}")
+        http.compact()
+        if server.client.pool.durable:
+            http.checkpoint()
+        workers = http.workers()["workers"]
+        if not all(w["alive"] for w in workers):
+            failures.append(f"dead workers: {workers}")
+    for failure in failures:
+        print(f"smoke: FAIL {failure}")
+    print("smoke: " + ("FAILED" if failures else
+                       f"OK ({len(names)} sets verified bit-identical)"))
+    return 1 if failures else 0
+
+
 def _run_smoke(service, args) -> int:
     """Boot on a free port, fire a mixed load, fail on any error."""
     import random
@@ -625,6 +779,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import ReproServer
 
+    if args.workers is not None:
+        return _cmd_serve_multiproc(args)
     service = _build_service(args)
     if args.smoke:
         return _run_smoke(service, args)
@@ -660,6 +816,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down"
               + (" (draining + final checkpoint)" if service.durable
                  else " (draining)"))
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.close()
+    return 0
+
+
+def _cmd_serve_multiproc(args: argparse.Namespace) -> int:
+    """The ``serve --workers N`` path: process pool + asyncio front end."""
+    import signal
+    import threading
+
+    if args.smoke:
+        args.port = 0
+        return _run_process_smoke(_build_process_server(args), args)
+    server = _build_process_server(args)
+    pool = server.client.pool
+    print(f"serving {len(pool.leader.store)} sets with "
+          f"{pool.num_workers} worker processes "
+          f"(shared mmap snapshot, max_batch={pool.policy.max_batch}, "
+          f"max_delay_ms={pool.policy.max_delay_ms}"
+          + (", durable" if pool.durable else "") + ")")
+    print("endpoints: GET /healthz /stats /workers; POST /sample "
+          "/reconstruct /contains /sample-union /sample-intersection "
+          "/add-set /insert /retire /compact /checkpoint")
+
+    stop_event = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+        stop_event.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+    server.start()
+    print(f"listening on {server.url}")
+    try:
+        stop_event.wait()
+        print("shutting down (draining + final snapshot promotion)")
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
@@ -774,6 +972,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max wait for a batch to fill (default: 2ms)")
     serve.add_argument("--queue-depth", type=int, default=1024,
                        help="per-shard admission-control bound")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="serve with N shard worker *processes* "
+                            "attached to one shared mmap snapshot "
+                            "(asyncio front end; writes route through "
+                            "the leader and fan out over per-worker "
+                            "WALs); with --durable DIR the leader "
+                            "journals every write to DIR")
     serve.add_argument("--durable", default=None, metavar="RING_DIR",
                        help="durable ring directory: initialised on first "
                             "run (from --db or an ephemeral engine), "

@@ -957,13 +957,22 @@ class BloomDB:
         return path
 
     @classmethod
-    def load(cls, path) -> "BloomDB":
+    def load(cls, path, *, plan_file: str | None = None,
+             sets_file: str | None = None) -> "BloomDB":
         """Rebuild an engine saved with :meth:`save`.
 
         A ``plan="compiled"`` save with its compiled artefacts present
         loads through ``np.memmap``: no decompression, no object graph —
         the tree materialises lazily from the plan on first
         object-walking operation, and compiled sampling never needs it.
+
+        ``plan_file`` / ``sets_file`` override the compiled artefact
+        names inside ``path`` — the multi-process serving tier promotes
+        epochs as generation-named snapshot pairs next to the canonical
+        ``plan.bst``/``sets.bst``, and its workers attach to exactly the
+        pair the ``EPOCH`` version file names (see
+        :mod:`repro.service.procpool`).  Only meaningful for
+        ``plan="compiled"`` saves.
         """
         path = pathlib.Path(path)
         payload = json.loads((path / _ENGINE_FILE).read_text())
@@ -971,19 +980,29 @@ class BloomDB:
         if fmt != _SAVE_FORMAT:
             raise ValueError(f"unsupported engine save format {fmt}")
         config = EngineConfig.from_dict(payload["config"])
+        if (plan_file is not None or sets_file is not None) \
+                and config.plan != "compiled":
+            raise ValueError(
+                "plan_file/sets_file overrides need a plan=\"compiled\" "
+                "engine save; this save has no compiled artefacts")
 
-        plan_path = path / _PLAN_FILE
+        plan_path = path / (plan_file if plan_file is not None
+                            else _PLAN_FILE)
+        if plan_file is not None and not plan_path.exists():
+            raise FileNotFoundError(
+                f"{path} holds no compiled plan named {plan_file!r}")
         if config.plan == "compiled" and plan_path.exists():
             plan = CompiledTree.load(plan_path)
             if plan.backend != config.tree:
                 raise ValueError(
                     f"engine save at {path} is inconsistent: engine.json "
-                    f"says tree={config.tree!r} but plan.bst holds a "
-                    f"{plan.backend!r} plan")
+                    f"says tree={config.tree!r} but {plan_path.name} holds "
+                    f"a {plan.backend!r} plan")
             spec = backend_for(config.tree)
             materialise = _materialise_once(
                 lambda: plan.to_tree(writable=spec.requires_occupied))
-            sets_compiled = path / _SETS_COMPILED_FILE
+            sets_compiled = path / (sets_file if sets_file is not None
+                                    else _SETS_COMPILED_FILE)
             if sets_compiled.exists():
                 store = FilterStore.load_compiled(
                     sets_compiled, tree=materialise, rng=config.seed,

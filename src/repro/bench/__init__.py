@@ -23,6 +23,7 @@ from repro.bench.runner import (
     HISTORY_SCHEMA,
     SCHEMA_VERSION,
     BenchRunner,
+    atomic_write_json,
     load_history,
     validate_payload,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "BenchRunner",
     "SCENARIOS",
     "Scenario",
+    "atomic_write_json",
     "get_scenario",
     "load_history",
     "validate_payload",

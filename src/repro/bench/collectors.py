@@ -19,6 +19,7 @@ numbers measure exactly what the serving surface ships.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -614,6 +615,126 @@ def _run_coldstart_recovery(params: dict) -> dict:
     }
 
 
+def _run_serving_multiproc(params: dict) -> dict:
+    """Multi-process serving scale-out: 1 vs N worker processes.
+
+    One compiled-plan engine is persisted once; a
+    :class:`~repro.service.procpool.ProcessShardPool` attaches first one
+    and then ``workers_high`` worker processes to the *same* promoted
+    ``plan.bst`` / ``sets.bst`` snapshot (one physical mmap ring-wide)
+    and each pool serves the identical open-loop seeded sampling plan.
+    The scaling headline is aggregate throughput N-proc vs 1-proc —
+    worker processes escape the GIL the thread tier serialises on —
+    and fidelity is gated by ``identical_to_threaded``: every result
+    (values *and* operation counters) must match the thread tier's
+    answer for the same seeds, which itself matches direct engine calls.
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.service import BatchPolicy, BloomService
+    from repro.service.procpool import ProcessShardPool
+
+    requests = int(params["requests"])
+    rounds = int(params.get("rounds", 8))
+    workers_high = int(params.get("workers_high", 4))
+    max_batch = int(params.get("max_batch", 256))
+    max_delay_ms = float(params.get("max_delay_ms", 2.0))
+
+    db, names = build_engine(params)
+    compiled_db = BloomDB(replace(db.config, plan="compiled"),
+                          params=db.params, family=db.family, tree=db.tree,
+                          store=db.store)
+    plan = [(names[i % len(names)], i) for i in range(requests)]
+
+    # Thread-tier reference: same seeds through the micro-batching
+    # scheduler (bit-identical to direct engine calls by construction).
+    occupied, sets = build_workload(params)
+    service = BloomService.plan(
+        namespace_size=int(params["namespace"]),
+        shards=workers_high,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        queue_depth=requests,
+        occupied=occupied,
+        accuracy=float(params.get("accuracy", 0.9)),
+        set_size=int(params["set_size"]),
+        family=params.get("family", "murmur3"),
+        tree=params.get("tree", "static"),
+        seed=int(params.get("seed", 0)),
+        depth=params.get("depth"),
+    )
+    for name, ids in sets:
+        service.add_set(name, ids)
+    with service:
+        start = time.perf_counter()
+        futures = [service.submit_sample(name, rounds, seed=seed)
+                   for name, seed in plan]
+        threaded_results = [f.result(300) for f in futures]
+        threaded_s = time.perf_counter() - start
+    reference = [(list(r.values), r.ops.nodes_visited, r.ops.memberships)
+                 for r in threaded_results]
+
+    def run_pool(directory, workers: int):
+        pool = ProcessShardPool(
+            directory, workers,
+            policy=BatchPolicy(max_batch=max_batch,
+                               max_delay_ms=max_delay_ms,
+                               queue_depth=requests))
+        pool.start()
+        try:
+            # Warm-up: fault the mmap pages in before timing.
+            for name in names:
+                pool.submit("sample", (name,), rounds=rounds,
+                            seed=0).result(300)
+            start = time.perf_counter()
+            futures = [pool.submit("sample", (name,), rounds=rounds,
+                                   seed=seed) for name, seed in plan]
+            results = [f.result(300) for f in futures]
+            elapsed = time.perf_counter() - start
+        finally:
+            pool.close()
+        return elapsed, [(r["values"], r["ops"]["nodes_visited"],
+                          r["ops"]["memberships"]) for r in results]
+
+    tmp = tempfile.mkdtemp(prefix="repro-multiproc-")
+    try:
+        compiled_db.save(tmp)
+        single_s, single_results = run_pool(tmp, 1)
+        multi_s, multi_results = run_pool(tmp, workers_high)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    identical = (single_results == reference
+                 and multi_results == reference)
+    return {
+        "requests": requests,
+        "engine": db.describe(),
+        "workers": workers_high,
+        # Scaling is bounded by the hardware: the >= 2x 1 -> 4 gate is
+        # meaningful only where at least 4 cores back the 4 processes.
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(
+            os, "sched_getaffinity") else os.cpu_count(),
+        "identical_to_threaded": bool(identical),
+        "threaded": {
+            "seconds": round(threaded_s, 6),
+            "throughput_rps": round(requests / threaded_s, 1),
+        },
+        "single_process": {
+            "seconds": round(single_s, 6),
+            "throughput_rps": round(requests / single_s, 1),
+        },
+        "multi_process": {
+            "seconds": round(multi_s, 6),
+            "throughput_rps": round(requests / multi_s, 1),
+        },
+        "throughput_multiproc_rps": round(requests / multi_s, 1),
+        "speedup_multiproc_vs_single": round(single_s / multi_s, 2),
+        "speedup_multiproc_vs_threaded": round(threaded_s / multi_s, 2),
+    }
+
+
 def run_serving(params: dict) -> dict:
     """Coalesced service throughput vs. the naive per-request loop.
 
@@ -630,6 +751,8 @@ def run_serving(params: dict) -> dict:
         return _run_coldstart(params)
     if params.get("coldstart_recovery"):
         return _run_coldstart_recovery(params)
+    if params.get("multiproc"):
+        return _run_serving_multiproc(params)
 
     db, names = build_engine(params)
     plan = _serving_requests(params, names)

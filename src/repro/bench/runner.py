@@ -42,6 +42,35 @@ HISTORY_SCHEMA = 1
 _HISTORY_KEY_PREFIXES = ("speedup_", "throughput_")
 
 
+def atomic_write_json(path, obj, *, trailing_newline: bool = True) -> None:
+    """Write JSON to ``path`` via a temp file + atomic rename.
+
+    The emitted BENCH files are cross-PR state: ``BENCH_history.json``
+    in particular is the *only* copy of every earlier run's numbers, and
+    the previous plain ``write_text`` truncated the file before writing
+    — a crash (or a second ``repro bench`` racing the first) in that
+    window destroyed the whole trajectory.  Writing a sibling temp file
+    and ``os.replace``-ing it in means any reader, at any instant, sees
+    either the complete old document or the complete new one — the same
+    discipline the engine applies to its snapshots and the serving tier
+    to its ``EPOCH`` file.
+    """
+    import os
+
+    path = pathlib.Path(path)
+    text = json.dumps(obj, indent=2) + ("\n" if trailing_newline else "")
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed/raised: never leave litter
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
 def _fingerprint(scenario: Scenario, quick: bool) -> str:
     """Cache key: parameters + schema + library version, order-independent.
 
@@ -127,7 +156,8 @@ class BenchRunner:
             "result": result,
         }
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._cache_path(scenario).write_text(json.dumps(entry, indent=2))
+        atomic_write_json(self._cache_path(scenario), entry,
+                          trailing_newline=False)
         return entry
 
     def run(self, names: list[str] | None = None) -> dict[str, dict]:
@@ -159,8 +189,7 @@ class BenchRunner:
             if errors:  # defence in depth: never emit a malformed file
                 raise RuntimeError(
                     f"internal error: invalid {kind} payload: {errors}")
-            path = self.output_dir / BENCH_FILES[kind]
-            path.write_text(json.dumps(payload, indent=2) + "\n")
+            atomic_write_json(self.output_dir / BENCH_FILES[kind], payload)
         self._append_history(by_kind)
         return by_kind
 
@@ -195,7 +224,7 @@ class BenchRunner:
         path = self.output_dir / HISTORY_FILE
         history = load_history(path)
         history["runs"].append(entry)
-        path.write_text(json.dumps(history, indent=2) + "\n")
+        atomic_write_json(path, history)
 
 
 def load_history(path) -> dict:

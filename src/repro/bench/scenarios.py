@@ -205,6 +205,29 @@ _register(Scenario(
               churn_fraction=0.10, churn_batch=1_024, repeats=3),
 ))
 
+# Gated scale-out scenario for the multi-process tier: worker processes
+# escape the GIL, so hash-heavy sampling (MD5, shallow tree — the same
+# compute profile as serving_mixed_4shards) should scale near-linearly
+# with processes where threads cannot.  The gate is >= 2x aggregate
+# throughput 1 -> 4 workers on the shared static compiled plan, with
+# every result bit-identical to the thread tier.
+_register(Scenario(
+    name="serving_multiproc",
+    kind="serving",
+    title="Process-pool serving scale-out: 4 worker processes over one "
+          "shared mmap plan vs. 1 (and vs. the thread tier)",
+    maps_to="ROADMAP north star (serving heavy concurrent traffic beyond "
+            "the GIL)",
+    quick=dict(_COMMON, namespace=20_000, set_size=300, num_sets=16,
+               family="md5", tree="static", depth=4, multiproc=True,
+               requests=1_000, rounds=32, workers_high=4, max_batch=256,
+               max_delay_ms=2.0),
+    full=dict(_COMMON, namespace=100_000, set_size=1_000, num_sets=32,
+              family="md5", tree="static", depth=6, multiproc=True,
+              requests=4_000, rounds=32, workers_high=4, max_batch=256,
+              max_delay_ms=2.0),
+))
+
 _register(Scenario(
     name="serving_cheap_hash",
     kind="serving",

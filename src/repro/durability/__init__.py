@@ -40,6 +40,7 @@ from repro.durability.recovery import (
     open_durable,
     recover_engine,
     recover_ring,
+    replay_records,
 )
 from repro.durability.wal import (
     CorruptWalError,
@@ -65,4 +66,5 @@ __all__ = [
     "read_ring_meta",
     "recover_engine",
     "recover_ring",
+    "replay_records",
 ]

@@ -102,6 +102,51 @@ def _replay_set_record(db: BloomDB, record) -> None:
             db.store.create(record.name, record.ids)
 
 
+def replay_records(db: BloomDB, records, snapshot_epoch: int, *,
+                   origin: str = "") -> dict:
+    """Replay decoded WAL records into an engine, verifying alignment.
+
+    The shared replay core of :func:`recover_engine` and the
+    multi-process serving workers (:mod:`repro.service.procpool`), which
+    catch up on their per-worker log tails with exactly the recovery
+    semantics: occupancy records at or below ``snapshot_epoch`` are
+    skipped (the snapshot already holds them), set records apply
+    idempotently, ``checkpoint`` markers carry no state, and after every
+    occupancy record the engine's re-minted epoch must equal the
+    recorded one — a mismatch raises :class:`CorruptWalError` instead of
+    serving silently diverged state.  Mutations run with durability
+    suspended (they are already in the log).  Returns a counters dict
+    (``replayed`` / ``skipped`` / ``set_records`` / ``ids_applied``).
+    """
+    replayed = skipped = set_records = ids_applied = 0
+    with db.suspend_durability():
+        for record in records:
+            if record.op in SET_OPS:
+                _replay_set_record(db, record)
+                set_records += 1
+            elif record.op in OCCUPANCY_OPS:
+                if record.epoch <= snapshot_epoch:
+                    skipped += 1
+                    continue
+                if record.op == "insert":
+                    db.insert_ids(record.ids)
+                else:
+                    db.retire_ids(record.ids)
+                current = db.current_epoch().epoch
+                if current != record.epoch:
+                    raise CorruptWalError(
+                        f"{origin}: replay diverged — record for epoch "
+                        f"{record.epoch} left the engine at epoch "
+                        f"{current}; the log and the snapshot do not "
+                        f"belong together")
+                replayed += 1
+                ids_applied += int(record.ids.size)
+            # checkpoint records carry no state; the snapshot's own
+            # wal_epoch is the authoritative bound.
+    return {"replayed": replayed, "skipped": skipped,
+            "set_records": set_records, "ids_applied": ids_applied}
+
+
 def recover_engine(path, *, sync: str | None = None,
                    verify: bool = False) -> tuple[BloomDB, RecoveryReport]:
     """Recover one durable engine directory; returns ``(engine, report)``.
@@ -139,30 +184,7 @@ def recover_engine(path, *, sync: str | None = None,
     wal = WriteAheadLog(path / WAL_DIR,
                         sync=sync if sync is not None else db.config.wal_sync)
     records = wal.replay()
-    replayed = skipped = set_records = ids_applied = 0
-    with db.suspend_durability():
-        for record in records:
-            if record.op in SET_OPS:
-                _replay_set_record(db, record)
-                set_records += 1
-            elif record.op in OCCUPANCY_OPS:
-                if record.epoch <= snapshot_epoch:
-                    skipped += 1
-                    continue
-                if record.op == "insert":
-                    db.insert_ids(record.ids)
-                else:
-                    db.retire_ids(record.ids)
-                current = db.current_epoch().epoch
-                if current != record.epoch:
-                    raise CorruptWalError(
-                        f"{path}: replay diverged — record for epoch "
-                        f"{record.epoch} left the engine at epoch {current}; "
-                        f"the log and the snapshot do not belong together")
-                replayed += 1
-                ids_applied += int(record.ids.size)
-            # checkpoint records carry no state; the snapshot's own
-            # wal_epoch is the authoritative bound.
+    counters = replay_records(db, records, snapshot_epoch, origin=str(path))
 
     db.attach_wal(wal, path)
     report = RecoveryReport(
@@ -170,10 +192,10 @@ def recover_engine(path, *, sync: str | None = None,
         snapshot_epoch=snapshot_epoch,
         recovered_epoch=db.current_epoch().epoch,
         records_scanned=len(records),
-        records_replayed=replayed,
-        records_skipped=skipped,
-        set_records=set_records,
-        ids_applied=ids_applied,
+        records_replayed=counters["replayed"],
+        records_skipped=counters["skipped"],
+        set_records=counters["set_records"],
+        ids_applied=counters["ids_applied"],
         torn_tail=wal.torn_tail,
         clean_shutdown=wal.was_clean,
         elapsed_s=time.perf_counter() - start,

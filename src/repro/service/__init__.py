@@ -24,6 +24,15 @@ independent requests into kernel-sized batches:
 * front ends — :class:`BloomService` (the facade), the in-process
   :class:`ServiceClient`, and the stdlib HTTP/JSON server behind the
   ``repro serve`` CLI (:class:`ReproServer`, :class:`HTTPServiceClient`).
+* the multi-process tier — :class:`ProcessShardPool` /
+  :class:`ProcessService` (:mod:`repro.service.procpool`): one worker
+  *process* per shard attached read-only to the promoted ``plan.bst`` /
+  ``sets.bst`` snapshot via ``np.memmap`` (one physical copy ring-wide),
+  writes routed through the leader and fanned out over per-worker WALs,
+  epoch promotion by atomic version-file swap, and kill-safe worker
+  respawn (:class:`WorkerDiedError` → HTTP 503) — served over the
+  asyncio front end :class:`AsyncReproServer` via
+  ``repro serve --workers N``.
 
 >>> import numpy as np
 >>> svc = BloomService.plan(namespace_size=10_000, accuracy=0.9, seed=7,
@@ -47,9 +56,16 @@ from repro.service.scheduler import (
     ShardWorker,
 )
 from repro.service.http import ReproServer
+from repro.service.aserver import AsyncReproServer
+from repro.service.procpool import (
+    ProcessService,
+    ProcessShardPool,
+    WorkerDiedError,
+)
 from repro.service.service import BloomService, ServiceConfig
 
 __all__ = [
+    "AsyncReproServer",
     "BatchPolicy",
     "BloomService",
     "ConsistentHashRing",
@@ -57,6 +73,8 @@ __all__ = [
     "Histogram",
     "Metrics",
     "MicroBatchScheduler",
+    "ProcessService",
+    "ProcessShardPool",
     "ReproServer",
     "ServiceClient",
     "ServiceConfig",
@@ -64,5 +82,6 @@ __all__ = [
     "ServiceRequest",
     "ShardWorker",
     "ShardedEnginePool",
+    "WorkerDiedError",
     "derive_seed",
 ]

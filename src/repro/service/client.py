@@ -132,6 +132,19 @@ class ServiceClient:
         """The service's metrics snapshot."""
         return self.service.stats()
 
+    def workers(self) -> dict:
+        """Per-shard worker liveness (the ``/workers`` payload).
+
+        The thread tier reports shard worker threads; the multi-process
+        tier (:class:`~repro.service.procpool.ProcessService`) reports
+        worker *processes* with their pids — which is what lets the CI
+        smoke job pick a victim for its kill-9 drill.
+        """
+        return {"mode": "thread", "workers": [
+            {"shard": worker.shard_id, "alive": worker.is_alive(),
+             "queued": worker.queue.qsize()}
+            for worker in self.service.scheduler.workers]}
+
 
 class HTTPError(RuntimeError):
     """A non-2xx response from the HTTP endpoint."""
@@ -176,6 +189,10 @@ class HTTPServiceClient:
     def stats(self) -> dict:
         """The server's ``/stats`` snapshot."""
         return self._request("GET", "/stats")
+
+    def workers(self) -> dict:
+        """The server's ``/workers`` snapshot (worker liveness / pids)."""
+        return self._request("GET", "/workers")
 
     def sample(self, name: str, r: int = 1, replacement: bool = True,
                seed: int | None = None) -> dict:

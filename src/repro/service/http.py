@@ -52,6 +52,72 @@ from repro.service.service import BloomService
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
+def status_for(exc: Exception) -> int:
+    """The HTTP status code for an exception raised by a route.
+
+    One mapping shared by the stdlib handler here and the asyncio front
+    end of :mod:`repro.service.aserver`, so both tiers speak identical
+    error protocol: 400 malformed, 404 unknown set, 409 duplicate-set /
+    durability misuse, 503 admission rejection or a dead shard worker,
+    500 otherwise.
+    """
+    if isinstance(exc, (ValueError, TypeError, BackendCapabilityError)):
+        return 400
+    if isinstance(exc, (DuplicateSetError, DurabilityError)):
+        return 409
+    if isinstance(exc, KeyError):
+        return 404
+    if isinstance(exc, ServiceOverloadedError):
+        return 503
+    return 500
+
+
+def error_payload(exc: Exception) -> dict:
+    """The JSON error body for an exception raised by a route."""
+    if isinstance(exc, (DuplicateSetError, KeyError)):
+        return {"error": str(exc.args[0] if exc.args else exc)}
+    if status_for(exc) == 500:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+    return {"error": str(exc)}
+
+
+def route_request(client, path: str, body: dict) -> dict:
+    """Dispatch one POST route against a client-shaped object.
+
+    ``client`` is anything exposing the
+    :class:`~repro.service.client.ServiceClient` method surface — the
+    thread-tier client or the multi-process
+    :class:`~repro.service.procpool.ProcessService` — so every front end
+    (stdlib threads here, asyncio in :mod:`repro.service.aserver`)
+    serves exactly the same routes with the same wire shapes.
+    """
+    if path == "/sample":
+        return client.sample(
+            _required(body, "set"), int(body.get("r", 1)),
+            bool(body.get("replacement", True)), _seed(body))
+    if path == "/reconstruct":
+        return client.reconstruct(
+            _required(body, "set"), bool(body.get("exhaustive", False)))
+    if path == "/contains":
+        return client.contains(_required(body, "set"),
+                               int(_required(body, "x")))
+    if path == "/sample-union":
+        return client.sample_union(_names(body), _seed(body))
+    if path == "/sample-intersection":
+        return client.sample_intersection(_names(body), _seed(body))
+    if path == "/add-set":
+        return client.add_set(_required(body, "set"), _ids(body))
+    if path == "/insert":
+        return client.insert_ids(_ids(body))
+    if path == "/retire":
+        return client.retire_ids(_ids(body))
+    if path == "/compact":
+        return client.compact()
+    if path == "/checkpoint":
+        return client.checkpoint()
+    raise ValueError(f"no route {path}")
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes one HTTP request into the service (see module docs)."""
 
@@ -96,11 +162,13 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------------
 
     def do_GET(self):  # noqa: N802 - stdlib naming
-        """GET routes: liveness and stats."""
+        """GET routes: liveness, stats and worker introspection."""
         if self.path == "/healthz":
             self._send(200, {"ok": True})
         elif self.path == "/stats":
             self._send(200, self.client.stats())
+        elif self.path == "/workers":
+            self._send(200, self.client.workers())
         else:
             self._send(404, {"error": f"no route {self.path}"})
 
@@ -108,46 +176,11 @@ class _Handler(BaseHTTPRequestHandler):
         """POST routes: the query and mutation operations."""
         try:
             body = self._body()
-            result = self._dispatch(body)
-        except (ValueError, TypeError, BackendCapabilityError) as exc:
-            self._send(400, {"error": str(exc)})
-        except (DuplicateSetError, DurabilityError) as exc:
-            self._send(409, {"error": str(exc.args[0] if exc.args else exc)})
-        except KeyError as exc:
-            self._send(404, {"error": str(exc.args[0] if exc.args else exc)})
-        except ServiceOverloadedError as exc:
-            self._send(503, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            result = route_request(self.client, self.path, body)
+        except Exception as exc:
+            self._send(status_for(exc), error_payload(exc))
         else:
             self._send(200, result)
-
-    def _dispatch(self, body: dict) -> dict:
-        if self.path == "/sample":
-            return self.client.sample(
-                _required(body, "set"), int(body.get("r", 1)),
-                bool(body.get("replacement", True)), _seed(body))
-        if self.path == "/reconstruct":
-            return self.client.reconstruct(
-                _required(body, "set"), bool(body.get("exhaustive", False)))
-        if self.path == "/contains":
-            return self.client.contains(_required(body, "set"),
-                                        int(_required(body, "x")))
-        if self.path == "/sample-union":
-            return self.client.sample_union(_names(body), _seed(body))
-        if self.path == "/sample-intersection":
-            return self.client.sample_intersection(_names(body), _seed(body))
-        if self.path == "/add-set":
-            return self.client.add_set(_required(body, "set"), _ids(body))
-        if self.path == "/insert":
-            return self.client.insert_ids(_ids(body))
-        if self.path == "/retire":
-            return self.client.retire_ids(_ids(body))
-        if self.path == "/compact":
-            return self.client.compact()
-        if self.path == "/checkpoint":
-            return self.client.checkpoint()
-        raise ValueError(f"no route {self.path}")
 
 
 def _required(body: dict, key: str):

@@ -68,6 +68,31 @@ class ServiceOverloadedError(RuntimeError):
     """A shard queue was full; the request was rejected at admission."""
 
 
+def gather_batch(source, first, policy: "BatchPolicy") -> list:
+    """Coalesce queued items under a max-delay / max-batch policy.
+
+    ``source`` is anything with the :class:`queue.Queue` blocking
+    surface (``get(timeout=)`` / ``get_nowait()`` raising
+    :class:`queue.Empty`) — the thread workers' ``queue.Queue`` and the
+    process workers' ``multiprocessing.Queue`` both qualify, so both
+    tiers share one batching policy implementation.  Returns ``first``
+    plus whatever arrived before the deadline, capped at
+    ``policy.max_batch``.
+    """
+    batch = [first]
+    deadline = time.monotonic() + policy.max_delay_ms / 1e3
+    while len(batch) < policy.max_batch:
+        remaining = deadline - time.monotonic()
+        try:
+            if remaining <= 0:
+                batch.append(source.get_nowait())
+            else:
+                batch.append(source.get(timeout=remaining))
+        except queue.Empty:
+            break
+    return batch
+
+
 class BatchPolicy:
     """The micro-batching knobs of one scheduler.
 
@@ -166,18 +191,7 @@ class ShardWorker(threading.Thread):
 
     def _gather(self, first: ServiceRequest) -> list[ServiceRequest]:
         """Coalesce under the max-delay / max-batch policy."""
-        batch = [first]
-        deadline = time.monotonic() + self.policy.max_delay_ms / 1e3
-        while len(batch) < self.policy.max_batch:
-            remaining = deadline - time.monotonic()
-            try:
-                if remaining <= 0:
-                    batch.append(self.queue.get_nowait())
-                else:
-                    batch.append(self.queue.get(timeout=remaining))
-            except queue.Empty:
-                break
-        return batch
+        return gather_batch(self.queue, first, self.policy)
 
     def _execute(self, batch: list[ServiceRequest]) -> None:
         """Partition a batch by op and dispatch through the batch kernels."""
