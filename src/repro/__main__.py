@@ -67,6 +67,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.obs.logs import LOG_LEVELS, configure_logging, get_logger
+
+_log = get_logger("cli")
+
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core.design import plan_tree
@@ -436,28 +440,24 @@ def _open_durable_service(args, config):
                 template.add_set(f"set{i:02d}", ids)
         init_ring(path, config.shards, template=template,
                   sync=args.wal_sync, replicas=config.replicas)
-        print(f"durable: initialised ring at {path} "
-              f"({config.shards} shards, wal_sync={args.wal_sync})")
+        _log.info("ring_initialised", path=str(path), shards=config.shards,
+                 wal_sync=args.wal_sync)
     elif args.db is not None:
-        print(f"warning: --db ignored — {path} already holds a ring",
-              file=sys.stderr)
+        _log.warning("db_ignored", path=str(path),
+                    reason="directory already holds a ring")
 
     pool, reports = recover_ring(path, sync=args.wal_sync)
     for report in reports:
-        flags = []
-        if report.clean_shutdown:
-            flags.append("clean")
-        if report.torn_tail:
-            flags.append("torn tail truncated")
-        print(f"durable: recovered {report.path} -> epoch "
-              f"{report.recovered_epoch} "
-              f"(snapshot {report.snapshot_epoch}, "
-              f"{report.records_replayed} records replayed"
-              + (", " + ", ".join(flags) if flags else "")
-              + f") in {report.elapsed_s:.3f}s")
+        _log.info("shard_recovered", path=report.path,
+                 epoch=report.recovered_epoch,
+                 snapshot_epoch=report.snapshot_epoch,
+                 replayed=report.records_replayed,
+                 clean=report.clean_shutdown, torn_tail=report.torn_tail,
+                 elapsed_s=round(report.elapsed_s, 3))
     if pool.num_shards != config.shards:
-        print(f"warning: --shards {config.shards} ignored — ring at {path} "
-              f"was laid out with {pool.num_shards} shards", file=sys.stderr)
+        _log.warning("shards_ignored", requested=config.shards,
+                    actual=pool.num_shards,
+                    reason="ring was laid out with a fixed shard count")
     return BloomService(pool, config)
 
 
@@ -493,10 +493,10 @@ def _build_process_server(args):
                                 durable=True, sync=args.wal_sync)
         if pool.recovery_report is not None:
             report = pool.recovery_report
-            print(f"durable: recovered {report.path} -> epoch "
-                  f"{report.recovered_epoch} "
-                  f"({report.records_replayed} records replayed) "
-                  f"in {report.elapsed_s:.3f}s")
+            _log.info("leader_recovered", path=report.path,
+                      epoch=report.recovered_epoch,
+                      replayed=report.records_replayed,
+                      elapsed_s=round(report.elapsed_s, 3))
     elif args.db is not None:
         _warn_ignored_build_args(args)
         pool = ProcessShardPool(args.db, args.workers, policy=policy)
@@ -661,7 +661,7 @@ def _run_smoke(service, args) -> int:
               f"mean batch {batch.get('mean')}, "
               f"max batch {batch.get('max')}")
         for line in failures[:5]:
-            print(f"smoke failure: {line}", file=sys.stderr)
+            _log.error("smoke_failure", detail=line)
         if failures or errors or served < args.requests:
             print("smoke: FAILED", file=sys.stderr)
             return 1
@@ -733,6 +733,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         shard_dirs,
     )
 
+    configure_logging(args.log_level)
     path = pathlib.Path(args.path)
     is_ring = (path / RING_FILE).exists()
     try:
@@ -757,10 +758,10 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         if args.checkpoint:
             for db in engines:
                 summary = db.checkpoint()
-                print(f"checkpointed {summary['path']} at epoch "
-                      f"{summary['epoch']} "
-                      f"({summary['wal_segments_removed']} WAL segments "
-                      f"removed)", file=sys.stderr)
+                _log.info("checkpointed", path=summary["path"],
+                          epoch=summary["epoch"],
+                          wal_segments_removed=summary[
+                              "wal_segments_removed"])
         for db in engines:
             db.wal.mark_clean()
             db.wal.close()
@@ -779,6 +780,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import ReproServer
 
+    configure_logging(args.log_level)
     if args.workers is not None:
         return _cmd_serve_multiproc(args)
     service = _build_service(args)
@@ -790,9 +792,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"max_batch={service.config.max_batch}, "
           f"max_delay_ms={service.config.max_delay_ms}"
           + (", durable" if service.durable else "") + ")")
-    print("endpoints: GET /healthz /stats; POST /sample /reconstruct "
-          "/contains /sample-union /sample-intersection /add-set "
-          "/insert /retire /compact /checkpoint")
+    print("endpoints: GET /healthz /stats /metrics /trace; POST /sample "
+          "/reconstruct /contains /sample-union /sample-intersection "
+          "/add-set /insert /retire /compact /checkpoint")
 
     # Graceful shutdown: SIGTERM/SIGINT stop the accept loop, drain the
     # workers, and (durable rings) take a final checkpoint + write the
@@ -838,9 +840,10 @@ def _cmd_serve_multiproc(args: argparse.Namespace) -> int:
           f"(shared mmap snapshot, max_batch={pool.policy.max_batch}, "
           f"max_delay_ms={pool.policy.max_delay_ms}"
           + (", durable" if pool.durable else "") + ")")
-    print("endpoints: GET /healthz /stats /workers; POST /sample "
-          "/reconstruct /contains /sample-union /sample-intersection "
-          "/add-set /insert /retire /compact /checkpoint")
+    print("endpoints: GET /healthz /stats /metrics /trace /workers; "
+          "POST /sample /reconstruct /contains /sample-union "
+          "/sample-intersection /add-set /insert /retire /compact "
+          "/checkpoint")
 
     stop_event = threading.Event()
 
@@ -998,6 +1001,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "requests, exit non-zero on any error")
     serve.add_argument("--requests", type=int, default=200,
                        help="smoke-mode request count (default: 200)")
+    serve.add_argument("--log-level", choices=LOG_LEVELS, default="info",
+                       help="structured (key=value) log verbosity on "
+                            "stderr (default: info)")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
@@ -1051,6 +1057,9 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--checkpoint", action="store_true",
                          help="after replay, fold the recovered state "
                               "into a fresh snapshot and truncate the WAL")
+    recover.add_argument("--log-level", choices=LOG_LEVELS, default="info",
+                         help="structured (key=value) log verbosity on "
+                              "stderr (default: info)")
     recover.set_defaults(func=_cmd_recover)
     return parser
 

@@ -57,6 +57,8 @@ from repro.core.reconstruct import BSTReconstructor, ReconstructionResult
 from repro.core.sampling import BSTSampler, MultiSampleResult, SampleResult
 from repro.core.serialization import load_tree, save_tree
 from repro.core.store import FilterStore
+from repro.obs.runtime import RUNTIME
+from repro.obs.trace import record_stage
 
 #: Name of the config file inside a saved engine directory.
 _ENGINE_FILE = "engine.json"
@@ -315,6 +317,9 @@ class BloomDB:
                     delta: PlanDelta | None) -> EngineEpoch:
         """Mint the next monotonic epoch (callers hold the plan lock)."""
         self._epoch_counter += 1
+        RUNTIME.inc("epochs_minted")
+        RUNTIME.set_gauge("delta_density",
+                          0.0 if delta is None else delta.density)
         return EngineEpoch(self._epoch_counter, plan, delta)
 
     # -- durability -------------------------------------------------------------
@@ -498,6 +503,7 @@ class BloomDB:
         with self._plan_lock:
             fresh = CompiledTree.from_tree(self.tree)
             self._compiled = fresh
+            RUNTIME.inc("compactions")
             return self._next_epoch(fresh, None)
 
     def _apply_occupancy(self, kind: str, ids) -> None:
@@ -547,6 +553,7 @@ class BloomDB:
                 fresh.save(path)
                 fresh = CompiledTree.load(path)
             self._compiled = fresh
+            RUNTIME.inc("compactions")
             self._epochs.publish(self._epoch_index,
                                  self._next_epoch(fresh, None))
             return fresh
@@ -576,6 +583,7 @@ class BloomDB:
                 "checkpoint() needs an attached WAL; open the engine via "
                 "repro.durability.open_durable")
         with self._plan_lock:
+            started = time.perf_counter()
             promote_at = self._epoch_counter + 1
             self.store.save_compiled(self._wal_dir / _SETS_COMPILED_FILE)
             fresh = CompiledTree.from_tree(self.tree)
@@ -587,6 +595,8 @@ class BloomDB:
             assert epoch.epoch == promote_at
             self._epochs.publish(self._epoch_index, epoch)
             removed = self._wal.truncate(epoch.epoch)
+            RUNTIME.inc("checkpoints")
+            record_stage("checkpoint", time.perf_counter() - started)
             return {"epoch": epoch.epoch, "path": str(self._wal_dir),
                     "wal_segments_removed": removed,
                     "wal_bytes": self._wal.tail_bytes()}

@@ -615,6 +615,30 @@ def _run_coldstart_recovery(params: dict) -> dict:
     }
 
 
+def _stage_decomposition(histograms: dict) -> dict:
+    """Per-stage latency summary from the ``stage.*`` histogram snapshots.
+
+    Maps each unlabeled ``stage.<name>_s`` histogram in a ``/stats``
+    snapshot to its p50/p99/mean/count — the queue-wait / batch-assembly /
+    execute (/descent/WAL) decomposition the latency-trajectory gates
+    track in ``BENCH_serving.json``.
+    """
+    stages: dict[str, dict] = {}
+    for name, snap in histograms.items():
+        if not name.startswith("stage.") or "{" in name:
+            continue
+        stage = name[len("stage."):]
+        if stage.endswith("_s"):
+            stage = stage[:-2]
+        stages[stage] = {
+            "count": snap.get("count"),
+            "mean_s": snap.get("mean"),
+            "p50_s": snap.get("p50"),
+            "p99_s": snap.get("p99"),
+        }
+    return stages
+
+
 def _run_serving_multiproc(params: dict) -> dict:
     """Multi-process serving scale-out: 1 vs N worker processes.
 
@@ -677,6 +701,8 @@ def _run_serving_multiproc(params: dict) -> dict:
                  for r in threaded_results]
 
     def run_pool(directory, workers: int):
+        from repro.obs.metrics import export_snapshot
+
         pool = ProcessShardPool(
             directory, workers,
             policy=BatchPolicy(max_batch=max_batch,
@@ -693,16 +719,18 @@ def _run_serving_multiproc(params: dict) -> dict:
                                    seed=seed) for name, seed in plan]
             results = [f.result(300) for f in futures]
             elapsed = time.perf_counter() - start
+            stages = _stage_decomposition(
+                export_snapshot(pool.fleet_export())["histograms"])
         finally:
             pool.close()
-        return elapsed, [(r["values"], r["ops"]["nodes_visited"],
-                          r["ops"]["memberships"]) for r in results]
+        return elapsed, stages, [(r["values"], r["ops"]["nodes_visited"],
+                                  r["ops"]["memberships"]) for r in results]
 
     tmp = tempfile.mkdtemp(prefix="repro-multiproc-")
     try:
         compiled_db.save(tmp)
-        single_s, single_results = run_pool(tmp, 1)
-        multi_s, multi_results = run_pool(tmp, workers_high)
+        single_s, single_stages, single_results = run_pool(tmp, 1)
+        multi_s, multi_stages, multi_results = run_pool(tmp, workers_high)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
@@ -724,10 +752,16 @@ def _run_serving_multiproc(params: dict) -> dict:
         "single_process": {
             "seconds": round(single_s, 6),
             "throughput_rps": round(requests / single_s, 1),
+            "latency_p50_s": single_stages.get("total", {}).get("p50_s"),
+            "latency_p99_s": single_stages.get("total", {}).get("p99_s"),
+            "stages": single_stages,
         },
         "multi_process": {
             "seconds": round(multi_s, 6),
             "throughput_rps": round(requests / multi_s, 1),
+            "latency_p50_s": multi_stages.get("total", {}).get("p50_s"),
+            "latency_p99_s": multi_stages.get("total", {}).get("p99_s"),
+            "stages": multi_stages,
         },
         "throughput_multiproc_rps": round(requests / multi_s, 1),
         "speedup_multiproc_vs_single": round(single_s / multi_s, 2),
@@ -817,6 +851,7 @@ def run_serving(params: dict) -> dict:
     requests = len(plan)
     batch_hist = stats["histograms"].get("batch_size", {})
     sample_latency = stats["histograms"].get("sample.latency_s", {})
+    stages = _stage_decomposition(stats["histograms"])
     return {
         "requests": requests,
         "engine": db.describe(),
@@ -835,6 +870,9 @@ def run_serving(params: dict) -> dict:
             "max_batch": batch_hist.get("max"),
             "sample_latency_p50_s": sample_latency.get("p50"),
             "sample_latency_p99_s": sample_latency.get("p99"),
+            "queue_wait_p50_s": stages.get("queue", {}).get("p50_s"),
+            "queue_wait_p99_s": stages.get("queue", {}).get("p99_s"),
+            "stages": stages,
             "served": stats["counters"].get("served_total", 0),
             "errors": stats["counters"].get("errors_total", 0),
         },

@@ -43,6 +43,7 @@ import math
 import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -52,6 +53,8 @@ from repro.core.bloom import BloomFilter
 from repro.core.hashing import create_family
 from repro.core.mmapio import read_blob, write_blob
 from repro.core.ops import OpCounter
+from repro.obs.runtime import RUNTIME
+from repro.obs.trace import record_stage
 from repro.core.sampling import (
     DEFAULT_EMPTY_THRESHOLD,
     MultiSampleResult,
@@ -469,6 +472,7 @@ def descend_frontier(
     """
     if descent not in ("threshold", "floored"):
         raise ValueError(f"unknown descent policy {descent!r}")
+    descent_started = perf_counter()
     requests = list(requests)
     for request in requests:
         if request.rounds <= 0:
@@ -511,7 +515,10 @@ def descend_frontier(
             missing.append(u)
         else:
             estimates[u], leaf_hits[u] = cached
+    if num_uniq - len(missing):
+        RUNTIME.inc("frontier_cache_hits", num_uniq - len(missing))
     if missing:
+        RUNTIME.inc("frontier_cache_misses", len(missing))
         fresh_est, fresh_hits = _frontier(
             plan, [uniq_queries[u] for u in missing],
             [t1s[u] for u in missing], threshold, descent)
@@ -519,11 +526,13 @@ def descend_frontier(
             estimates[u], leaf_hits[u] = fresh_est[i], fresh_hits[i]
             plan.frontier_put((uniq_keys[u], threshold, descent),
                               (fresh_est[i], fresh_hits[i]))
-    return [
+    results = [
         _replay(plan, request, estimates[u], leaf_hits[u], t1s[u],
                 threshold, descent)
         for request, u in zip(requests, request_uniq)
     ]
+    record_stage("descent", perf_counter() - descent_started)
+    return results
 
 
 def _frontier(plan, queries, t1s, threshold, descent):

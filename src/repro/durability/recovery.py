@@ -41,6 +41,8 @@ from repro.api.engine import (
     DurabilityError,
 )
 from repro.core.mmapio import read_blob, read_blob_meta
+from repro.obs.runtime import RUNTIME
+from repro.obs.trace import record_stage
 from repro.durability.wal import (
     OCCUPANCY_OPS,
     SET_OPS,
@@ -143,6 +145,9 @@ def replay_records(db: BloomDB, records, snapshot_epoch: int, *,
                 ids_applied += int(record.ids.size)
             # checkpoint records carry no state; the snapshot's own
             # wal_epoch is the authoritative bound.
+    RUNTIME.inc("recovery_records_replayed", replayed)
+    RUNTIME.inc("recovery_records_skipped", skipped)
+    RUNTIME.inc("recovery_ids_applied", ids_applied)
     return {"replayed": replayed, "skipped": skipped,
             "set_records": set_records, "ids_applied": ids_applied}
 
@@ -200,6 +205,8 @@ def recover_engine(path, *, sync: str | None = None,
         clean_shutdown=wal.was_clean,
         elapsed_s=time.perf_counter() - start,
     )
+    RUNTIME.inc("recoveries")
+    record_stage("recovery", report.elapsed_s)
     return db, report
 
 

@@ -47,10 +47,13 @@ import os
 import pathlib
 import struct
 import threading
+import time
 
 import numpy as np
 
 from repro.core.mmapio import checksum
+from repro.obs.runtime import RUNTIME
+from repro.obs.trace import record_stage
 
 #: Rotate the active segment once it exceeds this many bytes.
 DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
@@ -320,8 +323,11 @@ class WriteAheadLog:
         self._fh = open(self.segment_path, "ab")
 
     def _fsync(self) -> None:
+        started = time.perf_counter()
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        RUNTIME.inc("wal_fsyncs")
+        record_stage("wal_fsync", time.perf_counter() - started)
 
     def _rotate(self) -> None:
         self._fsync()
@@ -339,6 +345,7 @@ class WriteAheadLog:
         module docstring); callers that need a hard guarantee at a
         specific point call :meth:`flush`.
         """
+        started = time.perf_counter()
         record = encode_record(
             op, epoch, name,
             np.empty(0, dtype=np.uint64) if ids is None else ids)
@@ -352,6 +359,9 @@ class WriteAheadLog:
                 self._fsync()
             elif self.sync == "batch":
                 self._fh.flush()
+        RUNTIME.inc("wal_records")
+        RUNTIME.inc("wal_bytes", len(record))
+        record_stage("wal_append", time.perf_counter() - started)
         return len(record)
 
     def flush(self) -> None:

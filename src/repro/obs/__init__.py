@@ -1,0 +1,72 @@
+"""Unified observability: metrics, Prometheus exposition, tracing, logs.
+
+This package is a dependency leaf (stdlib only) so every layer of the
+serving stack can record into it without import cycles:
+
+- :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed
+  histograms with labeled series; exports that diff and merge, which
+  is the substrate of cross-process aggregation.
+- :mod:`repro.obs.prometheus` — the ``/metrics`` text-exposition
+  renderer plus the strict in-repo format checker CI scrapes with.
+- :mod:`repro.obs.trace` — per-request span traces, the slowest-N
+  ring behind ``GET /trace``, and thread-local deep-stage capture.
+- :mod:`repro.obs.runtime` — the process-global registry deep layers
+  (plan descent, WAL, recovery) record into.
+- :mod:`repro.obs.logs` — structured key=value logging for the CLI.
+"""
+
+from repro.obs.logs import (
+    LOG_LEVELS,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    Metrics,
+    diff_exports,
+    empty_export,
+    export_snapshot,
+    histogram_from_export,
+    merge_exports,
+    relabel_export,
+    stage_summaries,
+)
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.runtime import RUNTIME, runtime_metrics
+from repro.obs.trace import Trace, TraceBuffer, collect_stages, record_stage
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "CONTENT_TYPE",
+    "LATENCY_BUCKETS",
+    "LOG_LEVELS",
+    "Histogram",
+    "Metrics",
+    "RUNTIME",
+    "StructuredLogger",
+    "Trace",
+    "TraceBuffer",
+    "collect_stages",
+    "configure_logging",
+    "diff_exports",
+    "empty_export",
+    "export_snapshot",
+    "get_logger",
+    "histogram_from_export",
+    "merge_exports",
+    "parse_exposition",
+    "record_stage",
+    "relabel_export",
+    "render_prometheus",
+    "runtime_metrics",
+    "stage_summaries",
+    "validate_exposition",
+]

@@ -1,0 +1,128 @@
+"""Structured key=value logging for the CLI and serving stack.
+
+The repo's servers log through the stdlib ``logging`` module, but
+nothing ever configured a handler, so server-side errors vanished.
+:func:`configure_logging` installs one stderr handler with a
+``key=value`` line format on the ``"repro"`` logger (every
+``repro.*`` module logger propagates to it), and
+:func:`get_logger` hands out a :class:`StructuredLogger` whose methods
+take an event name plus fields::
+
+    log = get_logger("serve")
+    log.info("listening", host="127.0.0.1", port=8000, workers=4)
+    # ts=2026-08-08T12:00:00 level=info logger=repro.serve \
+    #   event=listening host=127.0.0.1 port=8000 workers=4
+
+Loggers self-configure at WARNING level on first use, so a library
+caller that never runs ``repro serve --log-level ...`` still sees
+errors instead of silence.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOG_LEVELS", "StructuredLogger", "configure_logging",
+           "get_logger"]
+
+#: Accepted ``--log-level`` values, in increasing verbosity.
+LOG_LEVELS = ("error", "warning", "info", "debug")
+
+_ROOT_NAME = "repro"
+
+
+def _quote(value) -> str:
+    text = str(value)
+    if text == "":
+        return '""'
+    if any(ch in text for ch in ' "=\n\t'):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Formats records as one ``key=value`` line (logfmt style)."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record; extra fields come from ``record.kv``."""
+        parts = [
+            f"ts={self.formatTime(record, self.default_time_format)}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"event={_quote(record.getMessage())}",
+        ]
+        fields = getattr(record, "kv", None) or {}
+        parts.extend(f"{key}={_quote(value)}" for key, value in
+                     fields.items())
+        if record.exc_info:
+            parts.append(
+                f"exc={_quote(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+def configure_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Install the key=value stderr handler on the ``repro`` logger.
+
+    Idempotent: reconfiguring replaces the previously installed
+    handler and level.  Returns the root ``repro`` logger.
+    """
+    level = str(level).lower()
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from {LOG_LEVELS})")
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(level.upper())
+    root.propagate = False
+    return root
+
+
+class StructuredLogger:
+    """Thin event+fields facade over one stdlib logger."""
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    def _log(self, level: int, event: str, exc_info=None,
+             fields: dict | None = None) -> None:
+        if not logging.getLogger(_ROOT_NAME).handlers:
+            configure_logging("warning")
+        self._logger.log(level, event, exc_info=exc_info,
+                         extra={"kv": fields or {}})
+
+    def debug(self, event: str, **fields) -> None:
+        """Log at DEBUG."""
+        self._log(logging.DEBUG, event, fields=fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Log at INFO."""
+        self._log(logging.INFO, event, fields=fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Log at WARNING."""
+        self._log(logging.WARNING, event, fields=fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Log at ERROR."""
+        self._log(logging.ERROR, event, fields=fields)
+
+    def exception(self, event: str, **fields) -> None:
+        """Log at ERROR with the active exception's traceback attached."""
+        self._log(logging.ERROR, event, exc_info=sys.exc_info(),
+                  fields=fields)
+
+
+def get_logger(name: str | None = None) -> StructuredLogger:
+    """A structured logger namespaced under ``repro`` (``repro.<name>``)."""
+    full = _ROOT_NAME if not name else (
+        name if name.startswith(_ROOT_NAME) else f"{_ROOT_NAME}.{name}")
+    return StructuredLogger(logging.getLogger(full))

@@ -1,0 +1,26 @@
+"""The process-global runtime metrics registry.
+
+Deep layers (compiled-plan descent, the WAL, recovery) have no handle
+on a service object, so they record into this per-process registry
+instead; the serving front ends merge it into their own registry when
+rendering ``/metrics`` and ``/stats``, and pool worker processes ship
+its deltas to the leader alongside their serving counters.
+
+Recording is a dict update behind one lock and never touches the
+seeded sampling paths, so instrumented results stay bit-identical and
+an idle engine pays nothing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Metrics
+
+__all__ = ["RUNTIME", "runtime_metrics"]
+
+#: The per-process runtime registry (one per OS process, not per service).
+RUNTIME = Metrics()
+
+
+def runtime_metrics() -> Metrics:
+    """The process-global runtime registry."""
+    return RUNTIME

@@ -24,7 +24,11 @@ import concurrent.futures
 import json
 import threading
 
+from repro.obs.logs import get_logger
+from repro.obs.prometheus import CONTENT_TYPE as _METRICS_CONTENT_TYPE
 from repro.service.http import error_payload, route_request, status_for
+
+_log = get_logger("service.aserver")
 
 #: Request bodies above this size are rejected (sanity bound).
 _MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -40,19 +44,25 @@ class _BadRequest(Exception):
     """Malformed HTTP framing — the connection is closed after replying."""
 
 
-def _response_bytes(status: int, payload: dict, *,
-                    keep_alive: bool = True) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
+def _raw_response_bytes(status: int, body: bytes, content_type: str, *,
+                        keep_alive: bool = True) -> bytes:
     reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
               405: "Method Not Allowed", 409: "Conflict",
               413: "Payload Too Large", 500: "Internal Server Error",
               503: "Service Unavailable"}.get(status, "Error")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n")
     return head.encode("ascii") + body
+
+
+def _response_bytes(status: int, payload: dict, *,
+                    keep_alive: bool = True) -> bytes:
+    return _raw_response_bytes(
+        status, json.dumps(payload).encode("utf-8"), "application/json",
+        keep_alive=keep_alive)
 
 
 async def _read_request(reader: asyncio.StreamReader):
@@ -134,6 +144,12 @@ class AsyncReproServer:
                 return _response_bytes(200, {"ok": True})
             if path == "/stats":
                 return _response_bytes(200, self.client.stats())
+            if path == "/metrics":
+                return _raw_response_bytes(
+                    200, self.client.metrics_text().encode("utf-8"),
+                    _METRICS_CONTENT_TYPE)
+            if path == "/trace":
+                return _response_bytes(200, self.client.trace())
             if path == "/workers":
                 return _response_bytes(200, self.client.workers())
             return _response_bytes(404, {"error": f"no route {path}"})
@@ -145,6 +161,8 @@ class AsyncReproServer:
             result = await loop.run_in_executor(
                 self._executor, route_request, self.client, path, body)
         except Exception as exc:  # noqa: BLE001 - mapped to HTTP status
+            if status_for(exc) == 500:
+                _log.exception("request_failed", path=path)
             return _response_bytes(status_for(exc), error_payload(exc))
         return _response_bytes(200, result)
 

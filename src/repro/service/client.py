@@ -132,6 +132,14 @@ class ServiceClient:
         """The service's metrics snapshot."""
         return self.service.stats()
 
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload (Prometheus text exposition)."""
+        return self.service.metrics_text()
+
+    def trace(self) -> dict:
+        """The ``/trace`` payload (slowest requests + stage histograms)."""
+        return self.service.trace()
+
     def workers(self) -> dict:
         """Per-shard worker liveness (the ``/workers`` payload).
 
@@ -182,6 +190,16 @@ class HTTPServiceClient:
                 payload = {"error": exc.reason}
             raise HTTPError(exc.code, payload) from None
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON (plain text) endpoint, e.g. ``/metrics``."""
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise HTTPError(exc.code, {"error": exc.reason}) from None
+
     def healthz(self) -> dict:
         """Liveness probe."""
         return self._request("GET", "/healthz")
@@ -189,6 +207,14 @@ class HTTPServiceClient:
     def stats(self) -> dict:
         """The server's ``/stats`` snapshot."""
         return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """The server's ``/metrics`` Prometheus text exposition."""
+        return self._request_text("/metrics")
+
+    def trace(self) -> dict:
+        """The server's ``/trace`` snapshot (slowest-request spans)."""
+        return self._request("GET", "/trace")
 
     def workers(self) -> dict:
         """The server's ``/workers`` snapshot (worker liveness / pids)."""

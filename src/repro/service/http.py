@@ -10,6 +10,8 @@ Routes (all bodies and responses are JSON):
 ====================  ====  ==========================================
 ``/healthz``          GET   liveness probe
 ``/stats``            GET   metrics + pool + policy snapshot
+``/metrics``          GET   Prometheus text exposition (v0.0.4)
+``/trace``            GET   slowest-request spans + stage histograms
 ``/sample``           POST  ``{"set", "r", "replacement", "seed"?}``
 ``/reconstruct``      POST  ``{"set", "exhaustive"?}``
 ``/contains``         POST  ``{"set", "x"}``
@@ -44,9 +46,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api import BackendCapabilityError, DurabilityError
 from repro.core.store import DuplicateSetError
+from repro.obs.logs import get_logger
+from repro.obs.prometheus import CONTENT_TYPE as _METRICS_CONTENT_TYPE
 from repro.service.client import ServiceClient
 from repro.service.scheduler import ServiceOverloadedError
 from repro.service.service import BloomService
+
+_log = get_logger("service.http")
 
 #: Request bodies above this size are rejected (sanity bound).
 _MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -132,9 +138,13 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, json.dumps(payload).encode("utf-8"),
+                         "application/json")
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -167,6 +177,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, {"ok": True})
         elif self.path == "/stats":
             self._send(200, self.client.stats())
+        elif self.path == "/metrics":
+            self._send_bytes(200, self.client.metrics_text().encode("utf-8"),
+                             _METRICS_CONTENT_TYPE)
+        elif self.path == "/trace":
+            self._send(200, self.client.trace())
         elif self.path == "/workers":
             self._send(200, self.client.workers())
         else:
@@ -178,6 +193,8 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._body()
             result = route_request(self.client, self.path, body)
         except Exception as exc:
+            if status_for(exc) == 500:
+                _log.exception("request_failed", path=self.path)
             self._send(status_for(exc), error_payload(exc))
         else:
             self._send(200, result)

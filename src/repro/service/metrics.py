@@ -1,125 +1,40 @@
-"""Serving metrics: counters and log-bucketed histograms behind one lock.
+"""Serving metrics, rebased on the :mod:`repro.obs` metric model.
 
 The scheduler records, per operation, request latency (submit-to-result
-wall clock), dispatch batch sizes, and outcome counters (served /
-rejected / failed).  Histograms use fixed log-spaced buckets, so
-recording is O(log buckets) with no allocation and a snapshot is a plain
-JSON-able dict — which is exactly what the ``/stats`` endpoint returns.
+wall clock), dispatch batch sizes, stage decompositions, and outcome
+counters (served / rejected / failed).  The model itself — counters,
+gauges, labeled series, log-bucketed histograms with interpolated
+quantiles, and the export/diff/merge algebra behind cross-process
+aggregation — lives in :mod:`repro.obs.metrics`; this module keeps the
+historical import surface for the service layer.
 """
 
 from __future__ import annotations
 
-import bisect
-import threading
-import time
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    Metrics,
+    diff_exports,
+    empty_export,
+    export_snapshot,
+    histogram_from_export,
+    merge_exports,
+    relabel_export,
+    stage_summaries,
+)
 
-#: Latency buckets (seconds): 10us .. ~100s, quarter-decade spacing.
-LATENCY_BUCKETS = tuple(10 ** (e / 4) for e in range(-20, 9))
-
-#: Batch-size buckets: 1 .. 4096, powers of two.
-BATCH_BUCKETS = tuple(float(1 << e) for e in range(13))
-
-
-class Histogram:
-    """Fixed-bucket histogram with count / sum / min / max and quantiles.
-
-    Not itself locked — the owning :class:`Metrics` registry serialises
-    access.
-    """
-
-    def __init__(self, buckets=LATENCY_BUCKETS):
-        self.buckets = tuple(float(b) for b in buckets)
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-
-    def quantile(self, q: float) -> float | None:
-        """Approximate quantile: upper edge of the bucket holding rank q.
-
-        ``None`` when nothing was observed.  The last (overflow) bucket
-        reports the true observed maximum.
-        """
-        if self.count == 0:
-            return None
-        rank = q * self.count
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank and c:
-                if i >= len(self.buckets):
-                    return self.max
-                return self.buckets[i]
-        return self.max
-
-    @property
-    def mean(self) -> float | None:
-        """Arithmetic mean of all observations (``None`` when empty)."""
-        return self.total / self.count if self.count else None
-
-    def snapshot(self) -> dict:
-        """JSON-able summary (quantiles, mean, extrema, total count)."""
-        return {
-            "count": self.count,
-            "sum": round(self.total, 6),
-            "mean": None if self.mean is None else round(self.mean, 6),
-            "min": self.min,
-            "max": self.max,
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
-        }
-
-
-class Metrics:
-    """Thread-safe registry of named counters and histograms.
-
-    One instance per service; every shard worker and front-end thread
-    records into it.  ``snapshot()`` is the ``/stats`` payload.
-    """
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self._histograms: dict[str, Histogram] = {}
-        self.started_at = time.time()
-
-    def inc(self, name: str, amount: int = 1) -> None:
-        """Increment a counter (created on first use)."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def observe(self, name: str, value: float, buckets=LATENCY_BUCKETS) -> None:
-        """Record into a histogram (created on first use)."""
-        with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = Histogram(buckets)
-            hist.observe(value)
-
-    def counter(self, name: str) -> int:
-        """Current value of a counter (0 if never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def snapshot(self) -> dict:
-        """JSON-able view of every counter and histogram."""
-        with self._lock:
-            return {
-                "uptime_s": round(time.time() - self.started_at, 3),
-                "counters": dict(sorted(self._counters.items())),
-                "histograms": {
-                    name: hist.snapshot()
-                    for name, hist in sorted(self._histograms.items())
-                },
-            }
+__all__ = [
+    "BATCH_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Histogram",
+    "Metrics",
+    "diff_exports",
+    "empty_export",
+    "export_snapshot",
+    "histogram_from_export",
+    "merge_exports",
+    "relabel_export",
+    "stage_summaries",
+]

@@ -42,6 +42,17 @@ The coordination protocol, in full:
   pair.  Workers detect the generation change at the next batch
   boundary and remap; in-flight batches keep the old inode (POSIX), so
   a read pins exactly one snapshot — never a torn mix.
+* **Observability** piggybacks on the result pipe: before posting a
+  batch's results, each worker ships a metrics *delta*
+  (:func:`repro.obs.metrics.diff_exports` of its registry plus the
+  process-global runtime registry) and the batch's slowest trace under
+  a reserved sentinel id.  The leader folds deltas into cumulative
+  per-shard exports keyed by shard id — so ``GET /metrics`` serves
+  fleet-wide totals plus per-worker ``{worker="NN"}`` series whose sums
+  match exactly, and the totals survive kill-9/respawn.  Because the
+  delta lands on the queue *before* the results it covers, a scrape
+  performed after a client's future resolves always includes that
+  request.
 * **Worker death** is detected by the parent's response pumps; in-flight
   requests for the dead shard fail with :class:`WorkerDiedError` (a 503
   at the HTTP layer — never a hang), and the worker is respawned: it
@@ -85,9 +96,21 @@ from repro.api.engine import (
     DurabilityError,
 )
 from repro.core.store import DuplicateSetError
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    Metrics,
+    diff_exports,
+    empty_export,
+    export_snapshot,
+    merge_exports,
+    relabel_export,
+    stage_summaries,
+)
+from repro.obs.prometheus import render_prometheus
+from repro.obs.runtime import RUNTIME
+from repro.obs.trace import Trace, TraceBuffer, collect_stages
 from repro.service.client import encode_result
 from repro.service.hashring import ConsistentHashRing
-from repro.service.metrics import Metrics
 from repro.service.requests import derive_seed
 from repro.service.scheduler import (
     BatchPolicy,
@@ -309,6 +332,49 @@ def _run_single(db: BloomDB, msg: dict, respond) -> None:
     respond((msg["id"], True, payload))
 
 
+def _record_batch(metrics: Metrics, batch: list, out: list,
+                  assembly_s: float, execute_s: float,
+                  gathered_at: float, deep_stages: dict) -> dict | None:
+    """Record one executed batch into the worker's metric registry.
+
+    Counts served/failed requests, sizes the batch, and decomposes the
+    latency into the stage histograms (queue wait per request, assembly
+    and execution per batch).  Returns the trace dict of the batch's
+    slowest-queued request — with the batch-level spans and the deep
+    spans captured during execution attached — or ``None`` when no
+    request carried a submit timestamp.
+    """
+    metrics.inc("batches")
+    metrics.observe("batch_size", len(batch), buckets=BATCH_BUCKETS)
+    served = sum(1 for _, ok, _ in out if ok)
+    if served:
+        metrics.inc("requests_served", served)
+    if len(out) - served:
+        metrics.inc("requests_failed", len(out) - served)
+    metrics.observe("stage.batch_assembly_s", assembly_s)
+    metrics.observe("stage.execute_s", execute_s)
+    slowest = None
+    for msg in batch:
+        submitted = msg.get("t_submit")
+        if submitted is None:
+            continue
+        queue_s = max(gathered_at - float(submitted), 0.0)
+        metrics.observe("stage.queue_s", queue_s)
+        if slowest is None or queue_s > slowest[0]:
+            slowest = (queue_s, msg)
+    if slowest is None:
+        return None
+    queue_s, msg = slowest
+    trace = Trace(int(msg["id"]), str(msg["op"]),
+                  msg["names"][0] if msg.get("names") else None)
+    trace.add_span("queue", queue_s)
+    trace.add_span("batch_assembly", assembly_s)
+    trace.add_span("execute", execute_s)
+    for stage, seconds in deep_stages.items():
+        trace.add_span(stage, seconds)
+    return trace.finish(queue_s + assembly_s + execute_s).to_dict()
+
+
 def _worker_main(worker_id: int, directory: str, policy_args: tuple,
                  requests, responses) -> None:
     """Entry point of one shard worker process.
@@ -318,29 +384,55 @@ def _worker_main(worker_id: int, directory: str, policy_args: tuple,
     a write ack always executes against post-write state), execute, and
     post encoded results.  A ``None`` message is the graceful-shutdown
     sentinel.
+
+    Each batch additionally ships a metrics delta (worker registry plus
+    this process's runtime registry) and the batch's slowest trace under
+    the reserved id ``-3`` — enqueued *before* the batch's results, so
+    any scrape taken after a result is visible already counts it.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     policy = BatchPolicy(*policy_args)
     att = _WorkerAttachment(directory, worker_id)
     att.attach()
+    metrics = Metrics()
+    shipped = empty_export()
     responses.put((-1, True, {"ready": worker_id, "pid": os.getpid()}))
     while True:
         msg = requests.get()
         if msg is None:
             break
+        gather_started = time.perf_counter()
         batch = gather_batch(requests, msg, policy)
+        gathered_at = time.perf_counter()
         stopping = any(m is None for m in batch)
         batch = [m for m in batch if m is not None]
         if batch:
+            out: list[tuple] = []
+            deep_stages: dict = {}
+            execute_s = 0.0
             try:
                 att.refresh()
             except Exception as exc:  # noqa: BLE001 - fail batch, not worker
                 for m in batch:
-                    responses.put((m["id"], False, _encode_error(exc)))
-                if stopping:
-                    break
-                continue
-            _execute_batch(att, batch, responses.put)
+                    out.append((m["id"], False, _encode_error(exc)))
+            else:
+                exec_started = time.perf_counter()
+                with collect_stages() as deep_stages:
+                    _execute_batch(att, batch, out.append)
+                execute_s = time.perf_counter() - exec_started
+            trace = _record_batch(metrics, batch, out,
+                                  gathered_at - gather_started, execute_s,
+                                  gathered_at, deep_stages)
+            current = merge_exports(
+                merge_exports(empty_export(), metrics.export()),
+                RUNTIME.export())
+            responses.put((-3, True, {
+                "metrics": diff_exports(current, shipped),
+                "trace": trace,
+            }))
+            shipped = current
+            for item in out:
+                responses.put(item)
         if stopping:
             break
     responses.put((-2, True, {"bye": worker_id}))
@@ -394,10 +486,13 @@ class ProcessShardPool:
         self.policy = policy if policy is not None else BatchPolicy()
         self.replicas = int(replicas)
         self.metrics = metrics if metrics is not None else Metrics()
+        self.traces = TraceBuffer()
+        self._metrics_lock = threading.Lock()
+        self._worker_exports: dict[int, dict] = {}
         self._ctx = multiprocessing.get_context(start_method)
         self._mutation_lock = threading.RLock()
         self._inflight_lock = threading.Lock()
-        self._inflight: dict[int, tuple[Future, int]] = {}
+        self._inflight: dict[int, tuple[Future, int, float]] = {}
         self._request_ids = itertools.count()
         self._started = False
         self._stopping = False
@@ -628,17 +723,39 @@ class ProcessShardPool:
                 if handle.stop_requested or self._stopping:
                     return
                 continue
+            if rid == -3:
+                self._absorb(handle.shard_id, payload)
+                continue
             self._resolve(rid, ok, payload)
+
+    def _absorb(self, shard: int, payload: dict) -> None:
+        """Fold one worker's shipped metrics delta / trace into the leader.
+
+        Per-shard exports are *cumulative* (deltas merge in), keyed by
+        shard id rather than process identity — which is what keeps the
+        fleet totals monotone across kill-9 and respawn.
+        """
+        delta = payload.get("metrics")
+        if delta:
+            with self._metrics_lock:
+                merge_exports(
+                    self._worker_exports.setdefault(shard, empty_export()),
+                    delta)
+        trace = payload.get("trace")
+        if trace:
+            self.traces.offer(trace)
 
     def _resolve(self, rid: int, ok: bool, payload) -> None:
         with self._inflight_lock:
             entry = self._inflight.pop(rid, None)
         if entry is None:
             return
-        future, _ = entry
+        future, _, submitted = entry
         if not future.set_running_or_notify_cancel():
             self.metrics.inc("cancelled_total")
             return
+        self.metrics.observe("stage.total_s",
+                             max(time.perf_counter() - submitted, 0.0))
         if ok:
             self.metrics.inc("served_total")
             future.set_result(payload)
@@ -658,10 +775,10 @@ class ProcessShardPool:
         """
         shard = handle.shard_id
         with self._inflight_lock:
-            doomed = [rid for rid, (_, s) in self._inflight.items()
+            doomed = [rid for rid, (_, s, _) in self._inflight.items()
                       if s == shard]
             entries = [self._inflight.pop(rid) for rid in doomed]
-        for future, _ in entries:
+        for future, _, _ in entries:
             if future.set_running_or_notify_cancel():
                 future.set_exception(WorkerDiedError(
                     f"shard {shard} worker process died mid-request; "
@@ -713,11 +830,13 @@ class ProcessShardPool:
         handle = self._workers[shard]
         rid = next(self._request_ids)
         future: Future = Future()
+        submitted = time.perf_counter()
         msg = {"id": rid, "op": op, "names": names, "rounds": int(rounds),
                "replacement": bool(replacement), "seed": int(seed),
-               "x": int(x), "exhaustive": bool(exhaustive)}
+               "x": int(x), "exhaustive": bool(exhaustive),
+               "t_submit": submitted}
         with self._inflight_lock:
-            self._inflight[rid] = (future, shard)
+            self._inflight[rid] = (future, shard, submitted)
         try:
             if block:
                 handle.requests.put(msg, timeout=timeout)
@@ -883,6 +1002,49 @@ class ProcessShardPool:
 
     # -- introspection --------------------------------------------------------
 
+    def fleet_export(self) -> dict:
+        """Leader, runtime, and every worker's cumulative export, merged.
+
+        Worker counters additionally appear as per-worker series labeled
+        ``{worker="NN"}`` — keyed by shard id, so both the labeled
+        series and the unlabeled fleet totals are monotone across
+        kill-9/respawn, and the fleet total of any worker counter equals
+        the sum of its per-worker series exactly.
+        """
+        merged = merge_exports(empty_export(), self.metrics.export())
+        merge_exports(merged, RUNTIME.export())
+        with self._metrics_lock:
+            for shard in sorted(self._worker_exports):
+                export = self._worker_exports[shard]
+                merge_exports(merged, export)
+                merge_exports(merged, relabel_export(
+                    {"counters": export.get("counters", {})},
+                    {"worker": f"{shard:02d}"}))
+        return merged
+
+    def queued(self) -> int:
+        """Requests sitting in worker queues (best effort)."""
+        total = 0
+        for handle in self._workers:
+            try:
+                total += handle.requests.qsize()
+            except (NotImplementedError, OSError):  # pragma: no cover
+                return 0
+        return total
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload: fleet-wide Prometheus exposition."""
+        self.metrics.set_gauge("queue_depth", self.queued())
+        self.metrics.set_gauge("workers", self.num_workers)
+        self.metrics.set_gauge("uptime_seconds",
+                               time.time() - self.metrics.started_at)
+        return render_prometheus(self.fleet_export())
+
+    def trace(self) -> dict:
+        """The ``/trace`` payload: slowest requests + fleet stage stats."""
+        return {"slowest": self.traces.snapshot(),
+                "stages": stage_summaries(self.fleet_export())}
+
     def epoch_state(self) -> dict:
         """The current ``EPOCH`` version-file contents (leader's view)."""
         return dict(self._state)
@@ -1041,8 +1203,10 @@ class ProcessService:
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> dict:
-        """The ``/stats`` payload: metrics + pool + policy + epoch."""
-        snapshot = self.pool.metrics.snapshot()
+        """The ``/stats`` payload: fleet metrics + pool + policy + epoch."""
+        snapshot = export_snapshot(self.pool.fleet_export())
+        snapshot["uptime_s"] = round(
+            time.time() - self.pool.metrics.started_at, 3)
         snapshot["pool"] = self.pool.describe()
         snapshot["policy"] = {
             "shards": self.pool.num_workers,
@@ -1053,6 +1217,14 @@ class ProcessService:
         snapshot["epoch_state"] = self.pool.epoch_state()
         snapshot["workers"] = self.pool.workers_info()
         return snapshot
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload (fleet-wide Prometheus exposition)."""
+        return self.pool.metrics_text()
+
+    def trace(self) -> dict:
+        """The ``/trace`` payload (slowest requests + stage histograms)."""
+        return self.pool.trace()
 
     def workers(self) -> dict:
         """The ``/workers`` payload: per-process pid / liveness."""

@@ -25,9 +25,13 @@ golden tests).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+
+#: Monotone per-process request ids (the key traces are filed under).
+_REQUEST_IDS = itertools.count(1)
 
 #: Operations the scheduler understands.  ``register_ids`` and
 #: ``retire_ids`` are the first-class occupancy write ops: the service
@@ -90,6 +94,7 @@ class ServiceRequest:
     leader: bool = False
     future: Future = field(default_factory=Future)
     submitted_at: float = field(default_factory=time.perf_counter)
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     def __post_init__(self):
         if self.op not in OPS:

@@ -41,6 +41,7 @@ import threading
 import time
 
 from repro.api.batch import SampleSpec
+from repro.obs.trace import Trace, TraceBuffer, collect_stages
 from repro.service.metrics import BATCH_BUCKETS, Metrics
 from repro.service.pool import ShardedEnginePool
 from repro.service.requests import OCCUPANCY_OPS, RING_OPS, ServiceRequest
@@ -135,16 +136,24 @@ class ShardWorker(threading.Thread):
     """
 
     def __init__(self, shard_id: int, pool: ShardedEnginePool,
-                 policy: BatchPolicy, metrics: Metrics):
+                 policy: BatchPolicy, metrics: Metrics,
+                 traces: TraceBuffer | None = None):
         super().__init__(name=f"repro-shard-{shard_id}", daemon=True)
         self.shard_id = shard_id
         self.pool = pool
         self.db = pool.engines[shard_id]
         self.policy = policy
         self.metrics = metrics
+        self.traces = traces
         self.queue: "queue.Queue[ServiceRequest]" = queue.Queue(
             maxsize=policy.queue_depth)
         self._stop_requested = threading.Event()
+        # Per-batch timing context, written by run() and read by
+        # _finish(); the worker is single-threaded so no lock is needed.
+        self._gather_started = 0.0
+        self._assembly_s = 0.0
+        self._exec_started = 0.0
+        self._deep_stages: dict[str, float] | None = None
 
     # -- admission -------------------------------------------------------------
 
@@ -184,10 +193,20 @@ class ShardWorker(threading.Thread):
                 if self._stop_requested.is_set():
                     return
                 continue
+            self._gather_started = time.perf_counter()
             batch = self._gather(first)
+            exec_started = time.perf_counter()
+            self._assembly_s = exec_started - self._gather_started
+            self._exec_started = exec_started
             self.metrics.observe("batch_size", float(len(batch)),
                                  buckets=BATCH_BUCKETS)
-            self._execute(batch)
+            self.metrics.observe("stage.batch_assembly_s", self._assembly_s)
+            with collect_stages() as deep_stages:
+                self._deep_stages = deep_stages
+                try:
+                    self._execute(batch)
+                finally:
+                    self._deep_stages = None
 
     def _gather(self, first: ServiceRequest) -> list[ServiceRequest]:
         """Coalesce under the max-delay / max-batch policy."""
@@ -344,10 +363,24 @@ class ShardWorker(threading.Thread):
     # -- accounting -------------------------------------------------------------
 
     def _finish(self, request: ServiceRequest, result) -> None:
+        now = time.perf_counter()
+        total_s = now - request.submitted_at
+        queue_s = max(self._gather_started - request.submitted_at, 0.0)
+        execute_s = now - self._exec_started
         self.metrics.inc("served_total")
         self.metrics.inc(f"{request.op}.served")
-        self.metrics.observe(f"{request.op}.latency_s",
-                             time.perf_counter() - request.submitted_at)
+        self.metrics.observe(f"{request.op}.latency_s", total_s)
+        self.metrics.observe("stage.queue_s", queue_s)
+        self.metrics.observe("stage.execute_s", execute_s)
+        if self.traces is not None:
+            trace = Trace(request.request_id, request.op,
+                          request.name or None)
+            trace.add_span("queue", queue_s)
+            trace.add_span("batch_assembly", self._assembly_s)
+            trace.add_span("execute", execute_s)
+            for stage, seconds in (self._deep_stages or {}).items():
+                trace.add_span(stage, seconds)
+            self.traces.offer(trace.finish(total_s))
         try:
             request.future.set_result(result)
         except Exception:  # pragma: no cover - future already settled;
@@ -367,12 +400,14 @@ class MicroBatchScheduler:
 
     def __init__(self, pool: ShardedEnginePool,
                  policy: BatchPolicy | None = None,
-                 metrics: Metrics | None = None):
+                 metrics: Metrics | None = None,
+                 traces: TraceBuffer | None = None):
         self.pool = pool
         self.policy = policy if policy is not None else BatchPolicy()
         self.metrics = metrics if metrics is not None else Metrics()
+        self.traces = traces if traces is not None else TraceBuffer()
         self.workers = [
-            ShardWorker(i, pool, self.policy, self.metrics)
+            ShardWorker(i, pool, self.policy, self.metrics, self.traces)
             for i in range(pool.num_shards)
         ]
         self._started = False
@@ -388,7 +423,8 @@ class MicroBatchScheduler:
             return self
         if any(worker.ident is not None for worker in self.workers):
             self.workers = [
-                ShardWorker(i, self.pool, self.policy, self.metrics)
+                ShardWorker(i, self.pool, self.policy, self.metrics,
+                            self.traces)
                 for i in range(self.pool.num_shards)
             ]
         for worker in self.workers:

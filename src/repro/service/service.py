@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Iterable
@@ -31,7 +32,16 @@ import numpy as np
 
 from repro.api.config import EngineConfig
 from repro.api.engine import BloomDB, DurabilityError
-from repro.service.metrics import Metrics
+from repro.obs.prometheus import render_prometheus
+from repro.obs.runtime import RUNTIME
+from repro.obs.trace import TraceBuffer
+from repro.service.metrics import (
+    Metrics,
+    empty_export,
+    export_snapshot,
+    merge_exports,
+    stage_summaries,
+)
 from repro.service.pool import ShardedEnginePool
 from repro.service.requests import ServiceRequest, derive_seed
 from repro.service.scheduler import BatchPolicy, MicroBatchScheduler
@@ -79,8 +89,10 @@ class BloomService:
         self.pool = pool
         self.config = config if config is not None else ServiceConfig()
         self.metrics = Metrics()
+        self.traces = TraceBuffer()
         self.scheduler = MicroBatchScheduler(
-            pool, policy=self.config.policy(), metrics=self.metrics)
+            pool, policy=self.config.policy(), metrics=self.metrics,
+            traces=self.traces)
         self._tickets = itertools.count()
         self._ticket_lock = threading.Lock()
         # Serialises occupancy broadcasts: two concurrent broadcasts
@@ -407,9 +419,35 @@ class BloomService:
 
     # -- introspection --------------------------------------------------------
 
+    def _merged_export(self) -> dict:
+        """Service metrics merged with the process-global runtime ones.
+
+        The runtime registry carries what the deep layers record —
+        frontier-cache hit rates, WAL append/fsync latency, checkpoint
+        and recovery durations — for the whole process, which for a
+        ``repro serve`` process is exactly this service.
+        """
+        merged = merge_exports(empty_export(), self.metrics.export())
+        return merge_exports(merged, RUNTIME.export())
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload: Prometheus text exposition v0.0.4."""
+        self.metrics.set_gauge(
+            "queue_depth",
+            sum(worker.queue.qsize() for worker in self.scheduler.workers))
+        self.metrics.set_gauge(
+            "uptime_seconds", time.time() - self.metrics.started_at)
+        return render_prometheus(self._merged_export())
+
+    def trace(self) -> dict:
+        """The ``/trace`` payload: slowest requests + stage histograms."""
+        return {"slowest": self.traces.snapshot(),
+                "stages": stage_summaries(self._merged_export())}
+
     def stats(self) -> dict:
         """The ``/stats`` payload: metrics + pool + batching policy."""
-        snapshot = self.metrics.snapshot()
+        snapshot = export_snapshot(self._merged_export())
+        snapshot["uptime_s"] = round(time.time() - self.metrics.started_at, 3)
         snapshot["pool"] = self.pool.describe()
         snapshot["policy"] = {
             "shards": self.config.shards,

@@ -1,0 +1,174 @@
+"""The metric model: concurrency, the export algebra, and labels.
+
+The cross-process aggregation story rests on three properties tested
+here: recording is exact under concurrent writers (totals never lose an
+increment, even with snapshots interleaved), ``diff_exports`` /
+``merge_exports`` compose back to the original registry state (what the
+worker-delta pipeline relies on), and ``relabel_export`` folds label
+sets without disturbing values (how per-worker series are minted).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    Metrics,
+    diff_exports,
+    empty_export,
+    export_snapshot,
+    merge_exports,
+    relabel_export,
+    stage_summaries,
+)
+
+THREADS = 8
+PER_THREAD = 2_000
+
+
+class TestConcurrentWriters:
+    def test_totals_exact_with_snapshots_interleaved(self):
+        metrics = Metrics()
+        start = threading.Barrier(THREADS + 1)
+        done = threading.Event()
+
+        def hammer(worker: int) -> None:
+            start.wait()
+            for i in range(PER_THREAD):
+                metrics.inc("ops")
+                metrics.inc("ops", labels={"worker": str(worker)})
+                metrics.observe("latency", i * 1e-6)
+                metrics.set_gauge("depth", i)
+
+        def snapshotter() -> None:
+            start.wait()
+            while not done.is_set():
+                snap = metrics.snapshot()
+                assert snap["counters"].get("ops", 0) >= 0
+                metrics.export()
+
+        workers = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(THREADS)]
+        reader = threading.Thread(target=snapshotter)
+        for t in workers + [reader]:
+            t.start()
+        for t in workers:
+            t.join()
+        done.set()
+        reader.join()
+
+        assert metrics.counter("ops") == THREADS * PER_THREAD
+        for w in range(THREADS):
+            assert metrics.counter(
+                "ops", labels={"worker": str(w)}) == PER_THREAD
+        export = metrics.export()
+        hist = export["histograms"]["latency"]["[]"]
+        assert hist["count"] == THREADS * PER_THREAD
+        assert sum(hist["counts"]) == THREADS * PER_THREAD
+
+    def test_concurrent_diff_merge_pipeline_is_exact(self):
+        """Worker-side delta shipping under load reconstructs the totals."""
+        metrics = Metrics()
+        merged = empty_export()
+        merge_lock = threading.Lock()
+        shipped = empty_export()
+        stop = threading.Event()
+
+        def shipper() -> None:
+            nonlocal shipped
+            while not stop.is_set():
+                current = metrics.export()
+                delta = diff_exports(current, shipped)
+                with merge_lock:
+                    merge_exports(merged, delta)
+                shipped = current
+
+        def writer() -> None:
+            for _ in range(PER_THREAD):
+                metrics.inc("served")
+                metrics.observe("batch", 3.0, buckets=BATCH_BUCKETS)
+
+        ship = threading.Thread(target=shipper)
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        ship.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        ship.join()
+        # Final catch-up delta (the worker's last batch boundary).
+        merge_exports(merged, diff_exports(metrics.export(), shipped))
+
+        assert merged["counters"]["served"]["[]"] == 4 * PER_THREAD
+        hist = merged["histograms"]["batch"]["[]"]
+        assert hist["count"] == 4 * PER_THREAD
+        assert hist["min"] == hist["max"] == 3.0
+
+
+class TestExportAlgebra:
+    def test_diff_then_merge_round_trips(self):
+        a = Metrics()
+        a.inc("x", 3)
+        a.observe("h", 0.5)
+        before = a.export()
+        a.inc("x", 4)
+        a.inc("y")
+        a.observe("h", 2.5)
+        a.set_gauge("g", 7.0)
+        after = a.export()
+
+        rebuilt = merge_exports(
+            merge_exports(empty_export(), before),
+            diff_exports(after, before))
+        assert rebuilt == after
+
+    def test_merge_is_monotone_over_restarts(self):
+        """Re-merging a respawned worker's fresh export never regresses."""
+        cumulative = empty_export()
+        first = Metrics()
+        first.inc("served", 10)
+        first.observe("h", 1.0)
+        merge_exports(cumulative, first.export())
+        # kill -9: the replacement starts from zero and ships fresh deltas.
+        respawned = Metrics()
+        respawned.inc("served", 5)
+        respawned.observe("h", 9.0)
+        merge_exports(cumulative, respawned.export())
+
+        assert cumulative["counters"]["served"]["[]"] == 15
+        hist = cumulative["histograms"]["h"]["[]"]
+        assert hist["count"] == 2
+        assert hist["min"] == 1.0 and hist["max"] == 9.0
+
+    def test_relabel_folds_labels_into_every_series(self):
+        m = Metrics()
+        m.inc("served", 2)
+        m.inc("served", 5, labels={"op": "sample"})
+        m.set_gauge("depth", 3)
+        m.observe("h", 1.5)
+        out = relabel_export(m.export(), {"worker": "03"})
+
+        assert out["counters"]["served"]['[["worker","03"]]'] == 2
+        assert out["counters"]["served"][
+            '[["op","sample"],["worker","03"]]'] == 5
+        assert out["gauges"]["depth"]['[["worker","03"]]'] == 3.0
+        assert out["histograms"]["h"]['[["worker","03"]]']["count"] == 1
+
+    def test_snapshot_renders_labeled_keys(self):
+        m = Metrics()
+        m.inc("served", 1)
+        m.inc("served", 2, labels={"worker": "01"})
+        snap = export_snapshot(m.export())
+        assert snap["counters"]["served"] == 1
+        assert snap["counters"]['served{worker="01"}'] == 2
+
+    def test_stage_summaries_strip_prefix_and_suffix(self):
+        m = Metrics()
+        m.observe("stage.queue_s", 0.25)
+        m.observe("other", 1.0)
+        stages = stage_summaries(m.export())
+        assert set(stages) == {"queue"}
+        assert stages["queue"]["count"] == 1
+        assert stages["queue"]["p50"] == pytest.approx(0.25)

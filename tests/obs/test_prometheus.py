@@ -1,0 +1,144 @@
+"""Prometheus text exposition: renderer, parser, and strict validator.
+
+The renderer's output must satisfy our own strict validator (that is
+what the ``metrics-scrape-smoke`` CI job asserts against a live scrape)
+and parse back into exactly the values that went in — escaping, label
+ordering, type lines, and cumulative histogram buckets all round-trip.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Metrics
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    metric_name,
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
+)
+
+
+@pytest.fixture()
+def registry() -> Metrics:
+    m = Metrics()
+    m.inc("requests_served", 7)
+    m.inc("requests_served", 3, labels={"worker": "01"})
+    m.set_gauge("queue_depth", 4)
+    m.observe("stage.queue_s", 0.002)
+    m.observe("stage.queue_s", 0.004)
+    return m
+
+
+class TestRenderer:
+    def test_output_passes_the_strict_validator(self, registry):
+        assert validate_exposition(render_prometheus(registry.export())) == []
+
+    def test_counters_get_total_suffix_and_sorted_series(self, registry):
+        text = render_prometheus(registry.export())
+        lines = text.splitlines()
+        assert "# TYPE requests_served_total counter" in lines
+        unlabeled = lines.index("requests_served_total 7")
+        labeled = lines.index('requests_served_total{worker="01"} 3')
+        assert unlabeled < labeled  # "[]" sorts before any label key
+
+    def test_help_and_type_precede_samples(self, registry):
+        lines = render_prometheus(registry.export()).splitlines()
+        for family in ("requests_served_total", "queue_depth"):
+            help_i = next(i for i, l in enumerate(lines)
+                          if l.startswith(f"# HELP {family} "))
+            type_i = next(i for i, l in enumerate(lines)
+                          if l.startswith(f"# TYPE {family} "))
+            sample_i = next(i for i, l in enumerate(lines)
+                            if l.startswith(family) and not l.startswith("#"))
+            assert help_i < type_i < sample_i
+
+    def test_families_sorted_by_name(self, registry):
+        lines = render_prometheus(registry.export()).splitlines()
+        families = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+        assert families == sorted(families)
+
+    def test_label_values_escaped(self):
+        m = Metrics()
+        m.inc("ops", 1, labels={"name": 'we"ird\\set\nx'})
+        text = render_prometheus(m.export())
+        assert r'name="we\"ird\\set\nx"' in text
+        assert validate_exposition(text) == []
+        fams = parse_exposition(text)
+        ((_, labels, value),) = fams["ops_total"]["samples"]
+        assert labels == {"name": 'we"ird\\set\nx'}
+        assert value == 1
+
+    def test_histogram_buckets_cumulative_with_inf_terminator(self, registry):
+        text = render_prometheus(registry.export())
+        fams = parse_exposition(text)
+        samples = fams["stage_queue_s"]["samples"]
+        buckets = [(labels["le"], value) for name, labels, value in samples
+                   if name == "stage_queue_s_bucket"]
+        values = [v for _, v in buckets]
+        assert values == sorted(values)  # cumulative
+        assert buckets[-1][0] == "+Inf"
+        count = next(v for n, _, v in samples if n == "stage_queue_s_count")
+        assert buckets[-1][1] == count == 2
+        total = next(v for n, _, v in samples if n == "stage_queue_s_sum")
+        assert total == pytest.approx(0.006)
+
+    def test_parse_round_trip_preserves_values(self, registry):
+        fams = parse_exposition(render_prometheus(registry.export()))
+        served = {tuple(sorted(labels.items())): value
+                  for name, labels, value in
+                  fams["requests_served_total"]["samples"]}
+        assert served[()] == 7
+        assert served[(("worker", "01"),)] == 3
+        assert fams["queue_depth"]["type"] == "gauge"
+        ((_, _, depth),) = fams["queue_depth"]["samples"]
+        assert depth == 4
+
+    def test_metric_name_sanitised(self):
+        assert metric_name("stage.queue_s") == "stage_queue_s"
+        assert metric_name("sample.latency_s") == "sample_latency_s"
+
+    def test_content_type_pins_the_exposition_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestValidator:
+    def test_counter_without_total_suffix_flagged(self):
+        text = ("# HELP ops Requests.\n# TYPE ops counter\nops 3\n")
+        assert any("without _total" in e for e in validate_exposition(text))
+
+    def test_negative_counter_flagged(self):
+        text = ("# HELP ops_total Requests.\n# TYPE ops_total counter\n"
+                "ops_total -1\n")
+        assert any("negative" in e for e in validate_exposition(text))
+
+    def test_sample_without_type_flagged(self):
+        assert any("no TYPE" in e for e in validate_exposition("ops_total 3\n"))
+
+    def test_duplicate_series_flagged(self):
+        text = ("# HELP g G.\n# TYPE g gauge\ng 1\ng 2\n")
+        assert any("duplicate series" in e for e in validate_exposition(text))
+
+    def test_non_cumulative_histogram_flagged(self):
+        text = ("# HELP h H.\n# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\nh_sum 4\nh_count 5\n')
+        assert any("not cumulative" in e for e in validate_exposition(text))
+
+    def test_missing_inf_bucket_flagged(self):
+        text = ("# HELP h H.\n# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_sum 4\nh_count 5\n')
+        assert any("+Inf" in e for e in validate_exposition(text))
+
+    def test_bad_escape_flagged(self):
+        text = ('# HELP g G.\n# TYPE g gauge\ng{x="a\\q"} 1\n')
+        assert any("escape" in e for e in validate_exposition(text))
+
+    def test_unknown_type_flagged(self):
+        text = "# HELP g G.\n# TYPE g sausage\ng 1\n"
+        assert any("unknown TYPE" in e for e in validate_exposition(text))
+
+    def test_parse_exposition_raises_on_invalid(self):
+        with pytest.raises(ValueError):
+            parse_exposition("ops_total 3\n")

@@ -2,6 +2,8 @@
 
 import threading
 
+import pytest
+
 from repro.service.metrics import BATCH_BUCKETS, Histogram, Metrics
 
 
@@ -22,13 +24,30 @@ class TestHistogram:
         assert snap["max"] == 500.0
         assert snap["sum"] == 555.5
 
-    def test_quantiles_use_bucket_upper_edges(self):
+    def test_quantiles_interpolate_within_the_bucket(self):
         hist = Histogram(buckets=(1.0, 10.0, 100.0))
         for _ in range(99):
             hist.observe(0.5)
         hist.observe(50.0)
-        assert hist.quantile(0.5) == 1.0
-        assert hist.quantile(0.999) == 100.0
+        # p50 lands in the underflow bucket: interpolate between the
+        # observed minimum (0.5) and the bucket edge (1.0) at rank
+        # 50/99 — not the old upper-edge answer of 1.0.
+        assert hist.quantile(0.5) == pytest.approx(0.5 + 0.5 * 50 / 99)
+        # p99.9 lands on the lone 50.0 in (10, 100]: the upper edge
+        # clamps to the observed maximum before interpolating.
+        assert hist.quantile(0.999) == pytest.approx(10 + 0.9 * (50 - 10))
+
+    def test_single_observation_reports_itself_exactly(self):
+        hist = Histogram()
+        hist.observe(3e-5)
+        for q in (0.01, 0.5, 0.99):
+            assert hist.quantile(q) == 3e-5
+
+    def test_underflow_bucket_interpolates_from_observed_min(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(0.25)
+        hist.observe(0.75)
+        assert hist.quantile(0.5) == pytest.approx(0.5)
 
     def test_overflow_bucket_reports_observed_max(self):
         hist = Histogram(buckets=(1.0,))

@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.experiments",
     "repro.service",
     "repro.durability",
+    "repro.obs",
     "repro.utils",
 ]
 
