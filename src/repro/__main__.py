@@ -468,7 +468,10 @@ def _build_process_server(args):
     (``EPOCH`` / generation links / per-worker logs live next to the
     snapshot); ``--durable DIR`` open-or-creates a durable leader there;
     otherwise an ephemeral engine is built, persisted to a temp
-    directory and served from it.
+    directory and served from it.  ``--replicas R`` (R > 1) serves each
+    shard from an R-member replica group with supervised failover
+    (:class:`~repro.replication.ReplicatedShardPool`); ``--ack quorum``
+    gates write acks on majority application.
     """
     import pathlib
     import tempfile
@@ -484,13 +487,26 @@ def _build_process_server(args):
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_delay_ms=args.max_delay_ms,
                          queue_depth=args.queue_depth)
+    replicated = getattr(args, "replicas", 1) > 1
+    if replicated:
+        from repro.replication import ReplicatedShardPool
+
+        def make_pool(directory, **kwargs):
+            return ReplicatedShardPool(
+                directory, args.workers, replication=args.replicas,
+                ack=args.ack, heartbeat_s=args.heartbeat_ms / 1000.0,
+                policy=policy, **kwargs)
+    else:
+        def make_pool(directory, **kwargs):
+            return ProcessShardPool(directory, args.workers,
+                                    policy=policy, **kwargs)
+
     if args.durable is not None:
         if not (pathlib.Path(args.durable) / "engine.json").exists():
             template = (BloomDB.load(args.db) if args.db is not None
                         else _ephemeral_process_engine(args))
             _seed_durable_engine(args.durable, template, args.wal_sync)
-        pool = ProcessShardPool(args.durable, args.workers, policy=policy,
-                                durable=True, sync=args.wal_sync)
+        pool = make_pool(args.durable, durable=True, sync=args.wal_sync)
         if pool.recovery_report is not None:
             report = pool.recovery_report
             _log.info("leader_recovered", path=report.path,
@@ -499,12 +515,11 @@ def _build_process_server(args):
                       elapsed_s=round(report.elapsed_s, 3))
     elif args.db is not None:
         _warn_ignored_build_args(args)
-        pool = ProcessShardPool(args.db, args.workers, policy=policy)
+        pool = make_pool(args.db)
     else:
-        directory = tempfile.mkdtemp(prefix="repro-serve-")
-        pool = ProcessShardPool.from_engine(
-            _ephemeral_process_engine(args), directory, args.workers,
-            policy=policy)
+        directory = pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-"))
+        _ephemeral_process_engine(args).save(directory)
+        pool = make_pool(directory)
     service = ProcessService(pool)
     return AsyncReproServer(service, host=args.host, port=args.port)
 
@@ -783,6 +798,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     configure_logging(args.log_level)
     if args.workers is not None:
         return _cmd_serve_multiproc(args)
+    if getattr(args, "replicas", 1) > 1:
+        raise SystemExit("--replicas needs the process tier: add "
+                         "--workers N")
     service = _build_service(args)
     if args.smoke:
         return _run_smoke(service, args)
@@ -792,9 +810,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"max_batch={service.config.max_batch}, "
           f"max_delay_ms={service.config.max_delay_ms}"
           + (", durable" if service.durable else "") + ")")
-    print("endpoints: GET /healthz /stats /metrics /trace; POST /sample "
-          "/reconstruct /contains /sample-union /sample-intersection "
-          "/add-set /insert /retire /compact /checkpoint")
+    print("endpoints: GET /healthz /readyz /stats /metrics /trace; "
+          "POST /sample /reconstruct /contains /sample-union "
+          "/sample-intersection /add-set /insert /retire /compact "
+          "/checkpoint")
 
     # Graceful shutdown: SIGTERM/SIGINT stop the accept loop, drain the
     # workers, and (durable rings) take a final checkpoint + write the
@@ -835,13 +854,16 @@ def _cmd_serve_multiproc(args: argparse.Namespace) -> int:
         return _run_process_smoke(_build_process_server(args), args)
     server = _build_process_server(args)
     pool = server.client.pool
+    replicated = getattr(args, "replicas", 1) > 1
     print(f"serving {len(pool.leader.store)} sets with "
           f"{pool.num_workers} worker processes "
           f"(shared mmap snapshot, max_batch={pool.policy.max_batch}, "
           f"max_delay_ms={pool.policy.max_delay_ms}"
+          + (f", replication={args.replicas} ack={args.ack}"
+             if replicated else "")
           + (", durable" if pool.durable else "") + ")")
-    print("endpoints: GET /healthz /stats /metrics /trace /workers; "
-          "POST /sample /reconstruct /contains /sample-union "
+    print("endpoints: GET /healthz /readyz /stats /metrics /trace "
+          "/workers; POST /sample /reconstruct /contains /sample-union "
           "/sample-intersection /add-set /insert /retire /compact "
           "/checkpoint")
 
@@ -982,6 +1004,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "the leader and fan out over per-worker "
                             "WALs); with --durable DIR the leader "
                             "journals every write to DIR")
+    serve.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="with --workers: serve each shard from an "
+                            "R-member replica group (WAL-shipping "
+                            "followers, heartbeat supervision, automatic "
+                            "leader failover; default: 1 — no "
+                            "replication)")
+    serve.add_argument("--ack", choices=("leader", "quorum"),
+                       default="leader",
+                       help="write acknowledgement policy for --replicas: "
+                            "leader (records durable in every replica "
+                            "log, default) or quorum (additionally "
+                            "applied by a majority of each group)")
+    serve.add_argument("--heartbeat-ms", type=float, default=250.0,
+                       help="replica heartbeat interval for --replicas "
+                            "(drives idle log tailing, hang detection "
+                            "and quorum acks; default: 250)")
     serve.add_argument("--durable", default=None, metavar="RING_DIR",
                        help="durable ring directory: initialised on first "
                             "run (from --db or an ephemeral engine), "

@@ -769,6 +769,123 @@ def _run_serving_multiproc(params: dict) -> dict:
     }
 
 
+def _run_replicated_failover(params: dict) -> dict:
+    """Failover drill: leader ``kill -9`` under read traffic.
+
+    A :class:`~repro.replication.ReplicatedShardPool` serves seeded
+    sampling from replica groups over one promoted snapshot.  The drill
+    measures the three numbers that define the robustness story:
+    *promotion latency* (leader SIGKILL to the follower promotion,
+    i.e. write-path MTTR), *heal time* (SIGKILL to ``/readyz`` green —
+    the dead member respawned, replayed and rejoined), and *read
+    availability* through the outage (reads served vs. rejected while
+    the group is degraded).  Fidelity is gated by
+    ``identical_across_failover``: every seeded answer (values *and*
+    operation counters), probed often enough to touch each replica,
+    must be byte-equal to its pre-kill value.
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.replication import ReplicatedShardPool
+    from repro.service import ServiceOverloadedError
+
+    rounds = int(params.get("rounds", 8))
+    groups = int(params.get("shard_groups", 2))
+    replication = int(params.get("replication", 2))
+    requests = int(params["requests"])
+
+    db, names = build_engine(params)
+    compiled_db = BloomDB(replace(db.config, plan="compiled"),
+                          params=db.params, family=db.family, tree=db.tree,
+                          store=db.store)
+
+    def counter(pool, name: str) -> float:
+        return sum(pool.metrics.export()["counters"]
+                   .get(name, {}).values())
+
+    tmp = tempfile.mkdtemp(prefix="repro-failover-")
+    try:
+        compiled_db.save(tmp)
+        pool = ReplicatedShardPool(tmp, workers=groups,
+                                   replication=replication,
+                                   heartbeat_s=0.05, hang_timeout_s=1.0)
+        pool.start()
+        try:
+            for name in names:  # fault the mmap pages in before timing
+                pool.submit("sample", (name,), rounds=rounds,
+                            seed=0).result(300)
+            pre = {name: pool.submit("sample", (name,), rounds=rounds,
+                                     seed=4_242 + i).result(300)
+                   for i, name in enumerate(names)}
+
+            plan = [(names[i % len(names)], i) for i in range(requests)]
+            start = time.perf_counter()
+            futures = [pool.submit("sample", (name,), rounds=rounds,
+                                   seed=seed) for name, seed in plan]
+            for future in futures:
+                future.result(300)
+            healthy_s = time.perf_counter() - start
+
+            failovers_before = counter(pool, "replication_failovers")
+            killed_at = time.perf_counter()
+            pool.kill_leader(0)
+
+            served = rejected = 0
+            promotion_s = None
+            deadline = killed_at + 60.0
+            while time.perf_counter() < deadline:
+                if promotion_s is None and \
+                        counter(pool,
+                                "replication_failovers") > failovers_before:
+                    promotion_s = time.perf_counter() - killed_at
+                name = names[(served + rejected) % len(names)]
+                try:
+                    pool.submit("sample", (name,), rounds=rounds,
+                                seed=7).result(60)
+                    served += 1
+                except ServiceOverloadedError:
+                    rejected += 1
+                if promotion_s is not None and pool.readyz()["ready"]:
+                    break
+            heal_s = time.perf_counter() - killed_at
+
+            identical = promotion_s is not None
+            for i, name in enumerate(names):
+                for _ in range(replication):
+                    answer = pool.submit("sample", (name,), rounds=rounds,
+                                         seed=4_242 + i).result(300)
+                    identical = identical and answer == pre[name]
+        finally:
+            pool.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    outage_reads = served + rejected
+    return {
+        "requests": requests,
+        "engine": db.describe(),
+        "shard_groups": groups,
+        "replication": replication,
+        "identical_across_failover": bool(identical),
+        "healthy": {
+            "seconds": round(healthy_s, 6),
+            "throughput_rps": round(requests / healthy_s, 1),
+        },
+        "failover": {
+            "promotion_s": (None if promotion_s is None
+                            else round(promotion_s, 6)),
+            "heal_s": round(heal_s, 6),
+            "reads_during_outage": outage_reads,
+            "reads_served": served,
+            "reads_rejected": rejected,
+            "availability": (round(served / outage_reads, 4)
+                             if outage_reads else None),
+        },
+    }
+
+
 def run_serving(params: dict) -> dict:
     """Coalesced service throughput vs. the naive per-request loop.
 
@@ -787,6 +904,8 @@ def run_serving(params: dict) -> dict:
         return _run_coldstart_recovery(params)
     if params.get("multiproc"):
         return _run_serving_multiproc(params)
+    if params.get("replicated_failover"):
+        return _run_replicated_failover(params)
 
     db, names = build_engine(params)
     plan = _serving_requests(params, names)

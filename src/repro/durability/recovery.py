@@ -325,4 +325,20 @@ def inspect_wal(path) -> dict:
     if plan_path.exists():
         info["snapshot_epoch"] = int(
             read_blob_meta(plan_path).get("wal_epoch", 1))
+    workers_root = path / "wal-workers"
+    if workers_root.is_dir():
+        # A process-pool serving directory: summarise every shipped
+        # per-worker/replica log alongside the leader's WAL.
+        logs = []
+        for log_dir in sorted(p for p in workers_root.iterdir()
+                              if p.is_dir()):
+            worker_scan = scan_log(log_dir)
+            logs.append({
+                "worker": log_dir.name,
+                "segments": len(worker_scan.segments),
+                "records": len(worker_scan.records),
+                "torn_tail": worker_scan.torn_tail,
+                "clean_shutdown": worker_scan.clean,
+            })
+        info["worker_logs"] = logs
     return info

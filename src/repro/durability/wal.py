@@ -64,6 +64,26 @@ SYNC_POLICIES = ("always", "batch", "off")
 #: Name of the clean-shutdown marker file inside a log directory.
 CLEAN_MARKER = "CLEAN"
 
+#: Fault-injection hook: every fsync stalls this many seconds first.
+#: Installed by :func:`set_fsync_stall` (see :mod:`repro.faultinject`);
+#: zero means no stall.  Process-local — worker processes that never
+#: fsync are unaffected.
+_FSYNC_STALL_S = 0.0
+
+
+def set_fsync_stall(seconds: float) -> float:
+    """Install a slow-fsync stall (fault injection); returns the old value.
+
+    Every subsequent :meth:`WriteAheadLog._fsync` in this process sleeps
+    ``seconds`` before syncing, modelling a saturated or degraded disk.
+    Pass ``0`` to clear.  The stalls are counted in the runtime registry
+    (``wal_fsync_stalls``) so a test can assert the fault actually hit.
+    """
+    global _FSYNC_STALL_S
+    previous = _FSYNC_STALL_S
+    _FSYNC_STALL_S = max(0.0, float(seconds))
+    return previous
+
 _SEGMENT_PREFIX = "wal-"
 _SEGMENT_SUFFIX = ".log"
 
@@ -324,6 +344,9 @@ class WriteAheadLog:
 
     def _fsync(self) -> None:
         started = time.perf_counter()
+        if _FSYNC_STALL_S:
+            RUNTIME.inc("wal_fsync_stalls")
+            time.sleep(_FSYNC_STALL_S)
         self._fh.flush()
         os.fsync(self._fh.fileno())
         RUNTIME.inc("wal_fsyncs")

@@ -1,0 +1,36 @@
+"""Replicated serving: WAL-shipping followers and supervised failover.
+
+The multi-process tier (:mod:`repro.service.procpool`) gives every
+shard one worker process — kill it and its key range serves 503s until
+the respawn finishes replaying.  This package removes that single point
+of failure: each shard becomes a *replica group* of R processes, the
+write leader ships every durable WAL record to one log per replica, and
+every replica replays its log through the exact recovery pipeline
+(:func:`repro.durability.recovery.replay_records`, with the same
+"replay diverged" epoch verification) — so any member of a group serves
+seeded reads bit-identical to any other, and reads fan out across the
+group for scale-out.
+
+On top of the groups sits a :class:`~repro.replication.Supervisor`:
+replicas post heartbeats carrying their applied record count, so the
+supervisor detects *hung* workers (alive but silent — a ``SIGSTOP``, a
+wedged syscall), not just dead ones, and kills them into the normal
+respawn path.  When a shard's designated leader replica dies, the most
+caught-up surviving follower is promoted immediately — acknowledged
+writes are never lost because the ack already required the record
+durable in every replica's log (and, under ``ack="quorum"``, *applied*
+by a majority of the group).
+
+See ``docs/replication.md`` for the full topology, ack policies,
+promotion protocol and lag metrics, and :mod:`repro.faultinject` for
+the deterministic fault harness that tests all of it.
+"""
+
+from repro.replication.pool import ReplicatedShardPool, ReplicationLagError
+from repro.replication.supervisor import Supervisor
+
+__all__ = [
+    "ReplicatedShardPool",
+    "ReplicationLagError",
+    "Supervisor",
+]

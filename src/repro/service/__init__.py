@@ -32,7 +32,13 @@ independent requests into kernel-sized batches:
   epoch promotion by atomic version-file swap, and kill-safe worker
   respawn (:class:`WorkerDiedError` → HTTP 503) — served over the
   asyncio front end :class:`AsyncReproServer` via
-  ``repro serve --workers N``.
+  ``repro serve --workers N``.  The replicated tier on top of it
+  (``--replicas R``) lives in :mod:`repro.replication`.
+
+Both HTTP front ends expose ``/healthz`` (liveness) and ``/readyz``
+(readiness: ring attached, replication lag under bound), and every 503
+carries ``Retry-After`` — which :class:`HTTPServiceClient` honours when
+constructed with a :class:`RetryPolicy` (idempotent requests only).
 
 >>> import numpy as np
 >>> svc = BloomService.plan(namespace_size=10_000, accuracy=0.9, seed=7,
@@ -44,7 +50,11 @@ independent requests into kernel-sized batches:
 True
 """
 
-from repro.service.client import HTTPServiceClient, ServiceClient
+from repro.service.client import (
+    HTTPServiceClient,
+    RetryPolicy,
+    ServiceClient,
+)
 from repro.service.hashring import ConsistentHashRing
 from repro.service.metrics import Histogram, Metrics
 from repro.service.pool import ShardedEnginePool
@@ -76,6 +86,7 @@ __all__ = [
     "ProcessService",
     "ProcessShardPool",
     "ReproServer",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceOverloadedError",

@@ -53,8 +53,12 @@ def _raw_response_bytes(status: int, body: bytes, content_type: str, *,
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n")
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n")
+    if status == 503:
+        # Overload / respawn / failover: transient by construction
+        # (mirrors the stdlib front end's hint).
+        head += "Retry-After: 1\r\n"
+    head += "\r\n"
     return head.encode("ascii") + body
 
 
@@ -142,6 +146,10 @@ class AsyncReproServer:
         if method == "GET":
             if path == "/healthz":
                 return _response_bytes(200, {"ok": True})
+            if path == "/readyz":
+                payload = self.client.readyz()
+                return _response_bytes(
+                    200 if payload.get("ready") else 503, payload)
             if path == "/stats":
                 return _response_bytes(200, self.client.stats())
             if path == "/metrics":

@@ -8,7 +8,8 @@ service's micro-batching scheduler, and the handler blocks on the future
 Routes (all bodies and responses are JSON):
 
 ====================  ====  ==========================================
-``/healthz``          GET   liveness probe
+``/healthz``          GET   liveness probe (process is up)
+``/readyz``           GET   readiness: ring attached, lag under bound
 ``/stats``            GET   metrics + pool + policy snapshot
 ``/metrics``          GET   Prometheus text exposition (v0.0.4)
 ``/trace``            GET   slowest-request spans + stage histograms
@@ -35,7 +36,17 @@ Error mapping: 400 for malformed requests (including occupancy writes
 the configured tree backend cannot express), 404 for unknown sets, 409
 for duplicate set creation or durability misuse (``/checkpoint`` on a
 non-durable ring), 503 when admission control rejects (shard queue
-full), 500 otherwise.
+full), a worker died mid-request, or a quorum ack timed out, 500
+otherwise.  Every 503 carries ``Retry-After: 1`` — the condition is
+transient by construction (queues drain, workers respawn, followers
+promote) and retry-capable clients
+(:class:`~repro.service.client.RetryPolicy`) honour the hint.
+
+``/healthz`` vs ``/readyz``: liveness only says the process answers;
+readiness says the ring can actually serve — every worker attached and
+alive, and (replicated pools) every shard group led with replication
+lag under threshold.  ``/readyz`` answers 503 with the same JSON body
+while not ready, so boot/failover pollers can watch one endpoint.
 """
 
 from __future__ import annotations
@@ -146,6 +157,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if status == 503:
+            # Overload / respawn / failover: transient by construction.
+            self.send_header("Retry-After", "1")
         self.end_headers()
         self.wfile.write(body)
 
@@ -175,6 +189,9 @@ class _Handler(BaseHTTPRequestHandler):
         """GET routes: liveness, stats and worker introspection."""
         if self.path == "/healthz":
             self._send(200, {"ok": True})
+        elif self.path == "/readyz":
+            payload = self.client.readyz()
+            self._send(200 if payload.get("ready") else 503, payload)
         elif self.path == "/stats":
             self._send(200, self.client.stats())
         elif self.path == "/metrics":

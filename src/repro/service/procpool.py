@@ -196,10 +196,12 @@ class _WorkerAttachment:
     do nothing (one ``EPOCH`` read) otherwise.
     """
 
-    def __init__(self, directory, worker_id: int):
+    def __init__(self, directory, worker_id: int,
+                 wal_dir: str | None = None):
         self.directory = pathlib.Path(directory)
         self.worker_id = int(worker_id)
-        self.wal_dir = worker_wal_path(directory, worker_id)
+        self.wal_dir = (pathlib.Path(wal_dir) if wal_dir is not None
+                        else worker_wal_path(directory, worker_id))
         self.db: BloomDB | None = None
         self.state: dict = {}
         self._cursor = 0
@@ -245,6 +247,10 @@ class _WorkerAttachment:
                            origin=f"worker {self.worker_id}")
             self._cursor = len(records)
             self.state = state
+
+    def applied_seq(self) -> int:
+        """Records of this worker's log applied so far (replication lag)."""
+        return self._cursor
 
 
 def _encode_error(exc: Exception) -> tuple:
@@ -376,7 +382,8 @@ def _record_batch(metrics: Metrics, batch: list, out: list,
 
 
 def _worker_main(worker_id: int, directory: str, policy_args: tuple,
-                 requests, responses) -> None:
+                 requests, responses, heartbeat_s: float | None = None,
+                 wal_dir: str | None = None) -> None:
     """Entry point of one shard worker process.
 
     Loop: block for the first request, gather a batch under the shared
@@ -389,16 +396,47 @@ def _worker_main(worker_id: int, directory: str, policy_args: tuple,
     this process's runtime registry) and the batch's slowest trace under
     the reserved id ``-3`` — enqueued *before* the batch's results, so
     any scrape taken after a result is visible already counts it.
+
+    With ``heartbeat_s`` set (the replicated tier), the blocking wait is
+    replaced by a timed wait: every interval the worker *refreshes* even
+    while idle — this is what tails newly shipped log records without
+    read traffic — and posts a heartbeat under the reserved id ``-4``
+    carrying its applied record count.  The supervisor uses heartbeat
+    silence (not process death) to detect hung workers, and the ack
+    policies gate writes on the applied counts.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     policy = BatchPolicy(*policy_args)
-    att = _WorkerAttachment(directory, worker_id)
+    att = _WorkerAttachment(directory, worker_id, wal_dir=wal_dir)
     att.attach()
     metrics = Metrics()
     shipped = empty_export()
+
+    def _heartbeat() -> None:
+        responses.put((-4, True, {
+            "worker": worker_id,
+            "applied": att.applied_seq(),
+            "epoch": att.db.current_epoch().epoch,
+            "gen": att.state.get("gen"),
+        }))
+
     responses.put((-1, True, {"ready": worker_id, "pid": os.getpid()}))
+    if heartbeat_s is not None:
+        _heartbeat()
     while True:
-        msg = requests.get()
+        if heartbeat_s is None:
+            msg = requests.get()
+        else:
+            try:
+                msg = requests.get(timeout=heartbeat_s)
+            except queue.Empty:
+                try:
+                    att.refresh()
+                except Exception:  # noqa: BLE001 - stay alive; the lag
+                    # the stale applied count reports is the signal.
+                    metrics.inc("replica_refresh_errors")
+                _heartbeat()
+                continue
         if msg is None:
             break
         gather_started = time.perf_counter()
@@ -433,6 +471,8 @@ def _worker_main(worker_id: int, directory: str, policy_args: tuple,
             shipped = current
             for item in out:
                 responses.put(item)
+            if heartbeat_s is not None:
+                _heartbeat()
         if stopping:
             break
     responses.put((-2, True, {"bye": worker_id}))
@@ -444,7 +484,14 @@ def _worker_main(worker_id: int, directory: str, policy_args: tuple,
 
 
 class _WorkerHandle:
-    """Parent-side bookkeeping for one worker process."""
+    """Parent-side bookkeeping for one worker process.
+
+    ``last_heartbeat`` / ``applied_seq`` are maintained by the response
+    pump from ``-4`` heartbeat messages (the replicated tier);
+    ``pipe_torn`` is set when a submit finds the request queue torn down
+    — the supervisor kills and respawns such a worker, restoring fresh
+    queues.
+    """
 
     def __init__(self, shard_id: int, ctx, queue_depth: int):
         self.shard_id = shard_id
@@ -455,6 +502,9 @@ class _WorkerHandle:
         self.ready = threading.Event()
         self.stop_requested = False
         self.restarts = 0
+        self.last_heartbeat = time.monotonic()
+        self.applied_seq = 0
+        self.pipe_torn = False
 
     def discard_queues(self) -> None:
         """Drop the queues of a dead worker without blocking exit."""
@@ -647,18 +697,22 @@ class ProcessShardPool:
     def _spawn(self, handle: _WorkerHandle) -> None:
         handle.ready.clear()
         handle.stop_requested = False
-        policy_args = (self.policy.max_batch, self.policy.max_delay_ms,
-                       self.policy.queue_depth)
+        handle.last_heartbeat = time.monotonic()
         handle.process = self._ctx.Process(
-            target=_worker_main,
-            args=(handle.shard_id, str(self.directory), policy_args,
-                  handle.requests, handle.responses),
+            target=_worker_main, args=self._worker_args(handle),
             name=f"repro-worker-{handle.shard_id}", daemon=True)
         handle.process.start()
         handle.pump = threading.Thread(
             target=self._pump, args=(handle,),
             name=f"repro-pump-{handle.shard_id}", daemon=True)
         handle.pump.start()
+
+    def _worker_args(self, handle: _WorkerHandle) -> tuple:
+        """The ``_worker_main`` arguments for one handle (override hook)."""
+        policy_args = (self.policy.max_batch, self.policy.max_delay_ms,
+                       self.policy.queue_depth)
+        return (handle.shard_id, str(self.directory), policy_args,
+                handle.requests, handle.responses)
 
     def _await_ready(self, handles) -> None:
         deadline = time.monotonic() + _READY_TIMEOUT_S
@@ -678,7 +732,9 @@ class ProcessShardPool:
             handle.stop_requested = True
             try:
                 handle.requests.put_nowait(None)
-            except queue.Full:  # pragma: no cover - worker gone/backlogged
+            except (queue.Full, ValueError, OSError):
+                # Worker gone/backlogged, or the queue was torn down by
+                # fault injection — the join below still bounds the wait.
                 pass
         for handle in self._workers:
             if handle.process is not None:
@@ -691,12 +747,19 @@ class ProcessShardPool:
         self._started = False
 
     def close(self) -> None:
-        """Stop workers, promote a final snapshot, release the logs."""
+        """Stop workers, promote a final snapshot, release the logs.
+
+        Every per-worker log gets a clean-shutdown marker, not just the
+        leader's WAL — a graceful ``SIGTERM`` of the whole process tree
+        must leave *all* logs marked, so the next attach (and any
+        offline inspection) can prove no worker state was lost.
+        """
         self.stop()
         if self.leader.wal is not None:
             self._promote()
             self.leader.wal.mark_clean()
         for wal in self._wals:
+            wal.mark_clean()
             wal.close()
         self._wals = []
 
@@ -717,6 +780,7 @@ class ProcessShardPool:
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
             if rid == -1:
+                handle.last_heartbeat = time.monotonic()
                 handle.ready.set()
                 continue
             if rid == -2:
@@ -726,7 +790,15 @@ class ProcessShardPool:
             if rid == -3:
                 self._absorb(handle.shard_id, payload)
                 continue
+            if rid == -4:
+                self._on_heartbeat(handle, payload)
+                continue
             self._resolve(rid, ok, payload)
+
+    def _on_heartbeat(self, handle: _WorkerHandle, payload: dict) -> None:
+        """Record one worker heartbeat (hang detection + applied seq)."""
+        handle.last_heartbeat = time.monotonic()
+        handle.applied_seq = int(payload.get("applied", 0))
 
     def _absorb(self, shard: int, payload: dict) -> None:
         """Fold one worker's shipped metrics delta / trace into the leader.
@@ -812,6 +884,10 @@ class ProcessShardPool:
         """The worker shard owning a routing key (consistent hash)."""
         return self.ring.shard_for(name)
 
+    def _route(self, key: str) -> int:
+        """Worker index to serve one read (override hook for fan-out)."""
+        return self.ring.shard_for(key)
+
     def submit(self, op: str, names, *, rounds: int = 1,
                replacement: bool = True, seed: int = 0, x: int = 0,
                exhaustive: bool = False, block: bool = False,
@@ -826,7 +902,7 @@ class ProcessShardPool:
         if op not in _READ_OPS:
             raise ValueError(f"unknown read op {op!r}")
         names = tuple(str(n) for n in names)
-        shard = self.shard_of(names[0] if names else "")
+        shard = self._route(names[0] if names else "")
         handle = self._workers[shard]
         rid = next(self._request_ids)
         future: Future = Future()
@@ -851,8 +927,11 @@ class ProcessShardPool:
                 f"({self.policy.queue_depth} pending requests)") from None
         except (OSError, ValueError):
             # The queue was torn down under us: the worker died and its
-            # handle is being replaced.  Same contract as death with the
-            # request in flight — a clean 503, retry after respawn.
+            # handle is being replaced — or the pipe itself was dropped
+            # while the process lives, which the supervisor (replicated
+            # tier) recovers by killing and respawning the worker.  Same
+            # contract either way: a clean 503, retry after respawn.
+            handle.pipe_torn = True
             with self._inflight_lock:
                 self._inflight.pop(rid, None)
             self.metrics.inc("rejected_total")
@@ -893,6 +972,7 @@ class ProcessShardPool:
             after = self.leader.current_epoch().epoch
             if after != before:
                 self._fanout([(kind, ids, after, "")])
+        self._await_ack()
         return int(ids.size)
 
     def add_set(self, name: str, ids) -> None:
@@ -919,6 +999,17 @@ class ProcessShardPool:
                 # the leader's own WAL journals it.
                 records.append(("insert", ids, after, ""))
             self._fanout(records)
+        self._await_ack()
+
+    def _await_ack(self) -> None:
+        """Gate a write acknowledgement on the configured ack policy.
+
+        The base tier acks once the fanout is durable (records flushed,
+        ``EPOCH`` bumped) — a no-op here.  The replicated tier overrides
+        this to additionally wait for follower confirmations under
+        ``ack="quorum"``; it runs *outside* the mutation lock so death
+        handling and promotion can proceed while a writer waits.
+        """
 
     def drop_set(self, name: str) -> None:
         """Forget a named set (promotes: drops have no log opcode)."""
@@ -1048,6 +1139,22 @@ class ProcessShardPool:
     def epoch_state(self) -> dict:
         """The current ``EPOCH`` version-file contents (leader's view)."""
         return dict(self._state)
+
+    def readyz(self) -> dict:
+        """The ``/readyz`` payload: is the ring fully attached and serving?
+
+        Distinct from liveness (``/healthz``): ready means every worker
+        process is spawned, attached to the promoted snapshot, and
+        alive.  The replicated tier extends this with per-shard leader
+        liveness and a replication-lag threshold.
+        """
+        alive = sum(
+            1 for handle in self._workers
+            if handle.process is not None and handle.process.is_alive()
+            and handle.ready.is_set())
+        ready = self._started and alive == len(self._workers)
+        return {"ready": bool(ready), "mode": "process",
+                "workers": len(self._workers), "alive": alive}
 
     def describe(self) -> dict:
         """Pool summary: engine config + process-tier state."""
@@ -1229,6 +1336,10 @@ class ProcessService:
     def workers(self) -> dict:
         """The ``/workers`` payload: per-process pid / liveness."""
         return {"mode": "process", "workers": self.pool.workers_info()}
+
+    def readyz(self) -> dict:
+        """The ``/readyz`` payload (see :meth:`ProcessShardPool.readyz`)."""
+        return self.pool.readyz()
 
     def __repr__(self) -> str:
         return f"ProcessService({self.pool!r})"

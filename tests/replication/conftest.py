@@ -1,0 +1,88 @@
+"""Shared fixtures for the replicated-serving suite.
+
+One compiled/delta engine configuration (the process tier's
+requirement), a deterministic six-set workload, and helpers to compare
+pool answers bit-for-bit against the parent leader engine.  Pools are
+expensive (R × N spawned processes), so fixtures keep them small and
+fast: tiny heartbeats, 2 × 2 topologies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import BloomDB, EngineConfig, SampleSpec
+from repro.service.client import encode_result
+
+NAMESPACE = 8_000
+
+#: Tight-but-safe deadline for respawn / failover / readiness polls.
+DEADLINE_S = 30.0
+
+
+@pytest.fixture(scope="session")
+def repl_config() -> EngineConfig:
+    """Engine knobs shared by every pool and reference engine here."""
+    return EngineConfig(namespace_size=NAMESPACE, accuracy=0.9,
+                        set_size=150, seed=5, plan="compiled",
+                        mutation="delta", tree="dynamic")
+
+
+@pytest.fixture(scope="session")
+def repl_workload(repl_config) -> list[tuple[str, np.ndarray]]:
+    """Deterministic (name, ids) pairs every consumer loads."""
+    rng = np.random.default_rng(42)
+    return [
+        (f"set{i}", rng.choice(NAMESPACE, 150,
+                               replace=False).astype(np.uint64))
+        for i in range(6)
+    ]
+
+
+@pytest.fixture(scope="session")
+def base_db(repl_config, repl_workload) -> BloomDB:
+    """The loaded engine each test saves into its own serving dir."""
+    db = BloomDB.from_config(repl_config)
+    for name, ids in repl_workload:
+        db.add_set(name, ids)
+    return db
+
+
+@pytest.fixture()
+def engine_dir(base_db, tmp_path):
+    """A fresh serving directory per test (pools mutate EPOCH/WALs)."""
+    path = tmp_path / "engine"
+    base_db.save(path)
+    return path
+
+
+def probe(pool, name, seed=4242, rounds=3):
+    """One seeded sample through the pool (wire-format dict)."""
+    return pool.submit("sample", (name,), rounds=rounds, replacement=False,
+                       seed=seed).result(60)
+
+
+def reference(pool, name, seed=4242, rounds=3):
+    """The leader engine's answer for the same seeded sample."""
+    spec = SampleSpec(name, rounds, False, seed=seed, key="ref")
+    return encode_result(pool.leader.sample_many([spec]).ordered()[0])
+
+
+def counter_total(pool, name) -> int:
+    """Sum an exported counter across its label series."""
+    return sum(pool.metrics.export()["counters"].get(name, {}).values())
+
+
+def wait_until(predicate, deadline_s=DEADLINE_S, interval_s=0.05,
+               message="condition not reached in time"):
+    """Poll ``predicate`` until truthy; returns its value."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    raise AssertionError(message)

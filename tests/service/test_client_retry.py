@@ -1,0 +1,201 @@
+"""The HTTP client's bounded retry: idempotent-only, deadline-bounded.
+
+A scripted stub server plays exact response sequences (503 with
+``Retry-After``, then 200) so every claim is counted, not inferred:
+seeded reads retry, writes and unseeded reads never do, attempts stop
+at ``max_attempts``, and a deadline bounds the whole logical request.
+"""
+
+import http.server
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service import HTTPServiceClient, RetryPolicy
+from repro.service.client import HTTPError
+
+
+class _Script:
+    """A queue of scripted responses plus a log of requests served."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.requests = []
+
+
+@pytest.fixture()
+def scripted():
+    """Factory: boot a stub server that plays a response script."""
+    servers = []
+
+    def boot(responses):
+        script = _Script(responses)
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def _serve(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                script.requests.append((self.command, self.path, body))
+                if script.responses:
+                    status, headers, payload = script.responses.pop(0)
+                else:
+                    status, headers, payload = 200, {}, {"ok": True}
+                data = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        return url, script
+
+    yield boot
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def _client(url, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3,
+                                           base_delay_s=0.001,
+                                           jitter=0.0))
+    return HTTPServiceClient(url, timeout=5.0, retry_seed=7, **kwargs)
+
+
+FLAKY = [(503, {"Retry-After": "0"}, {"error": "failing over"}),
+         (200, {}, {"values": [1, 2], "requested": 2, "shortfall": 0,
+                    "ops": {}})]
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+    def test_delay_grows_and_caps(self):
+        import random
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(a, rng) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_retry_after_is_a_floor(self):
+        import random
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.0)
+        assert policy.delay(0, random.Random(0), retry_after=0.3) == 0.3
+        assert policy.delay(3, random.Random(0), retry_after=0.3) == 0.8
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import random
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.25)
+        a = [policy.delay(0, random.Random(5)) for _ in range(3)]
+        b = [policy.delay(0, random.Random(5)) for _ in range(3)]
+        assert a == b
+        for delay in a:
+            assert 0.075 <= delay <= 0.125
+
+
+class TestIdempotencyGate:
+    def test_seeded_sample_is_retried(self, scripted):
+        url, script = scripted(list(FLAKY))
+        response = _client(url).sample("s", r=2, seed=11)
+        assert response["values"] == [1, 2]
+        assert len(script.requests) == 2
+
+    def test_unseeded_sample_is_never_retried(self, scripted):
+        url, script = scripted(list(FLAKY))
+        with pytest.raises(HTTPError) as info:
+            _client(url).sample("s", r=2)
+        assert info.value.status == 503
+        assert info.value.retry_after == 0.0
+        assert len(script.requests) == 1
+
+    def test_writes_are_never_retried(self, scripted):
+        url, script = scripted(list(FLAKY))
+        with pytest.raises(HTTPError):
+            _client(url).add_set("s", [1, 2, 3])
+        assert len(script.requests) == 1
+
+    def test_reconstruct_is_always_idempotent(self, scripted):
+        url, script = scripted(list(FLAKY))
+        _client(url).reconstruct("s")
+        assert len(script.requests) == 2
+
+    def test_gets_are_idempotent_by_method(self, scripted):
+        url, script = scripted([(503, {"Retry-After": "0"},
+                                 {"error": "busy"}),
+                                (200, {}, {"ok": True})])
+        assert _client(url).healthz() == {"ok": True}
+        assert len(script.requests) == 2
+
+    def test_non_503_errors_are_not_retried(self, scripted):
+        url, script = scripted([(404, {}, {"error": "no such set"})])
+        with pytest.raises(HTTPError) as info:
+            _client(url).sample("s", r=2, seed=11)
+        assert info.value.status == 404
+        assert len(script.requests) == 1
+
+
+class TestBounds:
+    def test_attempts_stop_at_max(self, scripted):
+        url, script = scripted([(503, {"Retry-After": "0"},
+                                 {"error": "down"})] * 10)
+        with pytest.raises(HTTPError):
+            _client(url).sample("s", r=2, seed=11)
+        assert len(script.requests) == 3  # max_attempts, no more
+
+    def test_deadline_bounds_the_whole_request(self, scripted):
+        url, script = scripted([(503, {"Retry-After": "30"},
+                                 {"error": "down"})] * 10)
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.01,
+                             jitter=0.0, deadline_s=0.3)
+        started = time.monotonic()
+        with pytest.raises(HTTPError):
+            _client(url, retry=policy).sample("s", r=2, seed=11)
+        # Retry-After asked for 30 s sleeps; the deadline clipped them.
+        assert time.monotonic() - started < 2.0
+        assert len(script.requests) < 10
+
+    def test_no_policy_means_single_attempt(self, scripted):
+        url, script = scripted(list(FLAKY))
+        client = HTTPServiceClient(url, timeout=5.0)
+        with pytest.raises(HTTPError):
+            client.sample("s", r=2, seed=11)
+        assert len(script.requests) == 1
+
+
+class TestReadyzClient:
+    def test_not_ready_payload_is_returned_not_raised(self, scripted):
+        payload = {"ready": False, "mode": "process", "lag_max": 9}
+        url, script = scripted([(503, {"Retry-After": "1"}, payload)] * 3)
+        assert _client(url).readyz() == payload
+        assert len(script.requests) == 1  # a probe must never retry
+
+    def test_ready_payload_passes_through(self, scripted):
+        payload = {"ready": True, "mode": "thread"}
+        url, script = scripted([(200, {}, payload)])
+        assert _client(url).readyz() == payload
+
+    def test_other_503s_still_raise(self, scripted):
+        url, script = scripted([(503, {}, {"error": "overloaded"})])
+        with pytest.raises(HTTPError):
+            _client(url).readyz()
