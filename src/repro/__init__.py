@@ -106,7 +106,7 @@ from repro.workloads import (
     uniform_query_set,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BSTReconstructor",

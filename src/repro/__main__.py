@@ -273,7 +273,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
-    """Print the cross-PR speedup trajectory from BENCH_history.json."""
+    """Print the cross-PR speedup trajectory table from BENCH_history.json.
+
+    One column per recorded run, one row per ``(scenario, metric)``
+    headline, so a perf regression is visible as a drop along its row
+    rather than only against the immediately preceding run.  With
+    ``--csv PATH`` the same trajectory is exported long-form (one line
+    per run x scenario x metric) for spreadsheets/plots.
+    """
     import pathlib
 
     from repro.bench.runner import HISTORY_FILE, load_history
@@ -289,22 +296,50 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     if not runs:
         print(f"no runs recorded in {path}")
         return 1
-    print(f"{len(runs)} run(s): "
-          + " -> ".join(f"v{run['version']}[{run['mode']}]" for run in runs))
+
+    # (scenario, metric) -> one cell per run ("-" where the run lacks it).
     trajectories: dict[tuple[str, str], list[str]] = {}
-    for run in runs:
+    for run_ix, run in enumerate(runs):
         for scenario, summary in run["scenarios"].items():
             for key, value in summary.items():
-                if key.startswith(("speedup_", "throughput_")):
-                    trajectories.setdefault((scenario, key), []).append(
-                        str(value))
+                if not key.startswith(("speedup_", "throughput_")):
+                    continue
+                cells = trajectories.setdefault(
+                    (scenario, key), ["-"] * len(runs))
+                cells[run_ix] = f"{value:g}"
     if not trajectories:
         print("history holds no speedup/throughput headline values")
         return 1
-    width = max(len(f"{s} {k}") for s, k in trajectories)
-    for (scenario, key), values in sorted(trajectories.items()):
-        print(f"  {f'{scenario} {key}':<{width}}  "
-              + " -> ".join(values))
+
+    if args.csv:
+        csv_path = pathlib.Path(args.csv)
+        lines = ["run,generated_at,version,mode,scenario,metric,value"]
+        for run_ix, run in enumerate(runs):
+            for scenario in sorted(run["scenarios"]):
+                for key, value in sorted(run["scenarios"][scenario].items()):
+                    if key.startswith(("speedup_", "throughput_")):
+                        lines.append(
+                            f"{run_ix},{run.get('generated_at', '')},"
+                            f"{run['version']},{run['mode']},"
+                            f"{scenario},{key},{value}")
+        csv_path.write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines) - 1} rows to {csv_path}")
+
+    headers = [f"v{run['version']}[{run['mode'][0]}]" for run in runs]
+    label_w = max(len(f"{s} {k}") for s, k in trajectories)
+    col_ws = [
+        max(len(headers[i]),
+            max(len(cells[i]) for cells in trajectories.values()))
+        for i in range(len(runs))
+    ]
+    print(f"{len(runs)} run(s); latest "
+          f"{runs[-1].get('generated_at', '?')} "
+          f"(mode column: [q]uick / [f]ull)")
+    print(f"  {'':{label_w}}  "
+          + "  ".join(f"{h:>{w}}" for h, w in zip(headers, col_ws)))
+    for (scenario, key), cells in sorted(trajectories.items()):
+        print(f"  {f'{scenario} {key}':<{label_w}}  "
+              + "  ".join(f"{c:>{w}}" for c, w in zip(cells, col_ws)))
     return 0
 
 
@@ -1055,8 +1090,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
     bench.add_argument("--compare", action="store_true",
-                       help="print the speedup trajectory recorded in "
-                            "BENCH_history.json and exit")
+                       help="print the per-scenario speedup trajectory "
+                            "table recorded in BENCH_history.json and exit")
+    bench.add_argument("--csv", default=None, metavar="PATH",
+                       help="with --compare: also export the trajectory "
+                            "long-form (run,scenario,metric,value) to PATH")
     bench.add_argument("--force", action="store_true",
                        help="ignore cached results and re-measure")
     bench.add_argument("--cache-dir", default=".bench_cache",

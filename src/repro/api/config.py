@@ -34,6 +34,7 @@ DEFAULT_SET_SIZE = 1_000
 _FAMILIES = FAMILY_NAMES
 _DESCENTS = ("threshold", "floored")
 _PLANS = ("objects", "compiled")
+_DESCENT_BACKENDS = ("numpy", "native")
 _MUTATIONS = ("invalidate", "delta")
 _DURABILITY = ("off", "wal")
 _WAL_SYNCS = ("always", "batch", "off")
@@ -74,6 +75,15 @@ class EngineConfig:
         :func:`~repro.core.plan.descend_frontier` kernel — bit-identical
         results — and saved engines persist an ``np.memmap``-loadable
         plan for O(mmap) cold starts).  See ``docs/performance.md``.
+    ``descent_backend``
+        Replay backend for the compiled descent path: ``"native"``
+        (default) uses the compile-on-demand C kernel from
+        :mod:`repro.core.native` *when available* and transparently
+        falls back to the pure-NumPy reference otherwise; ``"numpy"``
+        pins the golden-reference Python/NumPy replay.  Both backends
+        are bit-identical (values and OpCounters) per shared rng
+        stream.  The ``REPRO_DESCENT_BACKEND`` environment variable
+        overrides this field at runtime.
     ``mutation``
         How occupancy mutations treat a published compiled plan:
         ``"delta"`` (default) layers them as a
@@ -119,6 +129,7 @@ class EngineConfig:
     threshold: float = DEFAULT_EMPTY_THRESHOLD
     descent: str = "threshold"
     plan: str = "objects"
+    descent_backend: str = "native"
     mutation: str = "delta"
     compact_threshold: float = DEFAULT_COMPACT_THRESHOLD
     durability: str = "off"
@@ -149,6 +160,10 @@ class EngineConfig:
         if self.plan not in _PLANS:
             raise ValueError(
                 f"unknown execution plan {self.plan!r} (known: {_PLANS})")
+        if self.descent_backend not in _DESCENT_BACKENDS:
+            raise ValueError(
+                f"unknown descent backend {self.descent_backend!r} "
+                f"(known: {_DESCENT_BACKENDS})")
         if self.mutation not in _MUTATIONS:
             raise ValueError(
                 f"unknown mutation mode {self.mutation!r} "

@@ -212,6 +212,10 @@ class BloomDB:
                        else config.build_family(self.params))
         self._spec: BackendSpec = backend_for(config.tree)
         self._compiled = compiled
+        # True whenever the tree has mutated past ``_compiled`` — the
+        # signal that lets a no-op ``compact()`` keep the plan object
+        # (and its warmed caches) instead of recompiling identical bits.
+        self._plan_dirty = False
         self._plan_lock = threading.RLock()
         # Epoch publication: a pool passes a ring-shared SharedEpochs so
         # all shards can be swapped to the next epoch atomically;
@@ -309,6 +313,7 @@ class BloomDB:
                 if epoch is None:
                     if self._compiled is None:
                         self._compiled = CompiledTree.from_tree(self.tree)
+                        self._plan_dirty = False
                     epoch = self._next_epoch(self._compiled, None)
                     self._epochs.publish(self._epoch_index, epoch)
         return epoch
@@ -457,6 +462,7 @@ class BloomDB:
                 if ids.size == 0:
                     return NO_EPOCH_CHANGE
                 self.tree.remove_many(ids)
+            self._plan_dirty = True
             current = self._epochs.current(self._epoch_index)
             if current is None:
                 # Nothing published: drop any stale pre-epoch plan and
@@ -475,6 +481,7 @@ class BloomDB:
                 # Structural change the overlay cannot express (tree
                 # emptied / base held no nodes): recompile outright.
                 self._compiled = CompiledTree.from_tree(self.tree)
+                self._plan_dirty = False
                 epoch = self._next_epoch(self._compiled, None)
             else:
                 if (epoch.delta.density >= self.config.compact_threshold
@@ -498,11 +505,18 @@ class BloomDB:
 
         The pool-facing half of :meth:`compact`: the fresh base plan is
         compiled here, publication stays with the caller so a ring can
-        promote every shard in one swap.
+        promote every shard in one swap.  A no-op compaction (nothing
+        accumulated since the last compile) reuses the published base
+        plan object outright, keeping its warmed candidate/position/
+        frontier caches instead of cold-starting them.
         """
         with self._plan_lock:
+            if self._compiled is not None and not self._plan_dirty:
+                RUNTIME.inc("compactions_noop")
+                return self._next_epoch(self._compiled, None)
             fresh = CompiledTree.from_tree(self.tree)
             self._compiled = fresh
+            self._plan_dirty = False
             RUNTIME.inc("compactions")
             return self._next_epoch(fresh, None)
 
@@ -548,11 +562,27 @@ class BloomDB:
                         "engine's durable directory")
                 self.checkpoint()
                 return self._compiled
+            clean = self._compiled is not None and not self._plan_dirty
+            if clean and path is None:
+                # No-op compaction: the published base already equals a
+                # from-scratch recompile bit for bit, so keep the plan
+                # object — and with it every warmed candidate/position/
+                # frontier cache — rather than cold-missing readers.
+                RUNTIME.inc("compactions_noop")
+                self._epochs.publish(self._epoch_index,
+                                     self._next_epoch(self._compiled, None))
+                return self._compiled
             fresh = CompiledTree.from_tree(self.tree)
             if path is not None:
                 fresh.save(path)
-                fresh = CompiledTree.load(path)
+                reloaded = CompiledTree.load(path)
+                # The mmap-backed reload carries identical bits, so the
+                # outgoing plan's caches stay valid on it.
+                if clean:
+                    reloaded.adopt_caches(self._compiled)
+                fresh = reloaded
             self._compiled = fresh
+            self._plan_dirty = False
             RUNTIME.inc("compactions")
             self._epochs.publish(self._epoch_index,
                                  self._next_epoch(fresh, None))
@@ -585,12 +615,19 @@ class BloomDB:
         with self._plan_lock:
             started = time.perf_counter()
             promote_at = self._epoch_counter + 1
+            clean = self._compiled is not None and not self._plan_dirty
             self.store.save_compiled(self._wal_dir / _SETS_COMPILED_FILE)
             fresh = CompiledTree.from_tree(self.tree)
             plan_path = self._wal_dir / _PLAN_FILE
             fresh.save(plan_path, extra_meta={"wal_epoch": promote_at})
             fresh = CompiledTree.load(plan_path)
+            if clean:
+                # A checkpoint with nothing accumulated re-persists the
+                # same bits; carry the warmed caches onto the reloaded
+                # mmap-backed plan so readers keep their frontier hits.
+                fresh.adopt_caches(self._compiled)
             self._compiled = fresh
+            self._plan_dirty = False
             epoch = self._next_epoch(fresh, None)
             assert epoch.epoch == promote_at
             self._epochs.publish(self._epoch_index, epoch)
@@ -615,6 +652,7 @@ class BloomDB:
         threshold: float | None = None,
         descent: str = "threshold",
         plan: str = "objects",
+        descent_backend: str = "native",
         mutation: str = "delta",
         compact_threshold: float | None = None,
         seed: int = 0,
@@ -642,6 +680,7 @@ class BloomDB:
             tree=tree,
             descent=descent,
             plan=plan,
+            descent_backend=descent_backend,
             mutation=mutation,
             seed=seed,
             k=k,
@@ -827,7 +866,8 @@ class BloomDB:
             results = self.store.sample_batch_compiled(
                 self.current_epoch().view(),
                 [(spec.name, spec.rounds, spec.replacement, spec.seed)
-                 for _, spec in specs])
+                 for _, spec in specs],
+                backend=self.config.descent_backend)
             for (key, _), result in zip(specs, results):
                 report.add(key, result)
         else:
@@ -1003,6 +1043,10 @@ class BloomDB:
                 f"{path} holds no compiled plan named {plan_file!r}")
         if config.plan == "compiled" and plan_path.exists():
             plan = CompiledTree.load(plan_path)
+            # Pay the per-plan setup (position tables, hoisted descent
+            # constants, frontier buffers) once at attach, not inside
+            # the first serving batch.
+            plan.prepare()
             if plan.backend != config.tree:
                 raise ValueError(
                     f"engine save at {path} is inconsistent: engine.json "

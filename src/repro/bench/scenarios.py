@@ -113,20 +113,35 @@ _register(Scenario(
 ))
 
 _register(Scenario(
+    name="descent_coldstart",
+    kind="sampling",
+    title="Descent cold start: mmap attach + first compiled batch vs. npz "
+          "rebuild + first recursive batch (bit-identical results)",
+    maps_to="ROADMAP north star (cold start as fast as the hardware "
+            "allows)",
+    quick=dict(_COMMON, namespace=100_000, set_size=300, num_sets=8,
+               family="murmur3", tree="static", depth=12,
+               descent_coldstart=True, rounds=32, requests=32, repeats=3),
+    full=dict(_COMMON, namespace=1_000_000, set_size=1_000, num_sets=16,
+              family="murmur3", tree="static", depth=14,
+              descent_coldstart=True, rounds=64, requests=64, repeats=3),
+))
+
+_register(Scenario(
     name="write_churn_compiled",
     kind="sampling",
     title="Compiled sampling under id churn: epoch/delta overlay vs. the "
           "invalidate-and-recompile baseline (bit-identical results)",
     maps_to="Section 5.2 dynamic scenario + ROADMAP north star "
             "(streaming id sets)",
-    quick=dict(_COMMON, namespace=60_000, set_size=500, num_sets=6,
-               family="murmur3", tree="dynamic", depth=11, occupied=6_000,
-               write_churn=True, churn_cycles=5, churn_fraction=0.10,
-               requests=8, rounds=8),
+    quick=dict(_COMMON, namespace=120_000, set_size=500, num_sets=6,
+               family="murmur3", tree="dynamic", depth=12, occupied=9_000,
+               write_churn=True, churn_cycles=5, churn_fraction=0.04,
+               requests=8, rounds=8, churn_repeats=2),
     full=dict(_COMMON, namespace=400_000, set_size=1_000, num_sets=12,
               family="murmur3", tree="dynamic", depth=13, occupied=40_000,
-              write_churn=True, churn_cycles=10, churn_fraction=0.10,
-              requests=16, rounds=16),
+              write_churn=True, churn_cycles=10, churn_fraction=0.04,
+              requests=16, rounds=16, churn_repeats=1),
 ))
 
 _register(Scenario(

@@ -45,6 +45,14 @@ Submodules
     the flat-array descent path as ``base ⊕ delta``
     (:class:`~repro.core.delta.DeltaPlanView`) instead of forcing a
     full recompile per mutation.
+``native``
+    The optional compiled descent backend: descent programs replayed by
+    a small C kernel compiled on demand (no install step, no new
+    dependency), bit-for-bit identical to the NumPy reference and
+    silently degrading to it when no toolchain is available
+    (:func:`~repro.core.native.native_available`,
+    :func:`~repro.core.native.native_status`,
+    :func:`~repro.core.native.resolve_backend`).
 """
 
 from repro.core.backend import (
@@ -87,6 +95,11 @@ from repro.core.kernels import (
     kernel_mode,
     scalar_kernels,
     set_kernel_mode,
+)
+from repro.core.native import (
+    native_available,
+    native_status,
+    resolve_backend,
 )
 from repro.core.plan import CompiledTree, DescentRequest, descend_frontier
 from repro.core.pruned import PrunedBloomSampleTree
@@ -145,7 +158,10 @@ __all__ = [
     "false_set_overlap_probability",
     "kernel_mode",
     "load_tree",
+    "native_available",
+    "native_status",
     "plan_tree",
+    "resolve_backend",
     "save_tree",
     "scalar_kernels",
     "set_kernel_mode",

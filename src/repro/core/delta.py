@@ -45,6 +45,8 @@ from repro.core.plan import (
     NO_CHILD,
     CompiledTree,
     DescentRequest,
+    FrontierRow,
+    _PlanScratch,
     descend_frontier,
 )
 from repro.core.sampling import DEFAULT_EMPTY_THRESHOLD, MultiSampleResult
@@ -307,7 +309,9 @@ class DeltaPlanView:
         self._lists: tuple | None = None
         self._ones: list | None = None
         self._positions: dict[int, np.ndarray] = {}
-        self._frontier_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._frontier_cache: "OrderedDict[tuple, FrontierRow]" = \
+            OrderedDict()
+        self._scratch = _PlanScratch()
 
     # -- plan interface ---------------------------------------------------------
 
@@ -432,6 +436,46 @@ class DeltaPlanView:
                 self._positions[slot] = cached
             return cached
 
+    def ensure_positions(self, slots) -> None:
+        """Batch-hash several leaf slots' positions (clean via the base).
+
+        Clean slots go through the base plan's single batched
+        ``positions_many`` call; patched slots (few, by construction)
+        hash individually into the view cache.
+        """
+        patched = self.delta.leaf_candidates
+        clean = [slot for slot in slots if slot not in patched]
+        if clean:
+            self.base.ensure_positions(clean)
+        for slot in slots:
+            if slot in patched and self.candidates(slot).size:
+                self.positions(slot)
+
+    def words_rows(self, slots: np.ndarray, out=None) -> np.ndarray:
+        """Gather filter rows for an array of slots, patches resolved.
+
+        Base rows come from one vectorised ``take`` (indices past the
+        base matrix — appended slots — are clamped and then always
+        overwritten, because every appended slot carries a patch row);
+        the few dirty rows are patched in a scalar pass.
+        """
+        base = self.base
+        base_nodes = base.num_nodes
+        patch = self.delta.words
+        slots = np.asarray(slots, dtype=np.intp)
+        safe = np.where(slots < base_nodes, slots, 0)
+        rows = np.take(base.words, safe, axis=0, out=out)
+        if patch:
+            for i, slot in enumerate(slots.tolist()):
+                row = patch.get(slot)
+                if row is not None:
+                    rows[i] = row
+        return rows
+
+    def _descent_const(self) -> tuple:
+        """Hoisted estimator constants (shared with the base plan)."""
+        return self.base._descent_const()
+
     def frontier_get(self, key: tuple):
         """A cached frontier row, inherited warm across epochs.
 
@@ -439,11 +483,14 @@ class DeltaPlanView:
         base plan, or the previous delta's view — the chain bottoms out
         at the base).  An inherited row is *patched*: entries at slots
         this delta dirtied are dropped, which is sound because a
-        frontier row is a pure cache — :func:`~repro.core.plan._replay`
-        recomputes any missing (query, slot) value on demand through its
-        defensive fallbacks, bit-identically.  This is what keeps
-        serving traffic warm through churn: only the mutated paths are
-        re-evaluated, not the whole frontier.
+        frontier row is a pure cache —
+        :func:`~repro.core.plan._build_program` recomputes any missing
+        (query, slot) value on demand through its defensive fallbacks,
+        bit-identically.  This is what keeps serving traffic warm
+        through churn: only the mutated paths are re-evaluated, not the
+        whole frontier.  The inherited row's compiled descent program is
+        dropped (it was built against the predecessor's topology) and
+        rebuilt lazily against this view.
         """
         with self._cache_lock:
             entry = self._frontier_cache.get(key)
@@ -453,20 +500,40 @@ class DeltaPlanView:
         inherited = self.delta.parent_frontier.frontier_get(key)
         if inherited is None:
             return None
-        estimates, leaf_hits = inherited
-        estimates = list(estimates)
+        estimates = list(inherited.estimates)
         estimates.extend([None] * (self.num_nodes - len(estimates)))
         dirty = self.delta.fresh_dirty
+        # Holes the predecessor epoch punched but never repaired (the
+        # row was not descended in between) carry forward into this
+        # epoch's fused repair pass.
+        repair: list[int] = list(inherited.stale or ())
         for slot in dirty:
-            if slot < len(estimates):
+            if slot < len(estimates) and estimates[slot] is not None:
                 estimates[slot] = None
-        leaf_hits = {slot: hits for slot, hits in leaf_hits.items()
-                     if slot not in dirty}
-        entry = (estimates, leaf_hits)
+                repair.append(slot)
+        leaf_hits = {}
+        dropped_leaf = False
+        for slot, hits in inherited.leaf_hits.items():
+            if slot in dirty:
+                dropped_leaf = True
+            else:
+                leaf_hits[slot] = hits
+        if repair or dropped_leaf:
+            # ``stale`` lists the punched holes; the next descent
+            # repairs exactly those slots in one fused vectorised pass
+            # before compiling a fresh program.
+            entry = FrontierRow(estimates, leaf_hits,
+                                stale=repair or None)
+        else:
+            # The epoch dirtied nothing this query's walk ever
+            # evaluated, so the walk — and with it the compiled
+            # descent program — is unchanged: inherit it outright.
+            entry = FrontierRow(estimates, leaf_hits,
+                                program=inherited.program)
         self.frontier_put(key, entry)
         return entry
 
-    def frontier_put(self, key: tuple, entry: tuple) -> None:
+    def frontier_put(self, key: tuple, entry: "FrontierRow") -> None:
         """Store a frontier row (LRU-bounded like the base plan's cache)."""
         with self._cache_lock:
             self._frontier_cache[key] = entry
@@ -490,6 +557,7 @@ class DeltaPlanView:
         rng=None,
         empty_threshold: float = DEFAULT_EMPTY_THRESHOLD,
         descent: str = "threshold",
+        backend: str | None = None,
     ) -> MultiSampleResult:
         """One-pass multi-sample over ``base ⊕ delta`` (single request).
 
@@ -499,6 +567,7 @@ class DeltaPlanView:
         return descend_frontier(
             self, [DescentRequest(query, r, replacement, rng)],
             empty_threshold=empty_threshold, descent=descent,
+            backend=backend,
         )[0]
 
     def __repr__(self) -> str:

@@ -1,0 +1,514 @@
+"""Optional compiled descent-replay backend (C + ctypes + libnpyrandom).
+
+The replay tier of :func:`repro.core.plan.descend_frontier` is pure
+control flow around three RNG primitives — binomial splits, bounded
+integer draws and Fisher–Yates permutation.  NumPy ships the exact C
+implementations of those primitives as a static library
+(``numpy/random/lib/libnpyrandom.a`` plus the public
+``numpy/random/distributions.h`` header), so a small C kernel can make
+*the same* draws from *the same* ``bitgen_t`` state as
+``np.random.Generator`` — bit-identical values, none of the Python
+interpreter overhead.
+
+This module compiles that kernel on demand with the system C compiler
+(no new Python dependencies; the container's toolchain is enough),
+caches the shared object keyed by source + numpy + python version, and
+verifies the RNG contract with a self-check battery before ever serving
+a request.  Any failure — no compiler, missing static library, header
+drift, a self-check mismatch, or ``REPRO_NATIVE_DISABLE=1`` — makes the
+tier unavailable and every caller falls back to the pure-Python replay,
+which remains the golden reference.
+
+Selection: ``EngineConfig.descent_backend`` (default ``"native"``,
+meaning *use the compiled tier when available*), overridable per
+process with ``REPRO_DESCENT_BACKEND=numpy|native``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.core.ops import OpCounter
+from repro.core.sampling import MultiSampleResult
+
+__all__ = [
+    "native_available",
+    "native_status",
+    "resolve_backend",
+    "replay",
+    "DESCENT_BACKENDS",
+]
+
+#: Backends :func:`resolve_backend` accepts.
+DESCENT_BACKENDS = ("numpy", "native")
+
+#: Seeds exercised by the post-compile RNG self-check battery.
+_SELF_CHECK_SEEDS = (0, 1, 987654321)
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+#include "numpy/random/distributions.h"
+
+/* Chain-compacted descent replay.  Mirrors _run_program in
+ * repro/core/plan.py statement for statement: same RNG calls, in the
+ * same order, against the same bitgen_t state numpy's Generator wraps,
+ * so values and op counters are bit-identical. */
+
+typedef struct {
+    bitgen_t *bg;
+    const int32_t *kinds;
+    const int64_t *nodes_add;
+    const int64_t *inter_add;
+    const double *p_left;
+    const int32_t *left_e;
+    const int32_t *right_e;
+    const int32_t *leaf_ix;
+    const uint64_t *pos_flat;
+    const int64_t *pos_off;
+    const int64_t *leaf_cand;
+    uint64_t *order_flat;
+    int64_t *served;
+    uint8_t *visited;
+    uint8_t *ordered;
+    uint64_t *out;
+    int64_t *ops; /* intersections, memberships, nodes, backtracks */
+    int64_t produced;
+    int32_t replacement;
+} ctx_t;
+
+static void reverse_u64(uint64_t *a, int64_t n) {
+    int64_t i = 0, j = n - 1;
+    for (; i < j; i++, j--) {
+        uint64_t t = a[i]; a[i] = a[j]; a[j] = t;
+    }
+}
+
+static int64_t run(ctx_t *c, int32_t e, int64_t count) {
+    if (count <= 0) return 0;
+    c->ops[2] += c->nodes_add[e];
+    c->ops[0] += c->inter_add[e];
+    if (c->kinds[e] == 0) return 0;
+    if (c->kinds[e] == 1) {
+        int32_t li = c->leaf_ix[e];
+        int64_t base, size;
+        if (!c->visited[li]) {
+            c->visited[li] = 1;
+            c->ops[1] += c->leaf_cand[li];
+        }
+        base = c->pos_off[li];
+        size = c->pos_off[li + 1] - base;
+        if (size == 0) return 0;
+        if (c->replacement) {
+            /* Generator.integers(0, size, size=count) */
+            uint64_t *dst = c->out + c->produced;
+            int64_t i;
+            random_bounded_uint64_fill(c->bg, 0, (uint64_t)(size - 1),
+                                       (npy_intp)count, 0, dst);
+            for (i = 0; i < count; i++) dst[i] = c->pos_flat[base + dst[i]];
+            c->produced += count;
+            return count;
+        }
+        /* Generator.permutation(positives): copy, then Fisher-Yates */
+        {
+            uint64_t *ord = c->order_flat + base;
+            int64_t avail, take;
+            if (!c->ordered[li]) {
+                int64_t i;
+                c->ordered[li] = 1;
+                memcpy(ord, c->pos_flat + base,
+                       (size_t)size * sizeof(uint64_t));
+                for (i = size - 1; i > 0; i--) {
+                    uint64_t j = random_interval(c->bg, (uint64_t)i);
+                    uint64_t t = ord[i]; ord[i] = ord[j]; ord[j] = t;
+                }
+            }
+            avail = size - c->served[li];
+            take = count < avail ? count : avail;
+            if (take > 0) {
+                memcpy(c->out + c->produced, ord + c->served[li],
+                       (size_t)take * sizeof(uint64_t));
+                c->served[li] += take;
+                c->produced += take;
+            }
+            return take;
+        }
+    }
+    /* binomial split */
+    {
+        binomial_t bt;
+        int64_t n_left, start, a, b, deficit;
+        memset(&bt, 0, sizeof(bt));
+        n_left = random_binomial(c->bg, c->p_left[e], count, &bt);
+        start = c->produced;
+        a = run(c, c->left_e[e], n_left);
+        if (a < n_left) c->ops[3] += 1;
+        b = run(c, c->right_e[e], count - a);
+        deficit = count - a - b;
+        if (deficit > 0 && a == n_left && n_left > 0) {
+            int64_t extra;
+            c->ops[3] += 1;
+            extra = run(c, c->left_e[e], deficit);
+            if (extra > 0) {
+                if (b > 0) {
+                    /* buffer holds [A, B, E]; the recursive order is
+                     * [A, E, B] — rotate the BE block. */
+                    reverse_u64(c->out + start + a, b);
+                    reverse_u64(c->out + start + a + b, extra);
+                    reverse_u64(c->out + start + a, b + extra);
+                }
+                a += extra;
+            }
+        }
+        return a + b;
+    }
+}
+
+int64_t descent_run(
+    void *bg,
+    const int32_t *kinds, const int64_t *nodes_add,
+    const int64_t *inter_add, const double *p_left,
+    const int32_t *left_e, const int32_t *right_e, const int32_t *leaf_ix,
+    const uint64_t *pos_flat, const int64_t *pos_off,
+    const int64_t *leaf_cand,
+    uint64_t *order_flat, int64_t *served, uint8_t *visited,
+    uint8_t *ordered,
+    int64_t rounds, int32_t replacement,
+    uint64_t *out, int64_t *ops)
+{
+    ctx_t c;
+    c.bg = (bitgen_t *)bg;
+    c.kinds = kinds; c.nodes_add = nodes_add; c.inter_add = inter_add;
+    c.p_left = p_left; c.left_e = left_e; c.right_e = right_e;
+    c.leaf_ix = leaf_ix;
+    c.pos_flat = pos_flat; c.pos_off = pos_off; c.leaf_cand = leaf_cand;
+    c.order_flat = order_flat; c.served = served; c.visited = visited;
+    c.ordered = ordered;
+    c.out = out; c.ops = ops; c.produced = 0;
+    c.replacement = replacement;
+    return run(&c, 0, rounds);
+}
+
+/* -- self-check exports: prove the RNG contract before first use ----- */
+
+void chk_binomial(void *bg, double p, int64_t n, int64_t cnt,
+                  int64_t *out) {
+    int64_t i;
+    for (i = 0; i < cnt; i++) {
+        binomial_t bt;
+        memset(&bt, 0, sizeof(bt));
+        out[i] = random_binomial((bitgen_t *)bg, p, n, &bt);
+    }
+}
+
+void chk_integers(void *bg, uint64_t high_excl, int64_t cnt,
+                  uint64_t *out) {
+    random_bounded_uint64_fill((bitgen_t *)bg, 0, high_excl - 1,
+                               (npy_intp)cnt, 0, out);
+}
+
+void chk_shuffle(void *bg, uint64_t *arr, int64_t n) {
+    int64_t i;
+    for (i = n - 1; i > 0; i--) {
+        uint64_t j = random_interval((bitgen_t *)bg, (uint64_t)i);
+        uint64_t t = arr[i]; arr[i] = arr[j]; arr[j] = t;
+    }
+}
+"""
+
+_state_lock = threading.Lock()
+_state: dict = {"checked": False, "lib": None, "reason": None,
+                "library_path": None}
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_NATIVE_CACHE")
+    if configured:
+        return configured
+    home = os.path.expanduser("~")
+    if home and home != "~" and os.path.isdir(home):
+        return os.path.join(home, ".cache", "repro-native")
+    return os.path.join(tempfile.gettempdir(), "repro-native")
+
+
+def _find_compiler() -> str | None:
+    for candidate in (os.environ.get("CC"), "gcc", "cc", "clang"):
+        if candidate:
+            path = shutil.which(candidate)
+            if path:
+                return path
+    return None
+
+
+def _ptr(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.c_void_p)
+
+
+def _compile() -> tuple:
+    """Build (or reuse) the shared object; returns (lib, path)."""
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler on PATH (CC/gcc/cc/clang)")
+    numpy_dir = os.path.dirname(np.__file__)
+    random_lib = os.path.join(numpy_dir, "random", "lib")
+    if not os.path.exists(os.path.join(random_lib, "libnpyrandom.a")):
+        raise RuntimeError(f"libnpyrandom.a not found under {random_lib}")
+    include_np = np.get_include()
+    include_py = sysconfig.get_paths()["include"]
+
+    digest = hashlib.sha256(
+        "\x1f".join((_C_SOURCE, np.__version__, sys.version,
+                     compiler)).encode()).hexdigest()[:20]
+    cache = _cache_dir()
+    os.makedirs(cache, exist_ok=True)
+    so_path = os.path.join(cache, f"repro_descent_{digest}.so")
+    if not os.path.exists(so_path):
+        src_path = os.path.join(cache, f"repro_descent_{digest}.c")
+        with open(src_path, "w") as handle:
+            handle.write(_C_SOURCE)
+        tmp_path = so_path + f".tmp{os.getpid()}"
+        cmd = [compiler, "-O2", "-fPIC", "-shared",
+               f"-I{include_py}", f"-I{include_np}",
+               "-o", tmp_path, src_path,
+               f"-L{random_lib}", "-lnpyrandom", "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"cc failed ({proc.returncode}): {proc.stderr.strip()[:500]}")
+        os.replace(tmp_path, so_path)
+
+    lib = ctypes.CDLL(so_path)
+    lib.descent_run.restype = ctypes.c_int64
+    lib.descent_run.argtypes = [ctypes.c_void_p] * 15 + [
+        ctypes.c_int64, ctypes.c_int32] + [ctypes.c_void_p] * 2
+    lib.chk_binomial.restype = None
+    lib.chk_binomial.argtypes = [ctypes.c_void_p, ctypes.c_double,
+                                 ctypes.c_int64, ctypes.c_int64,
+                                 ctypes.c_void_p]
+    lib.chk_integers.restype = None
+    lib.chk_integers.argtypes = [ctypes.c_void_p, ctypes.c_uint64,
+                                 ctypes.c_int64, ctypes.c_void_p]
+    lib.chk_shuffle.restype = None
+    lib.chk_shuffle.argtypes = [ctypes.c_void_p, ctypes.c_void_p,
+                                ctypes.c_int64]
+    return lib, so_path
+
+
+def _self_check(lib) -> None:
+    """Prove the C kernel draws exactly what ``Generator`` draws.
+
+    Interleaves binomial, bounded-integer and shuffle draws from one
+    bitgen against a reference Generator fed the same seed — any
+    divergence (header/ABI drift across numpy versions) fails loudly
+    here instead of corrupting bit-identity guarantees downstream.
+    """
+    for seed in _SELF_CHECK_SEEDS:
+        rng = np.random.default_rng(seed)
+        ref = np.random.default_rng(seed)
+        bg = rng.bit_generator.ctypes.bit_generator
+        with rng.bit_generator.lock:
+            got_b = np.empty(7, dtype=np.int64)
+            lib.chk_binomial(bg, 0.37, 29, 7, _ptr(got_b))
+            got_i = np.empty(11, dtype=np.uint64)
+            lib.chk_integers(bg, 1000, 11, _ptr(got_i))
+            got_s = np.arange(13, dtype=np.uint64)
+            lib.chk_shuffle(bg, _ptr(got_s), 13)
+            got_b2 = np.empty(3, dtype=np.int64)
+            lib.chk_binomial(bg, 0.81, 5, 3, _ptr(got_b2))
+        want_b = ref.binomial(29, 0.37, size=7)
+        want_i = ref.integers(0, 1000, size=11, dtype=np.uint64)
+        want_s = ref.permutation(np.arange(13, dtype=np.uint64))
+        want_b2 = ref.binomial(5, 0.81, size=3)
+        if not (np.array_equal(got_b, want_b)
+                and np.array_equal(got_i, want_i)
+                and np.array_equal(got_s, want_s)
+                and np.array_equal(got_b2, want_b2)):
+            raise RuntimeError(
+                f"RNG self-check mismatch for seed {seed}: the compiled "
+                "kernel does not reproduce Generator draws")
+
+
+def _ensure_state() -> dict:
+    if _state["checked"]:
+        return _state
+    with _state_lock:
+        if _state["checked"]:
+            return _state
+        if os.environ.get("REPRO_NATIVE_DISABLE"):
+            _state["reason"] = "disabled via REPRO_NATIVE_DISABLE"
+        else:
+            try:
+                lib, path = _compile()
+                _self_check(lib)
+            except Exception as exc:  # noqa: BLE001 - any failure → fallback
+                _state["reason"] = f"{type(exc).__name__}: {exc}"
+            else:
+                _state["lib"] = lib
+                _state["library_path"] = path
+        _state["checked"] = True
+    return _state
+
+
+def _reset() -> None:
+    """Forget compile/self-check state (tests re-probe availability)."""
+    with _state_lock:
+        _state.update(checked=False, lib=None, reason=None,
+                      library_path=None)
+
+
+def native_available() -> bool:
+    """Whether the compiled replay tier is usable in this process."""
+    return _ensure_state()["lib"] is not None
+
+
+def native_status() -> dict:
+    """Availability report: ``{available, reason, library}``."""
+    state = _ensure_state()
+    return {
+        "available": state["lib"] is not None,
+        "reason": state["reason"],
+        "library": state["library_path"],
+    }
+
+
+def resolve_backend(requested: str | None = None) -> str:
+    """Resolve a descent backend name to the one that will actually run.
+
+    ``None`` (and ``"native"``) mean *native when available*; the
+    ``REPRO_DESCENT_BACKEND`` environment variable overrides any
+    requested value; ``"numpy"`` always wins a forced fallback.
+    """
+    env = os.environ.get("REPRO_DESCENT_BACKEND")
+    if env:
+        requested = env
+    if requested is None:
+        requested = "native"
+    if requested not in DESCENT_BACKENDS:
+        raise ValueError(
+            f"unknown descent backend {requested!r} "
+            f"(expected one of {DESCENT_BACKENDS})")
+    if requested == "native" and native_available():
+        return "native"
+    return "numpy"
+
+
+def _program_state(program) -> dict:
+    """The program's flattened array form + reusable scratch (cached)."""
+    state = program._native
+    if state is None:
+        with program._native_lock:
+            state = program._native
+            if state is None:
+                positives = program.leaf_positives
+                num_leaves = len(positives)
+                pos_off = np.zeros(num_leaves + 1, dtype=np.int64)
+                if num_leaves:
+                    np.cumsum([p.size for p in positives],
+                              out=pos_off[1:])
+                total = int(pos_off[-1])
+                pos_flat = np.empty(total, dtype=np.uint64)
+                for i, chunk in enumerate(positives):
+                    pos_flat[pos_off[i]:pos_off[i + 1]] = chunk
+                state = {
+                    "kinds": np.asarray(program.kinds, dtype=np.int32),
+                    "nodes_add": np.asarray(program.nodes_add,
+                                            dtype=np.int64),
+                    "inter_add": np.asarray(program.inter_add,
+                                            dtype=np.int64),
+                    "p_left": np.asarray(program.p_left,
+                                         dtype=np.float64),
+                    "left_e": np.asarray(program.left_e, dtype=np.int32),
+                    "right_e": np.asarray(program.right_e,
+                                          dtype=np.int32),
+                    "leaf_ix": np.asarray(program.leaf_ix,
+                                          dtype=np.int32),
+                    "pos_flat": pos_flat,
+                    "pos_off": pos_off,
+                    "leaf_cand": np.asarray(program.leaf_cand,
+                                            dtype=np.int64),
+                    "num_leaves": num_leaves,
+                    "scratch_lock": threading.Lock(),
+                    "order_flat": np.empty(total, dtype=np.uint64),
+                    "served": np.zeros(num_leaves, dtype=np.int64),
+                    "visited": np.zeros(num_leaves, dtype=np.uint8),
+                    "ordered": np.zeros(num_leaves, dtype=np.uint8),
+                    "ops": np.zeros(4, dtype=np.int64),
+                    "out": np.empty(256, dtype=np.uint64),
+                }
+                program._native = state
+    return state
+
+
+def replay(program, request, rng) -> MultiSampleResult:
+    """Replay one request through the compiled kernel.
+
+    Bit-identical to :func:`repro.core.plan._run_program` fed the same
+    RNG stream: the kernel makes the same libnpyrandom calls the
+    Generator methods would.  The Generator's own lock is held across
+    the call (ctypes releases the GIL), preserving the per-draw
+    atomicity Python callers get.
+    """
+    lib = _ensure_state()["lib"]
+    if lib is None:  # pragma: no cover - resolve_backend gates this
+        raise RuntimeError("native descent backend unavailable: "
+                           f"{_state['reason']}")
+    state = _program_state(program)
+    rounds = int(request.rounds)
+
+    owned = state["scratch_lock"].acquire(blocking=False)
+    if owned:
+        if state["out"].size < rounds:
+            state["out"] = np.empty(rounds, dtype=np.uint64)
+        out = state["out"]
+        ops = state["ops"]
+        served = state["served"]
+        visited = state["visited"]
+        ordered = state["ordered"]
+        order_flat = state["order_flat"]
+        ops.fill(0)
+        served.fill(0)
+        visited.fill(0)
+        ordered.fill(0)
+    else:
+        out = np.empty(rounds, dtype=np.uint64)
+        ops = np.zeros(4, dtype=np.int64)
+        served = np.zeros(state["num_leaves"], dtype=np.int64)
+        visited = np.zeros(state["num_leaves"], dtype=np.uint8)
+        ordered = np.zeros(state["num_leaves"], dtype=np.uint8)
+        order_flat = np.empty(state["pos_flat"].size, dtype=np.uint64)
+    try:
+        bit_generator = rng.bit_generator
+        with bit_generator.lock:
+            produced = lib.descent_run(
+                bit_generator.ctypes.bit_generator,
+                _ptr(state["kinds"]), _ptr(state["nodes_add"]),
+                _ptr(state["inter_add"]), _ptr(state["p_left"]),
+                _ptr(state["left_e"]), _ptr(state["right_e"]),
+                _ptr(state["leaf_ix"]),
+                _ptr(state["pos_flat"]), _ptr(state["pos_off"]),
+                _ptr(state["leaf_cand"]),
+                _ptr(order_flat), _ptr(served), _ptr(visited),
+                _ptr(ordered),
+                ctypes.c_int64(rounds),
+                ctypes.c_int32(1 if request.replacement else 0),
+                _ptr(out), _ptr(ops))
+        values = out[:produced].tolist()
+        counters = ops.tolist()
+    finally:
+        if owned:
+            state["scratch_lock"].release()
+    op_counter = OpCounter(
+        intersections=counters[0], memberships=counters[1],
+        nodes_visited=counters[2], backtracks=counters[3])
+    return MultiSampleResult(values, rounds, op_counter)

@@ -252,7 +252,8 @@ class FilterStore:
         return sampler.sample_many(self._get(name), r, replacement,
                                    position_cache=position_cache)
 
-    def sample_batch_compiled(self, plan, requests):
+    def sample_batch_compiled(self, plan, requests,
+                              backend: str | None = None):
         """Batched multi-sample through a compiled tree plan.
 
         ``requests`` is a sequence of ``(name, rounds, replacement,
@@ -278,7 +279,7 @@ class FilterStore:
             return descend_frontier(
                 plan, descent_requests,
                 empty_threshold=self._empty_threshold,
-                descent=self._descent)
+                descent=self._descent, backend=backend)
 
     def reconstruct(self, name: str,
                     exhaustive: bool = False) -> ReconstructionResult:

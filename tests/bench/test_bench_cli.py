@@ -260,7 +260,29 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "2 run(s)" in out
         assert "tiny_smoke speedup_batch_vs_scalar_loop" in out
-        assert "->" in out
+        # One aligned column per recorded run, headed by its version.
+        from repro import __version__
+        assert out.count(f"v{__version__}[q]") == 2
+
+    def test_compare_csv_exports_long_form(self, tiny_registry,
+                                           tmp_path, capsys):
+        args = ["bench", "--quick", "--scenario", "tiny_smoke",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output-dir", str(tmp_path)]
+        main(args)
+        main(args + ["--force"])
+        capsys.readouterr()
+        csv_path = tmp_path / "trajectory.csv"
+        rc = main(["bench", "--compare", "--output-dir", str(tmp_path),
+                   "--csv", str(csv_path)])
+        assert rc == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == ("run,generated_at,version,mode,scenario,"
+                            "metric,value")
+        # 2 runs x (scalar + vector) speedup metrics.
+        assert len(lines) == 1 + 4
+        assert any("tiny_smoke,speedup_batch_vs_scalar_loop" in line
+                   for line in lines[1:])
 
     def test_compare_without_history_fails(self, tmp_path, capsys):
         rc = main(["bench", "--compare", "--output-dir", str(tmp_path)])
@@ -329,5 +351,6 @@ class TestWriteChurnScenario:
         assert scenario.kind == "sampling"
         for params in (scenario.quick, scenario.full):
             assert params["write_churn"] is True
-            assert params["churn_fraction"] == 0.10
+            assert 0.0 < params["churn_fraction"] <= 0.10
+            assert params["churn_repeats"] >= 1
             assert params["tree"] == "dynamic"
